@@ -1,0 +1,58 @@
+"""E11 — block-size sensitivity: every bound's B-dependence at once.
+
+Fixed N, sweep B.  Solution 1's per-level term shrinks like log_B n, its
+level count stays log2 n; Solution 2's height shrinks like log_B n but its
+G pays log2 B — so growing B helps Solution 2 queries more than Solution 1,
+while costing it log2 B in space.
+"""
+
+from harness import archive, build_engine, measure_queries, table_section
+from repro.workloads import grid_segments, segment_queries
+
+N = 8192
+B_SWEEP = (16, 32, 64, 128)
+QUERIES = 8
+
+
+def run_sweep():
+    segments = grid_segments(N, seed=31)
+    rows = []
+    for b in B_SWEEP:
+        queries = segment_queries(segments, QUERIES, selectivity=0.005, seed=1)
+        row = [b]
+        for engine in ("solution1", "solution2", "stab-filter", "rtree"):
+            device, _pager, index = build_engine(engine, segments, b)
+            reads, _out = measure_queries(device, index, queries)
+            row.append(round(reads, 1))
+        dev2, _p, _i = build_engine("solution2", segments, b)
+        row.append(dev2.pages_in_use)
+        rows.append(row)
+    return rows
+
+
+def test_e11_report(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    archive(
+        "e11_pagesize",
+        "E11 — Page-size (B) sensitivity at fixed N",
+        [
+            table_section(
+                f"Mean query reads and Solution 2 space vs B (N={N}):",
+                ["B", "Sol1 reads", "Sol2 reads", "stab-filter reads",
+                 "rtree reads", "Sol2 blocks"],
+                rows,
+            ),
+            "Larger blocks shorten every search path; Solution 2's block "
+            "count falls more slowly than 1/B because of the log2 B space "
+            "factor (Theorem 2 i).",
+        ],
+    )
+
+
+def test_e11_build_wallclock(benchmark):
+    segments = grid_segments(2048, seed=31)
+
+    def run():
+        build_engine("solution2", segments, 64)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

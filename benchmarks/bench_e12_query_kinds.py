@@ -1,0 +1,86 @@
+"""E12 — generalized query segments: line, ray, segment (Section 1).
+
+The paper's query is a *generalized* vertical segment.  All three kinds run
+against both solutions on one workload; lines and rays simply have larger
+outputs, and the cost stays search-term + t.  Also exercises the footnote-1
+reduction: a slope-1 query direction through the sheared frame.
+"""
+
+from harness import archive, build_engine, measure_queries, table_section
+from repro.core.api import SegmentDatabase
+from repro.geometry import Point, Segment
+from repro.workloads import (
+    grid_segments,
+    ray_queries,
+    segment_queries,
+    stabbing_queries,
+)
+
+B = 32
+N = 8192
+QUERIES = 8
+
+
+def run_kinds():
+    segments = grid_segments(N, seed=37)
+    kinds = {
+        "line": stabbing_queries(segments, QUERIES, seed=1),
+        "ray": ray_queries(segments, QUERIES, seed=2),
+        "segment": segment_queries(segments, QUERIES, selectivity=0.01, seed=3),
+    }
+    rows = []
+    for engine in ("solution1", "solution2"):
+        device, _pager, index = build_engine(engine, segments, B)
+        for kind, queries in kinds.items():
+            reads, out = measure_queries(device, index, queries)
+            rows.append([engine, kind, round(out, 1), round(reads, 1)])
+    return rows
+
+
+def run_directed():
+    """Footnote 1: slope-1 queries via the sheared frame."""
+    segments = grid_segments(2048, seed=38)
+    db = SegmentDatabase.with_direction(segments, slope=1, block_capacity=B)
+    rows = []
+    total_hits = 0
+    for i in range(QUERIES):
+        x0 = 100 + 400 * i
+        hits = db.query_through(Point(x0, 0), Point(x0 + 2000, 2000))
+        total_hits += len(hits)
+    rows.append(["slope=1 segment", QUERIES, total_hits,
+                 db.io_stats().reads])
+    return rows
+
+
+def test_e12_report(benchmark):
+    rows = benchmark.pedantic(run_kinds, rounds=1, iterations=1)
+    directed_rows = run_directed()
+    archive(
+        "e12_query_kinds",
+        "E12 — Line / ray / segment queries and fixed non-vertical directions",
+        [
+            table_section(
+                f"Mean reads per query kind (N={N}, B={B}):",
+                ["engine", "query kind", "T (avg)", "query reads"],
+                rows,
+            ),
+            table_section(
+                "Footnote-1 reduction (queries with angular coefficient 1 "
+                "through the sheared frame):",
+                ["setup", "queries", "total hits", "total reads"],
+                directed_rows,
+            ),
+        ],
+    )
+
+
+def test_e12_ray_wallclock(benchmark):
+    segments = grid_segments(N, seed=37)
+    device, _pager, index = build_engine("solution2", segments, B)
+    queries = ray_queries(segments, 4, seed=2)
+
+    def run():
+        for q in queries:
+            index.query(q)
+
+    benchmark(run)

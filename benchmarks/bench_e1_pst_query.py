@@ -1,0 +1,112 @@
+"""E1 — Lemmas 1–2: the external PST for line-based segments.
+
+Claims under test: query in ``O(log2 n + t)`` I/Os; ``Find`` in
+``O(log2 n)``; storage ``O(n)`` blocks.  Sweep N with fixed B, plus an
+output-size sweep at fixed N showing the ``+t`` term pays one I/O per B
+reported segments.
+"""
+
+from repro.analysis import render_table
+from repro.core.linebased import ExternalPST
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import fan, hqueries
+
+from harness import archive, fit_section, table_section
+
+B = 64
+N_SWEEP = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+QUERIES_PER_POINT = 12
+
+
+def build_pst(n, fanout=2):
+    device = BlockDevice(B)
+    pager = Pager(device)
+    segments = fan(n, seed=n)
+    tree = ExternalPST.build(pager, segments, fanout=fanout)
+    device.reset_counters()
+    return device, pager, segments, tree
+
+
+def run_sweep():
+    rows = []
+    measurements = []
+    for n in N_SWEEP:
+        device, pager, segments, tree = build_pst(n)
+        # Fixed absolute output target so the +t term does not confound
+        # the N-dependence of the search term.
+        queries = hqueries(segments, QUERIES_PER_POINT,
+                           selectivity=min(0.5, 24 / n), seed=1)
+        reads = outs = find_reads = 0
+        for q in queries:
+            with pager.operation():
+                with Measurement(device) as m:
+                    result = tree.query(q)
+            reads += m.stats.reads
+            outs += len(result)
+            with pager.operation():
+                with Measurement(device) as m:
+                    tree.find_leftmost(q)
+            find_reads += m.stats.reads
+        mean_reads = reads / len(queries)
+        mean_out = outs / len(queries)
+        rows.append(
+            [n, tree.height(), device.pages_in_use, round(mean_out, 1),
+             round(mean_reads, 1), round(find_reads / len(queries), 1)]
+        )
+        measurements.append((n, B, mean_out, mean_reads))
+    return rows, measurements
+
+
+def output_sweep():
+    n = 16384
+    device, pager, segments, tree = build_pst(n)
+    rows = []
+    for selectivity in (0.001, 0.01, 0.05, 0.2, 0.8):
+        queries = hqueries(segments, 6, selectivity=selectivity, seed=2)
+        reads = outs = 0
+        for q in queries:
+            with pager.operation():
+                with Measurement(device) as m:
+                    result = tree.query(q)
+            reads += m.stats.reads
+            outs += len(result)
+        t_blocks = outs / len(queries) / B
+        rows.append(
+            [selectivity, round(outs / len(queries), 1), round(t_blocks, 1),
+             round(reads / len(queries), 1)]
+        )
+    return rows
+
+
+def test_e1_report(benchmark):
+    rows, measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    out_rows = output_sweep()
+    archive(
+        "e1_pst_query",
+        "E1 — External PST for line-based segments (Lemmas 1–2)",
+        [
+            table_section(
+                f"Query cost vs N (B={B}, ~0.2% selectivity):",
+                ["N", "height", "blocks", "T (avg)", "query reads", "Find reads"],
+                rows,
+            ),
+            fit_section(measurements, "log2(n)",
+                        candidates=["log2(n)", "log_B(n)", "n"]),
+            table_section(
+                f"Output-size sweep at N=16384 (the additive t term):",
+                ["selectivity", "T (avg)", "t = T/B", "query reads"],
+                out_rows,
+            ),
+        ],
+    )
+
+
+def test_e1_query_wallclock(benchmark):
+    device, pager, segments, tree = build_pst(16384)
+    queries = hqueries(segments, 8, selectivity=0.01, seed=3)
+
+    def run():
+        for q in queries:
+            tree.query(q)
+
+    benchmark(run)

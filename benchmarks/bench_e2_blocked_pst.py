@@ -1,0 +1,110 @@
+"""E2 — Lemma 3: the blocked (P-range-style) PST.
+
+Claims under test: query ``O(log_B n + IL*(B) + t)``; update amortised
+``O(log_B n + (log_B n)/B)``; storage ``O(n)``.  The binary PST of E1 is
+the comparison point: blocking must flatten the query curve from
+``log2 n`` to ``log_B n``.
+"""
+
+from repro.core.linebased import ExternalPST
+from repro.geometry import LineBasedSegment
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import fan, hqueries
+
+from harness import archive, fit_section, iostar_note, table_section
+
+B = 64
+N_SWEEP = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+QUERIES_PER_POINT = 12
+
+
+def build(n, fanout):
+    device = BlockDevice(B)
+    pager = Pager(device)
+    segments = fan(n, seed=n)
+    tree = ExternalPST.build(pager, segments, fanout=fanout)
+    device.reset_counters()
+    return device, pager, segments, tree
+
+
+def run_sweep():
+    rows = []
+    measurements = []
+    for n in N_SWEEP:
+        dev_bin, pager_bin, segments, binary = build(n, fanout=2)
+        dev_blk, pager_blk, _segments, blocked = build(n, fanout=B // 4)
+        queries = hqueries(segments, QUERIES_PER_POINT,
+                           selectivity=min(0.5, 24 / n), seed=1)
+        costs = {"binary": 0.0, "blocked": 0.0}
+        out = 0
+        for q in queries:
+            with pager_bin.operation():
+                with Measurement(dev_bin) as m:
+                    result = binary.query(q)
+            costs["binary"] += m.stats.reads
+            out += len(result)
+            with pager_blk.operation():
+                with Measurement(dev_blk) as m:
+                    blocked.query(q)
+            costs["blocked"] += m.stats.reads
+        mean_out = out / len(queries)
+        mean_blocked = costs["blocked"] / len(queries)
+        rows.append(
+            [n, blocked.height(), dev_blk.pages_in_use,
+             round(costs["binary"] / len(queries), 1), round(mean_blocked, 1)]
+        )
+        measurements.append((n, B, mean_out, mean_blocked))
+    return rows, measurements
+
+
+def insert_sweep():
+    rows = []
+    for n in (4096, 16384, 65536):
+        device, pager, _segments, tree = build(n, fanout=B // 4)
+        total = 0
+        count = 64
+        base_u = 200 * n  # beyond the generated fan
+        for i in range(count):
+            s = LineBasedSegment(base_u + 3 * i, base_u + 3 * i + 1, 17 + i,
+                                 label=("ins", i))
+            with pager.operation():
+                with Measurement(device) as m:
+                    tree.insert(s)
+            total += m.stats.total
+        rows.append([n, round(total / count, 1)])
+    return rows
+
+
+def test_e2_report(benchmark):
+    rows, measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    ins_rows = insert_sweep()
+    archive(
+        "e2_blocked_pst",
+        "E2 — Blocked PST (Lemma 3, P-range substitution)",
+        [
+            table_section(
+                f"Query reads vs N (B={B}; binary PST of Lemma 2 vs blocked):",
+                ["N", "height", "blocks", "binary reads", "blocked reads"],
+                rows,
+            ),
+            fit_section(measurements, "log_B(n)",
+                        candidates=["log2(n)", "log_B(n)", "n"]),
+            iostar_note(B),
+            table_section(
+                "Amortised insertion I/O (64 inserts each):",
+                ["N", "mean insert I/O"],
+                ins_rows,
+            ),
+        ],
+    )
+
+
+def test_e2_blocked_query_wallclock(benchmark):
+    device, pager, segments, tree = build(16384, fanout=B // 4)
+    queries = hqueries(segments, 8, selectivity=0.01, seed=3)
+
+    def run():
+        for q in queries:
+            tree.query(q)
+
+    benchmark(run)

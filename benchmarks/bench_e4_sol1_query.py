@@ -1,0 +1,76 @@
+"""E4 — Theorem 1 (ii): Solution 1 queries in O(log2 n · (log_B n + IL*) + t).
+
+Sweep N on two workloads (random grid and GIS map layer); fit the claimed
+product model against simpler and heavier alternatives.
+"""
+
+from harness import archive, build_engine, fit_section, iostar_note, measure_queries, table_section
+from repro.workloads import delaunay_edges, grid_segments, segment_queries
+
+B = 32
+N_SWEEP = (1024, 2048, 4096, 8192, 16384)
+QUERIES_PER_POINT = 10
+
+
+def run_sweep(workload):
+    rows = []
+    measurements = []
+    for n in N_SWEEP:
+        if workload == "grid":
+            segments = grid_segments(n, seed=11)
+        else:
+            segments = delaunay_edges(max(50, n // 3), seed=11)[:n]
+        device, _pager, index = build_engine("solution1", segments, B)
+        queries = segment_queries(segments, QUERIES_PER_POINT,
+                                  selectivity=min(0.5, 32 / len(segments)),
+                                  seed=1)
+        reads, out = measure_queries(device, index, queries)
+        rows.append([n, len(segments), round(out, 1), round(reads, 1)])
+        measurements.append((len(segments), B, out, reads))
+    return rows, measurements
+
+
+def test_e4_report(benchmark):
+    grid_rows, grid_meas = benchmark.pedantic(
+        lambda: run_sweep("grid"), rounds=1, iterations=1
+    )
+    map_rows, map_meas = run_sweep("map")
+    archive(
+        "e4_sol1_query",
+        "E4 — Solution 1 query cost (Theorem 1 ii)",
+        [
+            table_section(
+                f"Random grid workload (B={B}, 0.5% selectivity):",
+                ["N (target)", "N (actual)", "T (avg)", "query reads"],
+                grid_rows,
+            ),
+            fit_section(
+                grid_meas,
+                "log2(n)*log_B(n)",
+                candidates=["log2(n)", "log2(n)*log_B(n)", "n"],
+            ),
+            table_section(
+                "Delaunay map-layer workload:",
+                ["N (target)", "N (actual)", "T (avg)", "query reads"],
+                map_rows,
+            ),
+            fit_section(
+                map_meas,
+                "log2(n)*log_B(n)",
+                candidates=["log2(n)", "log2(n)*log_B(n)", "n"],
+            ),
+            iostar_note(B),
+        ],
+    )
+
+
+def test_e4_query_wallclock(benchmark):
+    segments = grid_segments(8192, seed=11)
+    device, _pager, index = build_engine("solution1", segments, B)
+    queries = segment_queries(segments, 6, selectivity=0.01, seed=2)
+
+    def run():
+        for q in queries:
+            index.query(q)
+
+    benchmark(run)

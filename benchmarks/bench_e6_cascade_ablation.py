@@ -1,0 +1,133 @@
+"""E6 — Lemma 4 vs Theorem 2: the fractional-cascading ablation.
+
+The only difference between Lemma 4 and Theorem 2 is the bridges in ``G``:
+without them every level of the segment tree pays a fresh ``O(log_B n)``
+B+-tree search; with them the first search is re-used via O(1)-amortised
+hops.  A long-fragment-heavy workload isolates exactly that term.
+"""
+
+import random
+
+from harness import archive, build_engine, measure_queries, table_section
+from repro.geometry import Segment
+from repro.workloads import segment_queries
+
+B = 64
+N_SWEEP = (2048, 8192, 32768)
+QUERIES_PER_POINT = 10
+
+
+def long_heavy_workload(n, seed):
+    """Non-crossing wide segments with varied spans: G does all the work."""
+    rng = random.Random(seed)
+    segments = []
+    for i in range(n):
+        left = rng.randrange(0, 60000)
+        right = left + rng.randrange(10000, 40000)
+        segments.append(
+            Segment.from_coords(left, 10 * i, right, 10 * i + 3, label=("w", i))
+        )
+    return segments
+
+
+def run_sweep():
+    rows = []
+    for n in N_SWEEP:
+        segments = long_heavy_workload(n, seed=n)
+        device, _pager, index = build_engine("solution2", segments, B)
+        queries = segment_queries(segments, QUERIES_PER_POINT,
+                                  selectivity=0.005, seed=1)
+        with_reads, out = measure_queries(device, index, queries, use_bridges=True)
+        without_reads, _out = measure_queries(device, index, queries,
+                                              use_bridges=False)
+        rows.append(
+            [n, round(out, 1), round(without_reads, 1), round(with_reads, 1),
+             round(without_reads / with_reads, 2)]
+        )
+    return rows
+
+
+def g_isolated_sweep():
+    """The same ablation on a bare G structure (one deep segment tree),
+    where the bridged-vs-unbridged search is the *whole* cost."""
+    import random as _random
+
+    from repro.core.solution2.gtree import GTree
+    from repro.core.solution2.slabs import LongFragment
+    from repro.iosim import BlockDevice, Measurement, Pager
+
+    rows = []
+    boundaries = list(range(0, 3300, 100))  # 32 inner slabs: G height 6
+    for n in (2000, 8000, 32000):
+        rng = _random.Random(n)
+        fragments = []
+        heights = rng.sample(range(-40 * n, 40 * n), n)
+        for i, y in enumerate(sorted(heights)):
+            a = rng.randint(1, len(boundaries) - 1)
+            c = rng.randint(a + 1, len(boundaries))
+            s_a, s_c = boundaries[a - 1], boundaries[c - 1]
+            payload = type("P", (), {"label": ("f", i)})()
+            fragments.append((a, c, LongFragment(s_a, s_c, y, y, payload)))
+        device = BlockDevice(B)
+        pager = Pager(device)
+        g = GTree.build(pager, boundaries, fragments)
+        device.reset_counters()
+        with_b = without = 0
+        for k in range(QUERIES_PER_POINT):
+            x0 = rng.randint(0, 3200)
+            ylo = rng.randint(-40 * n, 30 * n)
+            yhi = ylo + 8 * n
+            with pager.operation():
+                with Measurement(device) as m:
+                    g.query(x0, ylo, yhi, use_bridges=True)
+            with_b += m.stats.reads
+            with pager.operation():
+                with Measurement(device) as m:
+                    g.query(x0, ylo, yhi, use_bridges=False)
+            without += m.stats.reads
+        rows.append(
+            [n, round(without / QUERIES_PER_POINT, 1),
+             round(with_b / QUERIES_PER_POINT, 1),
+             round(without / with_b, 2)]
+        )
+    return rows
+
+
+def test_e6_report(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    g_rows = g_isolated_sweep()
+    archive(
+        "e6_cascade_ablation",
+        "E6 — Fractional cascading ablation (Lemma 4 vs Theorem 2)",
+        [
+            table_section(
+                f"Full-index query reads on a long-fragment workload (B={B}):",
+                ["N", "T (avg)", "no bridges (Lemma 4)",
+                 "bridges (Theorem 2)", "speedup"],
+                rows,
+            ),
+            table_section(
+                "G-structure in isolation (32 inner slabs, height-6 segment "
+                "tree, pure long-fragment searches):",
+                ["N", "no bridges", "bridges", "speedup"],
+                g_rows,
+            ),
+            "Identical answers in both modes (asserted by the test suite); "
+            "the gap is the per-level B+-tree search the bridges replace "
+            "with O(1) hops.  In the full index the short-fragment and "
+            "first-level costs dilute the effect; the isolated G shows the "
+            "term itself.",
+        ],
+    )
+
+
+def test_e6_bridged_query_wallclock(benchmark):
+    segments = long_heavy_workload(8192, seed=3)
+    device, _pager, index = build_engine("solution2", segments, B)
+    queries = segment_queries(segments, 6, selectivity=0.01, seed=2)
+
+    def run():
+        for q in queries:
+            index.query(q, use_bridges=True)
+
+    benchmark(run)

@@ -1,0 +1,93 @@
+"""E7 — Theorem 2 (ii): Solution 2 queries and the gap to Solution 1.
+
+Sweep N on the random-grid and map workloads; fit the claimed
+``log_B n (log_B n + log2 B)`` model and print Solution 1 alongside —
+the improvement the paper's Section 4 exists to deliver.
+"""
+
+from harness import archive, build_engine, fit_section, measure_queries, table_section
+from repro.workloads import delaunay_edges, grid_segments, segment_queries
+
+B = 32
+N_SWEEP = (1024, 2048, 4096, 8192, 16384)
+QUERIES_PER_POINT = 10
+
+
+def run_sweep(workload):
+    rows = []
+    measurements = []
+    for n in N_SWEEP:
+        if workload == "grid":
+            segments = grid_segments(n, seed=17)
+        else:
+            segments = delaunay_edges(max(50, n // 3), seed=17)[:n]
+        queries = segment_queries(segments, QUERIES_PER_POINT,
+                                  selectivity=min(0.5, 32 / len(segments)),
+                                  seed=1)
+        dev2, _p2, sol2 = build_engine("solution2", segments, B)
+        reads2, out = measure_queries(dev2, sol2, queries)
+        dev1, _p1, sol1 = build_engine("solution1", segments, B)
+        reads1, _out = measure_queries(dev1, sol1, queries)
+        rows.append(
+            [n, round(out, 1), round(reads1, 1), round(reads2, 1),
+             round(reads1 / reads2, 2)]
+        )
+        measurements.append((len(segments), B, out, reads2))
+    return rows, measurements
+
+
+def test_e7_report(benchmark):
+    grid_rows, grid_meas = benchmark.pedantic(
+        lambda: run_sweep("grid"), rounds=1, iterations=1
+    )
+    map_rows, map_meas = run_sweep("map")
+    archive(
+        "e7_sol2_query",
+        "E7 — Solution 2 query cost (Theorem 2 ii)",
+        [
+            table_section(
+                f"Random grid workload (B={B}, 0.5% selectivity):",
+                ["N", "T (avg)", "Solution 1 reads", "Solution 2 reads",
+                 "Sol1/Sol2"],
+                grid_rows,
+            ),
+            fit_section(
+                grid_meas,
+                "log_B(n)*(log_B(n)+log2(B))",
+                candidates=[
+                    "log_B(n)",
+                    "log_B(n)*(log_B(n)+log2(B))",
+                    "log2(n)*log_B(n)",
+                    "n",
+                ],
+            ),
+            table_section(
+                "Delaunay map-layer workload:",
+                ["N", "T (avg)", "Solution 1 reads", "Solution 2 reads",
+                 "Sol1/Sol2"],
+                map_rows,
+            ),
+            fit_section(
+                map_meas,
+                "log_B(n)*(log_B(n)+log2(B))",
+                candidates=[
+                    "log_B(n)",
+                    "log_B(n)*(log_B(n)+log2(B))",
+                    "log2(n)*log_B(n)",
+                    "n",
+                ],
+            ),
+        ],
+    )
+
+
+def test_e7_query_wallclock(benchmark):
+    segments = grid_segments(8192, seed=17)
+    device, _pager, index = build_engine("solution2", segments, B)
+    queries = segment_queries(segments, 6, selectivity=0.01, seed=2)
+
+    def run():
+        for q in queries:
+            index.query(q)
+
+    benchmark(run)

@@ -1,0 +1,75 @@
+"""E8 — Theorem 2 (i): Solution 2 uses O(n log2 B) blocks.
+
+Two sweeps: N at fixed B (linearity in n) and B at fixed N (the log2 B
+factor, which comes from the O(log2 B) allocation nodes of each long
+fragment in G).
+"""
+
+import math
+
+from harness import archive, build_engine, table_section
+from repro.workloads import grid_segments
+
+N_FIXED = 8192
+B_FIXED = 32
+
+
+def n_sweep():
+    rows = []
+    for n in (2048, 8192, 32768):
+        segments = grid_segments(n, seed=19)
+        dev2, _p, _i = build_engine("solution2", segments, B_FIXED)
+        dev1, _p1, _i1 = build_engine("solution1", segments, B_FIXED)
+        optimal = n / B_FIXED
+        rows.append(
+            [n, int(optimal), dev1.pages_in_use, dev2.pages_in_use,
+             round(dev2.pages_in_use / optimal, 2)]
+        )
+    return rows
+
+
+def b_sweep():
+    rows = []
+    segments = grid_segments(N_FIXED, seed=19)
+    for b in (16, 32, 64, 128):
+        dev, _p, _i = build_engine("solution2", segments, b)
+        optimal = N_FIXED / b
+        rows.append(
+            [b, round(math.log2(b), 1), int(optimal), dev.pages_in_use,
+             round(dev.pages_in_use / optimal, 2)]
+        )
+    return rows
+
+
+def test_e8_report(benchmark):
+    n_rows = benchmark.pedantic(n_sweep, rounds=1, iterations=1)
+    b_rows = b_sweep()
+    archive(
+        "e8_sol2_space",
+        "E8 — Solution 2 storage is O(n log2 B) blocks (Theorem 2 i)",
+        [
+            table_section(
+                f"N sweep at B={B_FIXED} (Solution 1 = the O(n) reference):",
+                ["N", "optimal", "Sol1 blocks", "Sol2 blocks", "Sol2/optimal"],
+                n_rows,
+            ),
+            table_section(
+                f"B sweep at N={N_FIXED}:",
+                ["B", "log2(B)", "optimal", "Sol2 blocks", "Sol2/optimal"],
+                b_rows,
+            ),
+            "Sol2/optimal stays bounded as N grows (linearity in n) and "
+            "grows no faster than log2(B) as B grows — the Theorem 2 space "
+            "shape.  Solution 1's smaller footprint is the paper's stated "
+            "trade-off for its slower queries.",
+        ],
+    )
+
+
+def test_e8_build_wallclock(benchmark):
+    segments = grid_segments(4096, seed=19)
+
+    def run():
+        build_engine("solution2", segments, B_FIXED)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,117 @@
+"""An ASCII gallery of the paper's illustrative figures, rebuilt live.
+
+Each panel constructs the configuration a figure illustrates and renders
+it from the real data structures — the library's answer to the paper's
+hand-drawn pictures.
+
+Run:  python examples/figure_gallery.py
+"""
+
+from repro import Segment, SegmentDatabase, VerticalQuery
+from repro.core.linebased import ExternalPST
+from repro.geometry import HQuery, LineBasedSegment
+from repro.iosim import BlockDevice, Pager
+from repro.viz import draw_linebased, draw_scene, dump_gtree, dump_pst, dump_two_level
+from repro.workloads import fan
+
+
+def figure_1() -> None:
+    print("=" * 74)
+    print("Figure 1 — a stabbing query (full line) vs a VS query (segment)")
+    print("=" * 74)
+    segments = [
+        Segment.from_coords(0, 8, 6, 9, label="a"),
+        Segment.from_coords(1, 2, 5, 4, label="b"),
+        Segment.from_coords(4, 6, 11, 5, label="c"),
+        Segment.from_coords(7, 1, 12, 3, label="d"),
+        Segment.from_coords(8, 7, 8, 10, label="e"),
+    ]
+    db = SegmentDatabase.bulk_load(segments, block_capacity=16)
+    line = VerticalQuery.line(8)
+    window = VerticalQuery.segment(8, 4, 8)
+    print(draw_scene(segments, [window],
+                     mark=[s.label for s in db.query(window)]))
+    print(f"line x=8 hits     : {sorted(s.label for s in db.query(line))}")
+    print(f"segment x=8,[4,8] : {sorted(s.label for s in db.query(window))} "
+          f"(marked 'o' above)\n")
+
+
+def figure_2_and_3() -> None:
+    print("=" * 74)
+    print("Figures 2–3 — line-based segments, their frame, and the PST")
+    print("=" * 74)
+    segments = [
+        LineBasedSegment(6, 7, 6, label=1),
+        LineBasedSegment(9, 11, 8, label=2),
+        LineBasedSegment(0, 5, 9, label=3),
+        LineBasedSegment(14, 13, 4, label=4),
+        LineBasedSegment(17, 20, 7, label=5),
+        LineBasedSegment(22, 21, 3, label=6),
+    ]
+    print(draw_linebased(segments))
+    print("(base line '='; every segment has one endpoint on it)\n")
+    dev = BlockDevice(block_capacity=2)
+    tree = ExternalPST.build(Pager(dev), segments)
+    print("The external PST over these segments (B=2, Figure 3):")
+    print(dump_pst(tree))
+    q = HQuery.segment(4, 4, 12)
+    print(f"\nquery h=4, u in [4,12] reports: "
+          f"{sorted(s.label for s in tree.query(q))}\n")
+
+
+def figure_4() -> None:
+    print("=" * 74)
+    print("Figure 4 — Solution 1's two-level decomposition (B=2)")
+    print("=" * 74)
+    segments = [
+        Segment.from_coords(0, 8, 3, 9, label=1),
+        Segment.from_coords(1, 2, 2, 4, label=2),
+        Segment.from_coords(4, 5, 9, 6, label=3),
+        Segment.from_coords(5, 1, 8, 3, label=4),
+        Segment.from_coords(6, 7, 6, 10, label=5),
+        Segment.from_coords(10, 2, 12, 8, label=6),
+        Segment.from_coords(11, 9, 12, 10, label=7),
+    ]
+    from repro.core.solution1 import TwoLevelBinaryIndex
+
+    dev = BlockDevice(block_capacity=2)
+    pager = Pager(dev)
+    index = TwoLevelBinaryIndex.build(pager, segments, blocked=False)
+    print(draw_scene(segments, [VerticalQuery.segment(6, 0, 11)]))
+    print(dump_two_level(index, pager))
+    print()
+
+
+def figures_5_to_7() -> None:
+    print("=" * 74)
+    print("Figures 5–7 — Solution 2: slabs, fragment splitting, and G")
+    print("=" * 74)
+    import random
+
+    rng = random.Random(5)
+    segments = []
+    for i in range(120):
+        left = rng.randrange(0, 900)
+        right = left + rng.randrange(30, 600)
+        segments.append(
+            Segment.from_coords(left, 10 * i, right, 10 * i + 4, label=i)
+        )
+    from repro.core.solution2 import TwoLevelIntervalIndex
+
+    dev = BlockDevice(block_capacity=16)
+    pager = Pager(dev)
+    index = TwoLevelIntervalIndex.build(pager, segments, fanout=4)
+    print(dump_two_level(index, pager, max_depth=1))
+    view = index._read_view(index.root_pid)
+    g = index._g_tree(view)
+    if g is not None:
+        print("\nThe root's segment tree G over its inner slabs (Figure 7):")
+        print(dump_gtree(g))
+    print()
+
+
+if __name__ == "__main__":
+    figure_1()
+    figure_2_and_3()
+    figure_4()
+    figures_5_to_7()

@@ -1,0 +1,70 @@
+"""A tour of the I/O cost model: counting, fitting, and the buffer pool.
+
+The library's claims are all in the paper's I/O model; this example shows
+how to measure and interpret them yourself:
+
+1. count block reads per query with ``Measurement``,
+2. sweep N and *fit* the measured costs to candidate complexity models,
+3. see what an LRU buffer pool (absent from the paper's model) changes.
+
+Run:  python examples/io_model_tour.py
+"""
+
+from repro import SegmentDatabase, VerticalQuery
+from repro.analysis import best_model, render_fits, render_table
+from repro.workloads import grid_segments, segment_queries
+
+B = 32
+
+
+def mean_query_reads(db, queries):
+    total = output = 0
+    for q in queries:
+        db.reset_io_stats()
+        output += len(db.query(q))
+        total += db.io_stats().reads
+    return total / len(queries), output / len(queries)
+
+
+def main() -> None:
+    # --- 1 & 2: sweep N, measure, fit ---------------------------------
+    rows, measurements = [], []
+    for n in (1024, 2048, 4096, 8192, 16384):
+        segments = grid_segments(n, seed=1)
+        db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                       block_capacity=B)
+        queries = segment_queries(segments, 8,
+                                  selectivity=min(0.5, 32 / n), seed=2)
+        reads, out = mean_query_reads(db, queries)
+        rows.append([n, round(out, 1), round(reads, 1), db.space_in_blocks()])
+        measurements.append((n, B, out, reads))
+
+    print(render_table(["N", "T (avg)", "query reads", "blocks"], rows))
+    print("\nWhich complexity model explains the measurements?")
+    fits = best_model(
+        measurements,
+        candidates=["log_B(n)", "log_B(n)*(log_B(n)+log2(B))", "n"],
+    )
+    print(render_fits(fits))
+    lo, hi = measurements[0], measurements[-1]
+    print(f"\nGrowth check: data grew x{hi[0] / lo[0]:.0f}, query reads grew "
+          f"x{hi[3] / lo[3]:.2f} — the polylogarithmic shape Theorem 2 "
+          f"claims (a linear scan would have grown x{hi[0] / lo[0]:.0f}).")
+
+    # --- 3: the buffer pool -------------------------------------------
+    segments = grid_segments(8192, seed=3)
+    queries = segment_queries(segments, 12, selectivity=0.005, seed=4)
+    cold = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                     block_capacity=B)
+    warm = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                     block_capacity=B, buffer_pages=512)
+    for q in queries:
+        cold.query(q)
+        warm.query(q)
+    print(f"\n12 queries, no cache:   {cold.io_stats().reads} reads")
+    print(f"12 queries, 512-page LRU: {warm.io_stats().reads} reads "
+          f"(the pool absorbs the tree's upper levels)")
+
+
+if __name__ == "__main__":
+    main()

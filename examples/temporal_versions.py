@@ -1,0 +1,67 @@
+"""Temporal database queries over version histories.
+
+A tuple version valid over ``[t_from, t_to]`` whose attribute drifts
+linearly is a plane segment in (time, value) space — the paper lists
+temporal databases among segment-database applications.  The questions
+below are all vertical-segment queries:
+
+* "which versions were valid at time t with value in [lo, hi]?"
+* "which sensors read above a threshold at time t?"  (a ray query)
+* "audit: everything valid at time t"                (a stabbing query)
+
+Run:  python examples/temporal_versions.py
+"""
+
+from repro import SegmentDatabase, VerticalQuery
+from repro.workloads import version_history
+
+
+def main() -> None:
+    n_keys, versions = 400, 25
+    print(f"generating {n_keys} keys x {versions} versions...")
+    history = version_history(n_keys, versions_per_key=versions, band=1000,
+                              seed=7)
+    print(f"  {len(history)} version segments\n")
+
+    db = SegmentDatabase.bulk_load(history, engine="solution2",
+                                   block_capacity=64)
+    print(f"indexed in {db.space_in_blocks()} blocks\n")
+
+    t = 300  # the time-travel instant
+
+    # Key 42 lives in the value band [42_000, 43_000).
+    window = VerticalQuery.segment(t, 42_000, 42_999)
+    db.reset_io_stats()
+    versions_at_t = db.query(window)
+    print(f"key-42 versions valid at t={t}: "
+          f"{sorted(s.label for s in versions_at_t)} "
+          f"({db.io_stats().reads} reads)")
+
+    # Everything reading >= 350_000 at time t (keys ~350 and up).
+    high = VerticalQuery.ray_up(t, ylo=350_000)
+    db.reset_io_stats()
+    hot = db.query(high)
+    print(f"versions with value >= 350000 at t={t}: {len(hot)} "
+          f"({db.io_stats().reads} reads)")
+
+    # Full audit at time t — and what it costs compared to the window.
+    audit = VerticalQuery.line(t)
+    db.reset_io_stats()
+    all_valid = db.query(audit)
+    print(f"all versions valid at t={t}: {len(all_valid)} "
+          f"({db.io_stats().reads} reads)")
+
+    # The paper's point, in numbers: the window query above returned
+    # ~1/400th of the audit's output for a small fraction of its I/O,
+    # whereas a stabbing index would pay the audit price every time.
+    stab_db = SegmentDatabase.bulk_load(history, engine="stab-filter",
+                                        block_capacity=64)
+    stab_db.reset_io_stats()
+    stab_db.query(window)
+    print(f"\nsame window via stab-and-filter: "
+          f"{stab_db.io_stats().reads} reads "
+          f"(pays for the whole t={t} column)")
+
+
+if __name__ == "__main__":
+    main()

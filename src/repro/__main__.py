@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``            run a small end-to-end demonstration
+``engines``         list available engines with their cost profiles
+``query FILE X [YLO YHI]``
+                    load segments from a TSV file (see
+                    ``repro.workloads.files``) and run one vertical query
+``validate FILE``   check a segment file for NCT violations
+``version``         print the library version
+"""
+
+from __future__ import annotations
+
+import sys
+from fractions import Fraction
+
+ENGINE_NOTES = {
+    "solution1": "Theorem 1 — O(n) space, O(log2 n·log_B n + t) query, dynamic",
+    "solution2": "Theorem 2 — O(n log2 B) space, O(log_B n·(log_B n+log2 B) + t) query, insert-only",
+    "scan": "baseline — O(n) per query",
+    "stab-filter": "baseline — stabbing index over x-projections + y filter",
+    "grid": "baseline — uniform bucket grid",
+    "rtree": "baseline — STR-packed R-tree (no worst-case query bound)",
+}
+
+
+def _coord(token: str):
+    if "/" in token:
+        num, den = token.split("/", 1)
+        return Fraction(int(num), int(den))
+    return int(token)
+
+
+def cmd_demo() -> int:
+    from repro import Segment, SegmentDatabase, VerticalQuery
+
+    segments = [
+        Segment.from_coords(0, 8, 3, 9, label="ridge"),
+        Segment.from_coords(4, 5, 9, 6, label="river"),
+        Segment.from_coords(5, 1, 8, 3, label="road"),
+        Segment.from_coords(6, 7, 6, 10, label="wall"),
+    ]
+    db = SegmentDatabase.bulk_load(segments, block_capacity=16, validate=True)
+    q = VerticalQuery.segment(6, 1, 8)
+    hits = sorted(s.label for s in db.query(q))
+    print(f"{len(db)} segments indexed in {db.space_in_blocks()} blocks")
+    print(f"VS query x=6, y in [1, 8] -> {hits}")
+    print(f"I/O: {db.io_stats()}")
+    return 0
+
+
+def cmd_engines() -> int:
+    from repro import ENGINES
+
+    for engine in ENGINES:
+        print(f"{engine:>12}  {ENGINE_NOTES[engine]}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    if len(args) not in (2, 4):
+        print("usage: python -m repro query FILE X [YLO YHI]", file=sys.stderr)
+        return 2
+    from repro import SegmentDatabase, VerticalQuery
+    from repro.workloads.files import load
+
+    path, x = args[0], _coord(args[1])
+    segments = load(path)
+    db = SegmentDatabase.bulk_load(segments, block_capacity=64)
+    if len(args) == 4:
+        q = VerticalQuery.segment(x, _coord(args[2]), _coord(args[3]))
+    else:
+        q = VerticalQuery.line(x)
+    hits = db.query(q)
+    for s in sorted(hits, key=lambda s: str(s.label)):
+        print(s.label)
+    print(f"# {len(hits)} of {len(db)} segments; {db.io_stats().reads} block "
+          f"reads", file=sys.stderr)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    if len(args) != 1:
+        print("usage: python -m repro validate FILE", file=sys.stderr)
+        return 2
+    from repro.geometry import CrossingError
+    from repro.workloads.files import load
+
+    try:
+        segments = load(args[0], validate=True)
+    except CrossingError as exc:
+        print(f"NOT NCT: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(segments)} segments, non-crossing (touching allowed)")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print(__doc__)
+        return 2
+    command, args = argv[0], argv[1:]
+    if command == "demo":
+        return cmd_demo()
+    if command == "engines":
+        return cmd_engines()
+    if command == "query":
+        return cmd_query(args)
+    if command == "validate":
+        return cmd_validate(args)
+    if command == "version":
+        from repro import __version__
+
+        print(__version__)
+        return 0
+    print(f"unknown command {command!r}\n{__doc__}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

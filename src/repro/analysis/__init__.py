@@ -1,0 +1,17 @@
+"""Complexity-model fitting and table rendering for the benchmarks."""
+
+from .fitting import Fit, best_model, fit_model, growth_ratio
+from .models import MODELS, il_star
+from .tables import ascii_series, render_fits, render_table
+
+__all__ = [
+    "Fit",
+    "MODELS",
+    "ascii_series",
+    "best_model",
+    "fit_model",
+    "growth_ratio",
+    "il_star",
+    "render_fits",
+    "render_table",
+]

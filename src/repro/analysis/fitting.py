@@ -1,0 +1,87 @@
+"""Least-squares fitting of measured I/O counts to complexity models.
+
+The paper proves bounds of the form ``cost = a * f(N, B) + b * t + c``.
+Given measurements over a parameter sweep, :func:`fit_model` estimates
+``(a, b, c)`` and the coefficient of determination; :func:`best_model`
+ranks the candidate leading terms so a benchmark can report *which* model
+explains the data — the empirical substitute for the missing evaluation
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .models import MODELS, ModelFn, output_t
+
+Measurement = Tuple[float, float, float, float]  # (N, B, T, cost)
+
+
+@dataclass(frozen=True)
+class Fit:
+    """One fitted model: cost ~ search_coef * f + output_coef * t + const."""
+
+    model: str
+    search_coef: float
+    output_coef: float
+    const: float
+    r_squared: float
+
+    def predict(self, N: float, B: float, T: float) -> float:
+        f = MODELS[self.model]
+        return (
+            self.search_coef * f(N, B, T)
+            + self.output_coef * output_t(N, B, T)
+            + self.const
+        )
+
+    def describe(self) -> str:
+        return (
+            f"cost ≈ {self.search_coef:.2f}·{self.model} "
+            f"+ {self.output_coef:.2f}·t + {self.const:.2f}  "
+            f"(R²={self.r_squared:.3f})"
+        )
+
+
+def fit_model(measurements: Sequence[Measurement], model: str) -> Fit:
+    """Least-squares fit of one candidate model (numpy lstsq)."""
+    import numpy as np
+
+    if len(measurements) < 3:
+        raise ValueError("need at least 3 measurements to fit 3 coefficients")
+    f: ModelFn = MODELS[model]
+    design = np.array(
+        [[f(N, B, T), output_t(N, B, T), 1.0] for N, B, T, _cost in measurements]
+    )
+    costs = np.array([cost for _N, _B, _T, cost in measurements])
+    coefs, _res, _rank, _sv = np.linalg.lstsq(design, costs, rcond=None)
+    predicted = design @ coefs
+    ss_res = float(((costs - predicted) ** 2).sum())
+    ss_tot = float(((costs - costs.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return Fit(model, float(coefs[0]), float(coefs[1]), float(coefs[2]), r_squared)
+
+
+def best_model(
+    measurements: Sequence[Measurement], candidates: Sequence[str] = None
+) -> List[Fit]:
+    """All candidate fits, best first (by R², ties to simpler models)."""
+    if candidates is None:
+        candidates = [name for name in MODELS if name != "1"]
+    fits = [fit_model(measurements, name) for name in candidates]
+    fits.sort(key=lambda fit: -fit.r_squared)
+    return fits
+
+
+def growth_ratio(measurements: Sequence[Measurement]) -> float:
+    """Cost ratio between the largest and smallest N (same B).
+
+    A quick sanity statistic: logarithmic costs give small ratios over big
+    N ranges; linear costs track N's growth.
+    """
+    ordered = sorted(measurements, key=lambda m: m[0])
+    lo, hi = ordered[0], ordered[-1]
+    if lo[3] == 0:
+        return float("inf")
+    return hi[3] / lo[3]

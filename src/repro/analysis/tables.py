@@ -1,0 +1,52 @@
+"""Rendering helpers for benchmark tables and ASCII series.
+
+The benchmark harness prints the rows the paper would have reported; these
+helpers keep the formatting consistent across experiments so EXPERIMENTS.md
+can archive the output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A GitHub-markdown table with right-aligned numeric cells."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [line(headers), "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == int(cell) and abs(cell) < 10**9:
+            return str(int(cell))
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ascii_series(
+    label: str, xs: Sequence[float], ys: Sequence[float], width: int = 48
+) -> str:
+    """A one-line-per-point bar rendering of a series (log-friendly)."""
+    peak = max(ys) if ys else 1
+    lines = [f"{label}:"]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(width * y / peak)) if peak else ""
+        lines.append(f"  {str(x):>10}  {y:>10.1f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_fits(fits: List) -> str:
+    """Pretty-print a ranked list of model fits."""
+    return "\n".join(
+        f"  {'->' if i == 0 else '  '} {fit.describe()}" for i, fit in enumerate(fits)
+    )

@@ -1,0 +1,8 @@
+"""Comparator indexes: full scan, stab-and-filter, uniform grid, R-tree."""
+
+from .grid import GridIndex
+from .naive import FullScanIndex
+from .rtree import RTreeIndex
+from .stab_filter import StabFilterIndex
+
+__all__ = ["FullScanIndex", "GridIndex", "RTreeIndex", "StabFilterIndex"]

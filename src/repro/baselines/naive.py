@@ -1,0 +1,55 @@
+"""The full-scan baseline: no index at all.
+
+Stores the segments in a page chain and answers every query by scanning all
+``n`` blocks.  This is both the correctness oracle for integration tests
+and the lower anchor of the benchmark comparisons (it wins only when the
+output is a large fraction of the database).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..geometry import Segment, VerticalQuery, vs_intersects
+from ..iosim import Pager
+from ..storage.chain import PageChain
+
+
+class FullScanIndex:
+    """O(n) blocks, O(n) I/Os per query, O(1) amortised insertion."""
+
+    def __init__(self, pager: Pager, chain: PageChain):
+        self.pager = pager
+        self.chain = chain
+        self.size = 0
+
+    @classmethod
+    def build(cls, pager: Pager, segments: Iterable[Segment]) -> "FullScanIndex":
+        segments = list(segments)
+        index = cls(pager, PageChain.create(pager, segments))
+        index.size = len(segments)
+        return index
+
+    def query(self, q: VerticalQuery) -> List[Segment]:
+        with self.pager.operation():
+            return [s for s in self.chain if vs_intersects(s, q)]
+
+    def insert(self, segment: Segment) -> None:
+        with self.pager.operation():
+            self.chain.append(segment)
+            self.size += 1
+
+    def delete(self, segment: Segment) -> bool:
+        with self.pager.operation():
+            kept = [s for s in self.chain if s != segment]
+            removed = len(kept) < self.size
+            if removed:
+                self.chain.replace(kept)
+                self.size = len(kept)
+            return removed
+
+    def all_segments(self) -> List[Segment]:
+        return self.chain.to_list()
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,21 @@
+"""The paper's contribution: indexes for vertical-segment queries."""
+
+from .api import DirectedSegmentDatabase, ENGINES, SegmentDatabase
+from .extensions import ArbitraryQueryIndex, TombstoneDeletions
+from .linebased import BlockedPST, ExternalPST, LineBasedIndex
+from .solution1 import TwoLevelBinaryIndex
+from .solution2 import GTree, TwoLevelIntervalIndex
+
+__all__ = [
+    "ArbitraryQueryIndex",
+    "BlockedPST",
+    "DirectedSegmentDatabase",
+    "ENGINES",
+    "ExternalPST",
+    "GTree",
+    "LineBasedIndex",
+    "SegmentDatabase",
+    "TombstoneDeletions",
+    "TwoLevelBinaryIndex",
+    "TwoLevelIntervalIndex",
+]

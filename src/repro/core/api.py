@@ -1,0 +1,210 @@
+"""The public facade: :class:`SegmentDatabase`.
+
+One object, one choice of engine, the paper's whole query surface::
+
+    from repro import SegmentDatabase, Segment, VerticalQuery
+
+    db = SegmentDatabase.bulk_load(segments, engine="solution2", block_capacity=64)
+    hits = db.query(VerticalQuery.segment(x, ylo, yhi))
+    db.insert(Segment.from_coords(0, 0, 5, 5, label="road-17"))
+    print(db.io_stats(), db.space_in_blocks())
+
+Engines
+-------
+``solution1``   Theorem 1 — binary 2LDS; O(n) space, supports deletions.
+``solution2``   Theorem 2 — interval-tree 2LDS with fractional cascading;
+                O(n log2 B) space, fastest queries, insert-only (the
+                paper's semi-dynamic case).
+``scan``        full-scan baseline.
+``stab-filter`` stabbing structure over x-projections + y filter.
+``grid``        uniform-grid spatial index.
+``rtree``       STR-packed R-tree (the practical GIS workhorse).
+
+Non-vertical fixed query directions reduce to the vertical case with
+:meth:`SegmentDatabase.with_direction` (footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..baselines.grid import GridIndex
+from ..baselines.naive import FullScanIndex
+from ..baselines.rtree import RTreeIndex
+from ..baselines.stab_filter import StabFilterIndex
+from ..geometry import (
+    Coordinate,
+    FixedDirectionFrame,
+    Point,
+    Segment,
+    VerticalQuery,
+    validate_nct,
+)
+from ..iosim import BlockDevice, IOStats, LRUBufferPool, Pager
+from .solution1.index import TwoLevelBinaryIndex
+from .solution2.index import TwoLevelIntervalIndex
+
+ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+
+
+class SegmentDatabase:
+    """A segment database over a simulated block device."""
+
+    def __init__(
+        self,
+        engine: str = "solution2",
+        block_capacity: int = 64,
+        buffer_pages: Optional[int] = None,
+        validate: bool = False,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+        self.engine_name = engine
+        self.device = BlockDevice(block_capacity)
+        backing = (
+            LRUBufferPool(self.device, buffer_pages)
+            if buffer_pages is not None
+            else self.device
+        )
+        self.pager = Pager(backing)
+        self.validate = validate
+        self._index = self._build_engine([])
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        segments: Iterable[Segment],
+        engine: str = "solution2",
+        block_capacity: int = 64,
+        buffer_pages: Optional[int] = None,
+        validate: bool = False,
+    ) -> "SegmentDatabase":
+        """Build a database from a full NCT segment set.
+
+        With ``validate=True`` the set is checked for crossings first
+        (O(N log N) via the plane sweep; raises
+        :class:`~repro.geometry.nct.CrossingError`).
+        """
+        db = cls(
+            engine=engine,
+            block_capacity=block_capacity,
+            buffer_pages=buffer_pages,
+            validate=validate,
+        )
+        segments = list(segments)
+        if validate:
+            validate_nct(segments)
+        db._index = db._build_engine(segments)
+        db.device.reset_counters()
+        return db
+
+    def _build_engine(self, segments: List[Segment]):
+        if self.engine_name == "solution1":
+            return TwoLevelBinaryIndex.build(self.pager, segments)
+        if self.engine_name == "solution2":
+            return TwoLevelIntervalIndex.build(self.pager, segments)
+        if self.engine_name == "scan":
+            return FullScanIndex.build(self.pager, segments)
+        if self.engine_name == "stab-filter":
+            return StabFilterIndex.build(self.pager, segments)
+        if self.engine_name == "rtree":
+            return RTreeIndex.build(self.pager, segments)
+        return GridIndex.build(self.pager, segments)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, q: VerticalQuery) -> List[Segment]:
+        """All stored segments intersecting a generalized vertical segment."""
+        return self._index.query(q)
+
+    def stab(self, x: Coordinate) -> List[Segment]:
+        """Stabbing query: everything crossing the vertical line at ``x``."""
+        return self._index.query(VerticalQuery.line(x))
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, segment: Segment) -> None:
+        """Insert a segment (must be NCT with the stored set).
+
+        With ``validate=True`` the invariant is checked against every
+        stored segment (O(N) — meant for tests and small data).
+        """
+        if self.validate:
+            from ..geometry import segments_cross
+
+            for other in self.all_segments():
+                if segments_cross(segment, other):
+                    raise ValueError(f"{segment!r} crosses stored {other!r}")
+        self._index.insert(segment)
+
+    def delete(self, segment: Segment) -> bool:
+        """Delete a stored segment (``solution1`` and baselines only)."""
+        return self._index.delete(segment)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def io_stats(self) -> IOStats:
+        return self.device.snapshot()
+
+    def reset_io_stats(self) -> None:
+        self.device.reset_counters()
+
+    def space_in_blocks(self) -> int:
+        return self.device.pages_in_use
+
+    def all_segments(self) -> List[Segment]:
+        return self._index.all_segments()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # non-vertical directions (footnote 1)
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_direction(
+        cls,
+        segments: Iterable[Segment],
+        slope: Coordinate,
+        **kwargs,
+    ) -> "DirectedSegmentDatabase":
+        """A database answering queries of a fixed non-vertical direction.
+
+        Data is stored in the sheared frame where the direction becomes
+        vertical; :meth:`DirectedSegmentDatabase.query_through` takes query
+        endpoints in the *original* frame.
+        """
+        frame = FixedDirectionFrame(slope)
+        mapped = [frame.forward_segment(s) for s in segments]
+        inner = cls.bulk_load(mapped, **kwargs)
+        return DirectedSegmentDatabase(inner, frame)
+
+
+class DirectedSegmentDatabase:
+    """Wrapper translating fixed-direction queries to the vertical frame."""
+
+    def __init__(self, inner: SegmentDatabase, frame: FixedDirectionFrame):
+        self.inner = inner
+        self.frame = frame
+
+    def query_through(self, p1: Point, p2: Optional[Point] = None) -> List[Segment]:
+        """Segments met by the query segment/line through the given points
+        (which must realise the database's fixed slope)."""
+        q = self.frame.forward_query(p1, p2)
+        hits = self.inner.query(q)
+        return [self.frame.inverse_segment(s) for s in hits]
+
+    def insert(self, segment: Segment) -> None:
+        self.inner.insert(self.frame.forward_segment(segment))
+
+    def io_stats(self) -> IOStats:
+        return self.inner.io_stats()
+
+    def __len__(self) -> int:
+        return len(self.inner)

@@ -1,0 +1,150 @@
+"""Extensions beyond the paper's results.
+
+The paper closes (Section 5) with two open ends; this module provides
+practical — explicitly *non-optimal* — implementations of both, so the
+library covers the workflows even where optimal theory does not exist:
+
+* :class:`ArbitraryQueryIndex` — queries by a segment of **any** slope
+  (the paper's "future work ... query segments having arbitrary angular
+  coefficients").  Strategy: an x-interval overlap structure generates the
+  segments whose x-extents meet the query's, then the exact intersection
+  predicate filters.  Cost is ``O(log_B n + t_x)`` I/Os where ``t_x``
+  counts x-overlapping candidates — output-optimal only when the query is
+  x-narrow, which is the regime arbitrary-slope probes usually live in.
+
+* :class:`TombstoneDeletions` — deletions for insert-only engines
+  (Solution 2 is semi-dynamic in the paper).  Deleted labels are kept in an
+  in-memory tombstone set and filtered from answers; once tombstones exceed
+  half the live size the wrapped engine is rebuilt without them.  This is
+  the classical logical-deletion trick: ``O(1)`` per delete plus an
+  amortised ``O(n/B)`` rebuild charge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..geometry import Segment, VerticalQuery, segments_intersect
+from ..iosim import Pager
+from ..storage.bplus import BPlusTree
+from ..storage.interval_tree import ExternalIntervalTree
+
+
+class ArbitraryQueryIndex:
+    """Segment-vs-segment intersection queries for arbitrary query slopes."""
+
+    def __init__(self, pager: Pager, tree: ExternalIntervalTree, starts: BPlusTree):
+        self.pager = pager
+        self._tree = tree  # stabbing structure over x-extents
+        self._starts = starts  # left endpoints, for the overlap sweep
+
+    @classmethod
+    def build(cls, pager: Pager, segments: Iterable[Segment]) -> "ArbitraryQueryIndex":
+        segments = list(segments)
+        intervals = [(s.xmin, s.xmax, s) for s in segments]
+        tree = ExternalIntervalTree.build(pager, intervals)
+        starts = BPlusTree.build(
+            pager, sorted(((s.xmin, s) for s in segments), key=lambda kv: kv[0])
+        )
+        return cls(pager, tree, starts)
+
+    def query_segment(self, query: Segment) -> List[Segment]:
+        """All stored segments intersecting an arbitrary plane segment."""
+        with self.pager.operation():
+            candidates = self._x_overlapping(query.xmin, query.xmax)
+            return [s for s in candidates if segments_intersect(s, query)]
+
+    def query_vertical(self, q: VerticalQuery) -> List[Segment]:
+        """The paper's VS query, for parity with the main engines.
+
+        Unbounded ends are handled by the y-filter directly.
+        """
+        from ..geometry import vs_intersects
+
+        with self.pager.operation():
+            candidates = self._x_overlapping(q.x, q.x)
+            return [s for s in candidates if vs_intersects(s, q)]
+
+    def _x_overlapping(self, a, b) -> List[Segment]:
+        """Stored segments whose x-extent meets ``[a, b]``, each once.
+
+        ``stab(a)`` catches everything starting at or before ``a``;
+        a left-endpoint range scan catches the rest.
+        """
+        out = [s for _l, _r, s in self.tree_stab(a)]
+        for _key, s in self._starts.range_scan(a, b):
+            if s.xmin > a:  # stab(a) already reported xmin <= a
+                out.append(s)
+        return out
+
+    def tree_stab(self, x):
+        return self._tree.stab(x)
+
+    def insert(self, segment: Segment) -> None:
+        with self.pager.operation():
+            self._tree.insert(segment.xmin, segment.xmax, segment)
+            self._starts.insert(segment.xmin, segment)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+
+class TombstoneDeletions:
+    """Logical deletions over any insert-only engine.
+
+    ``engine_factory(segments)`` must build a fresh engine from a segment
+    list; the wrapped engine must expose ``query``/``insert``/
+    ``all_segments``.
+    """
+
+    def __init__(self, engine_factory, segments: Iterable[Segment]):
+        self._factory = engine_factory
+        self._inner = engine_factory(list(segments))
+        self._tombstones: Set = set()
+        self._live = len(self._inner)
+
+    def query(self, q: VerticalQuery) -> List[Segment]:
+        return [
+            s for s in self._inner.query(q) if s.label not in self._tombstones
+        ]
+
+    def insert(self, segment: Segment) -> None:
+        self._tombstones.discard(segment.label)
+        self._inner.insert(segment)
+        self._live += 1
+
+    def delete(self, segment: Segment) -> bool:
+        """O(1): tombstone the label; amortised rebuild keeps space linear."""
+        if segment.label in self._tombstones:
+            return False
+        if not any(s.label == segment.label for s in self._inner.all_segments()):
+            return False
+        self._tombstones.add(segment.label)
+        self._live -= 1
+        if len(self._tombstones) > max(8, self._live):
+            self._rebuild()
+        return True
+
+    def _rebuild(self) -> None:
+        survivors = [
+            s for s in self._inner.all_segments()
+            if s.label not in self._tombstones
+        ]
+        if hasattr(self._inner, "destroy"):
+            self._inner.destroy()
+        self._inner = self._factory(survivors)
+        self._tombstones.clear()
+        self._live = len(survivors)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)
+
+    def all_segments(self) -> List[Segment]:
+        return [
+            s for s in self._inner.all_segments()
+            if s.label not in self._tombstones
+        ]
+
+    def __len__(self) -> int:
+        return self._live

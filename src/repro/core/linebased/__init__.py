@@ -1,0 +1,19 @@
+"""Section 2: external priority search trees for line-based segments."""
+
+from .index import LineBasedIndex
+from .node import ChildRef, NodeView, read_node, write_node
+from .pst import BlockedPST, ExternalPST
+from .search import classify, pst_find, pst_report
+
+__all__ = [
+    "BlockedPST",
+    "ChildRef",
+    "ExternalPST",
+    "LineBasedIndex",
+    "NodeView",
+    "classify",
+    "pst_find",
+    "pst_report",
+    "read_node",
+    "write_node",
+]

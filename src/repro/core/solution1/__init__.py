@@ -1,0 +1,5 @@
+"""Solution 1 (Theorem 1): binary two-level structure for NCT segments."""
+
+from .index import ALPHA, TwoLevelBinaryIndex, split_at_line
+
+__all__ = ["ALPHA", "TwoLevelBinaryIndex", "split_at_line"]

@@ -1,0 +1,25 @@
+"""Solution 2 (Theorem 2): interval-tree 2LDS with fractional cascading."""
+
+from .gtree import BRIDGE_D, GEntry, GTree
+from .index import TwoLevelIntervalIndex
+from .slabs import (
+    LongFragment,
+    SplitResult,
+    boundary_index,
+    choose_boundaries,
+    slab_of,
+    split_segment,
+)
+
+__all__ = [
+    "BRIDGE_D",
+    "GEntry",
+    "GTree",
+    "LongFragment",
+    "SplitResult",
+    "TwoLevelIntervalIndex",
+    "boundary_index",
+    "choose_boundaries",
+    "slab_of",
+    "split_segment",
+]

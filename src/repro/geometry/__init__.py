@@ -1,0 +1,50 @@
+"""Exact plane geometry for segment databases.
+
+Everything is exact rational arithmetic — no floats, no epsilons.  The
+package provides points, NCT segments, generalized vertical queries, the
+line-based frame of Section 2, frame transforms, and crossing detection.
+"""
+
+from .linebased import HQuery, LineBasedSegment, lb_cross, lb_intersects
+from .nct import (
+    CrossingError,
+    find_crossing_bruteforce,
+    find_crossing_sweep,
+    validate_nct,
+)
+from .point import Coordinate, Point, check_coordinate
+from .predicates import (
+    on_segment,
+    orientation,
+    segments_cross,
+    segments_intersect,
+    segments_touch,
+)
+from .query import VerticalQuery, query_as_segment, vs_intersects
+from .segment import Segment
+from .transform import FixedDirectionFrame, VerticalBaseFrame
+
+__all__ = [
+    "Coordinate",
+    "CrossingError",
+    "FixedDirectionFrame",
+    "HQuery",
+    "LineBasedSegment",
+    "Point",
+    "Segment",
+    "VerticalBaseFrame",
+    "VerticalQuery",
+    "check_coordinate",
+    "find_crossing_bruteforce",
+    "find_crossing_sweep",
+    "lb_cross",
+    "lb_intersects",
+    "on_segment",
+    "orientation",
+    "query_as_segment",
+    "segments_cross",
+    "segments_intersect",
+    "segments_touch",
+    "validate_nct",
+    "vs_intersects",
+]

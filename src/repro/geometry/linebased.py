@@ -1,0 +1,186 @@
+"""Line-based segments and their queries (Section 2 of the paper).
+
+A set of segments is *line-based* when every segment has at least one
+endpoint on a common *base line* and all segments with exactly one endpoint
+on it lie in the same half-plane.  Section 2's data structures operate
+entirely in a frame attached to the base line:
+
+* ``u`` — the coordinate along the base line;
+* ``h`` — the perpendicular distance from the base line (``h >= 0``).
+
+A :class:`LineBasedSegment` runs from its *base point* ``(u0, 0)`` to its
+*apex* ``(u1, h1)``.  A query (:class:`HQuery`) is a generalized segment
+parallel to the base line at height ``h``.  Both the paper's horizontal
+picture (Section 2) and the vertical base lines of the two-level structures
+(Sections 3–4) reduce to this frame via :mod:`repro.geometry.transform`.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Hashable, Optional, Tuple
+
+from .point import Coordinate, check_coordinate
+
+
+class LineBasedSegment:
+    """A segment with base point ``(u0, 0)`` and apex ``(u1, h1)``, ``h1 >= 0``.
+
+    ``h1 == 0`` is the degenerate case of a segment lying on the base line
+    (permitted in a line-based set; the two-level structures route those to
+    the on-line interval trees instead).
+
+    ``payload`` carries the original database object (usually a plane
+    :class:`~repro.geometry.segment.Segment`) so the index reports originals,
+    not frame images.
+    """
+
+    __slots__ = ("u0", "u1", "h1", "payload", "label")
+
+    def __init__(
+        self,
+        u0: Coordinate,
+        u1: Coordinate,
+        h1: Coordinate,
+        payload=None,
+        label: Optional[Hashable] = None,
+    ):
+        self.u0 = check_coordinate(u0)
+        self.u1 = check_coordinate(u1)
+        self.h1 = check_coordinate(h1)
+        if self.h1 < 0:
+            raise ValueError(f"apex height must be >= 0, got {h1}")
+        if self.h1 == 0 and self.u0 == self.u1:
+            raise ValueError("degenerate line-based segment (a point)")
+        self.payload = payload
+        self.label = label if label is not None else (self.u0, self.u1, self.h1)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def on_base_line(self) -> bool:
+        """True when the whole segment lies on the base line."""
+        return self.h1 == 0
+
+    def u_at(self, h: Coordinate) -> Fraction:
+        """The u-coordinate where the segment meets height ``h``.
+
+        Requires ``0 <= h <= h1`` and ``h1 > 0``.
+        """
+        if self.on_base_line:
+            raise ValueError("u_at is undefined for a segment on the base line")
+        if not (0 <= h <= self.h1):
+            raise ValueError(f"height {h} outside [0, {self.h1}]")
+        return self.u0 + Fraction(self.u1 - self.u0) * Fraction(h, self.h1)
+
+    def base_order_key(self) -> Tuple:
+        """Sort key ordering segments by base-line intersection, then angle.
+
+        Segments in a PST node are "ordered with respect to their
+        intersections with the base line"; segments sharing a base point are
+        tie-broken by their direction (touching is allowed, crossing is not,
+        so the angular order is consistent at every height).
+        """
+        if self.on_base_line:
+            direction = math.inf if self.u1 > self.u0 else -math.inf
+            return (min(self.u0, self.u1), direction)
+        return (self.u0, Fraction(self.u1 - self.u0, self.h1))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LineBasedSegment):
+            return NotImplemented
+        return (
+            self.u0 == other.u0
+            and self.u1 == other.u1
+            and self.h1 == other.h1
+            and self.label == other.label
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.u0, self.u1, self.h1, self.label))
+
+    def __repr__(self) -> str:
+        return (
+            f"LineBasedSegment(base=({self.u0!r}, 0), apex=({self.u1!r}, "
+            f"{self.h1!r}), label={self.label!r})"
+        )
+
+
+class HQuery:
+    """A generalized query segment parallel to the base line at height ``h``.
+
+    ``ulo``/``uhi`` bound the query along the base-line direction; ``None``
+    means unbounded (ray or full line).
+    """
+
+    __slots__ = ("h", "ulo", "uhi")
+
+    def __init__(
+        self,
+        h: Coordinate,
+        ulo: Optional[Coordinate] = None,
+        uhi: Optional[Coordinate] = None,
+    ):
+        self.h = check_coordinate(h)
+        if self.h < 0:
+            # Footnote 3: a query below the base line intersects nothing; we
+            # reject it so callers surface frame bugs early.
+            raise ValueError(f"query height must be >= 0, got {h}")
+        self.ulo = check_coordinate(ulo) if ulo is not None else None
+        self.uhi = check_coordinate(uhi) if uhi is not None else None
+        if self.ulo is not None and self.uhi is not None and self.ulo > self.uhi:
+            raise ValueError(f"empty query: ulo={ulo} > uhi={uhi}")
+
+    @classmethod
+    def line(cls, h: Coordinate) -> "HQuery":
+        return cls(h)
+
+    @classmethod
+    def segment(cls, h: Coordinate, ulo: Coordinate, uhi: Coordinate) -> "HQuery":
+        return cls(h, ulo=ulo, uhi=uhi)
+
+    def covers_u(self, u: Coordinate) -> bool:
+        if self.ulo is not None and u < self.ulo:
+            return False
+        if self.uhi is not None and u > self.uhi:
+            return False
+        return True
+
+    def u_interval_overlaps(self, lo: Coordinate, hi: Coordinate) -> bool:
+        if self.uhi is not None and lo > self.uhi:
+            return False
+        if self.ulo is not None and hi < self.ulo:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"HQuery(h={self.h!r}, ulo={self.ulo!r}, uhi={self.uhi!r})"
+
+
+def lb_intersects(segment: LineBasedSegment, query: HQuery) -> bool:
+    """Exact test: does a line-based segment meet a parallel query segment?"""
+    if segment.on_base_line:
+        if query.h != 0:
+            return False
+        return query.u_interval_overlaps(
+            min(segment.u0, segment.u1), max(segment.u0, segment.u1)
+        )
+    if query.h > segment.h1:
+        return False
+    return query.covers_u(segment.u_at(query.h))
+
+
+def lb_cross(s1: LineBasedSegment, s2: LineBasedSegment) -> bool:
+    """Do two line-based segments cross (forbidden in an NCT set)?
+
+    Implemented by mapping into the plane (the frame map is affine, so
+    crossing is preserved) and reusing the exact plane predicate.
+    """
+    from .predicates import segments_cross
+    from .segment import Segment
+
+    p1 = Segment.from_coords(s1.u0, 0, s1.u1, s1.h1, label=1)
+    p2 = Segment.from_coords(s2.u0, 0, s2.u1, s2.h1, label=2)
+    return segments_cross(p1, p2)

@@ -1,0 +1,227 @@
+"""Validation of the NCT (non-crossing, possibly touching) property.
+
+Segment databases store segments that never *cross* but may *touch*
+(shared endpoints, T-junctions).  This module detects forbidden crossings:
+
+* :func:`find_crossing_bruteforce` — exact O(N^2) pairwise check; the oracle.
+* :func:`find_crossing_sweep` — an O(N log N)-flavoured plane sweep used to
+  validate large generated workloads.  Vertical segments and
+  vertical/non-vertical interactions are handled by dedicated passes; the
+  sweep proper runs over non-vertical segments and checks status neighbours
+  at every event, plus the full run of status segments through each event
+  point (which covers the degenerate multi-touch configurations a classical
+  Shamos–Hoey check misses).
+* :func:`validate_nct` — raises :class:`CrossingError` when a crossing exists.
+"""
+
+from __future__ import annotations
+
+import bisect
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .predicates import segments_cross
+from .segment import Segment
+
+
+class CrossingError(ValueError):
+    """Raised when a supposed NCT set contains a crossing pair."""
+
+    def __init__(self, s1: Segment, s2: Segment):
+        self.pair = (s1, s2)
+        super().__init__(f"segments cross: {s1!r} x {s2!r}")
+
+
+def find_crossing_bruteforce(
+    segments: Sequence[Segment],
+) -> Optional[Tuple[Segment, Segment]]:
+    """Return some crossing pair, or ``None``.  Exact; O(N^2)."""
+    for i, s1 in enumerate(segments):
+        for s2 in segments[i + 1 :]:
+            if segments_cross(s1, s2):
+                return (s1, s2)
+    return None
+
+
+def _split_verticals(
+    segments: Sequence[Segment],
+) -> Tuple[List[Segment], List[Segment]]:
+    verticals = [s for s in segments if s.is_vertical]
+    others = [s for s in segments if not s.is_vertical]
+    return verticals, others
+
+
+def _vertical_vertical_crossing(
+    verticals: List[Segment],
+) -> Optional[Tuple[Segment, Segment]]:
+    """Collinear vertical segments overlap iff their y-intervals overlap in
+    more than a point."""
+    by_x: dict = {}
+    for s in verticals:
+        by_x.setdefault(s.start.x, []).append(s)
+    for group in by_x.values():
+        group.sort(key=lambda s: (s.ymin, s.ymax))
+        for prev, cur in zip(group, group[1:]):
+            if cur.ymin < prev.ymax:
+                return (prev, cur)
+    return None
+
+
+def _vertical_nonvertical_crossing(
+    verticals: List[Segment], others: List[Segment]
+) -> Optional[Tuple[Segment, Segment]]:
+    """Check each vertical against the non-verticals spanning its x.
+
+    Offline interval stabbing: sweep x ascending with an active set keyed by
+    xmax.  Exact; output-sensitive in the number of (vertical, spanning
+    segment) candidate pairs.
+    """
+    import heapq
+
+    others_sorted = sorted(others, key=lambda s: s.xmin)
+    verts_sorted = sorted(verticals, key=lambda s: s.start.x)
+    active: List[Tuple] = []  # heap of (xmax, tiebreak, segment)
+    counter = 0
+    idx = 0
+    for v in verts_sorted:
+        x = v.start.x
+        while idx < len(others_sorted) and others_sorted[idx].xmin <= x:
+            s = others_sorted[idx]
+            heapq.heappush(active, (s.xmax, counter, s))
+            counter += 1
+            idx += 1
+        while active and active[0][0] < x:
+            heapq.heappop(active)
+        for _, _, s in active:
+            if s.xmax >= x and segments_cross(v, s):
+                return (v, s)
+    return None
+
+
+class _SweepStatus:
+    """Status list for the non-vertical sweep, ordered by y at the sweep x.
+
+    Ties (segments through the event point) are broken by slope, which is the
+    order the segments assume immediately to the right of the event.
+    """
+
+    def __init__(self):
+        self._items: List[Segment] = []
+        self._x: Fraction = Fraction(0)
+
+    def set_x(self, x) -> None:
+        self._x = x
+
+    def _key(self, s: Segment) -> Tuple:
+        x = self._x
+        # Clamp: a segment in the status always spans the sweep line, but the
+        # event point may sit exactly on its endpoint.
+        x = min(max(x, s.xmin), s.xmax)
+        slope = Fraction(s.end.y - s.start.y, s.end.x - s.start.x)
+        return (s.y_at(x), slope)
+
+    def insert(self, s: Segment) -> int:
+        pos = bisect.bisect_left(self._items, self._key(s), key=self._key)
+        self._items.insert(pos, s)
+        return pos
+
+    def remove(self, s: Segment) -> int:
+        pos = bisect.bisect_left(self._items, self._key(s), key=self._key)
+        # Scan the tie run for the exact object (labels may repeat keys).
+        for i in range(pos, len(self._items)):
+            if self._items[i] is s:
+                del self._items[i]
+                return i
+            if self._key(self._items[i]) > self._key(s):
+                break
+        # Fallback: linear scan (defensive; keys should always match).
+        for i, item in enumerate(self._items):  # pragma: no cover
+            if item is s:
+                del self._items[i]
+                return i
+        raise KeyError(f"segment not in sweep status: {s!r}")  # pragma: no cover
+
+    def neighbours(self, pos: int) -> Iterable[Tuple[Segment, Segment]]:
+        if 0 < pos <= len(self._items) - 1:
+            yield (self._items[pos - 1], self._items[pos])
+        if pos < len(self._items) - 1 and pos >= 0:
+            yield (self._items[pos], self._items[pos + 1])
+
+    def run_through_y(self, y) -> List[Segment]:
+        """All status segments whose y at the sweep x equals ``y``."""
+        lo = bisect.bisect_left(self._items, (y,), key=lambda s: (self._key(s)[0],))
+        run = []
+        for s in self._items[lo:]:
+            if self._key(s)[0] != y:
+                break
+            run.append(s)
+        return run
+
+    def adjacent_pair_after_removal(self, pos: int) -> Optional[Tuple[Segment, Segment]]:
+        if 0 < pos <= len(self._items) - 1:
+            return (self._items[pos - 1], self._items[pos])
+        return None
+
+
+def find_crossing_sweep(
+    segments: Sequence[Segment],
+) -> Optional[Tuple[Segment, Segment]]:
+    """Plane-sweep crossing detection among possibly-touching segments."""
+    verticals, others = _split_verticals(list(segments))
+
+    found = _vertical_vertical_crossing(verticals)
+    if found is not None:
+        return found
+    found = _vertical_nonvertical_crossing(verticals, others)
+    if found is not None:
+        return found
+
+    # Events: (x, y, kind, segment); kind 1 = right endpoint first at a
+    # point, then left endpoints (kind 2) — removals precede insertions so
+    # end-to-end touches never place both segments in the status at once.
+    events: List[Tuple] = []
+    for idx, s in enumerate(others):
+        events.append((s.start.x, s.start.y, 2, idx, s))
+        events.append((s.end.x, s.end.y, 1, idx, s))
+    events.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+
+    status = _SweepStatus()
+    for x, y, kind, _idx, seg in events:
+        status.set_x(x)
+        if kind == 1:  # right endpoint: remove, check the new adjacency
+            pos = status.remove(seg)
+            pair = status.adjacent_pair_after_removal(pos)
+            if pair is not None and segments_cross(*pair):
+                return pair
+        else:  # left endpoint: insert, check both adjacencies
+            pos = status.insert(seg)
+            for pair in status.neighbours(pos):
+                if segments_cross(*pair):
+                    return pair
+        # Degenerate configurations: every pair of status segments meeting
+        # the event point must be mutually non-crossing.
+        run = status.run_through_y(y)
+        for i, s1 in enumerate(run):
+            for s2 in run[i + 1 :]:
+                if segments_cross(s1, s2):
+                    return (s1, s2)
+    return None
+
+
+def validate_nct(segments: Sequence[Segment], method: str = "auto") -> None:
+    """Raise :class:`CrossingError` when the set contains a crossing pair.
+
+    ``method`` is ``"auto"`` (brute force below 1500 segments, sweep above),
+    ``"brute"``, or ``"sweep"``.
+    """
+    segments = list(segments)
+    if method == "auto":
+        method = "brute" if len(segments) <= 1500 else "sweep"
+    if method == "brute":
+        found = find_crossing_bruteforce(segments)
+    elif method == "sweep":
+        found = find_crossing_sweep(segments)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    if found is not None:
+        raise CrossingError(*found)

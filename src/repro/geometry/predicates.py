@@ -1,0 +1,104 @@
+"""Exact geometric predicates.
+
+All predicates are exact: coordinates are rationals, so every sign test is
+decided correctly.  The central distinction in this library is between
+*touching* (allowed in an NCT set) and *crossing* (forbidden):
+
+* two segments **touch** when their intersection is a single point that is
+  an endpoint of at least one of them;
+* two segments **cross** when they intersect in any other way — a proper
+  interior crossing, or a collinear overlap of positive length, or one
+  segment's interior point lying on the other's interior... the latter two
+  all reduce to "intersecting but not merely touching".
+"""
+
+from __future__ import annotations
+
+from .point import Point
+from .segment import Segment
+
+
+def orientation(a: Point, b: Point, c: Point) -> int:
+    """Sign of the cross product (b - a) x (c - a).
+
+    Returns ``1`` for a counter-clockwise turn, ``-1`` for clockwise, and
+    ``0`` for collinear points.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > 0:
+        return 1
+    if cross < 0:
+        return -1
+    return 0
+
+
+def on_segment(p: Point, s: Segment) -> bool:
+    """True when point ``p`` lies on the closed segment ``s``."""
+    if orientation(s.start, s.end, p) != 0:
+        return False
+    return (
+        min(s.start.x, s.end.x) <= p.x <= max(s.start.x, s.end.x)
+        and min(s.start.y, s.end.y) <= p.y <= max(s.start.y, s.end.y)
+    )
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when the closed segments share at least one point."""
+    o1 = orientation(s1.start, s1.end, s2.start)
+    o2 = orientation(s1.start, s1.end, s2.end)
+    o3 = orientation(s2.start, s2.end, s1.start)
+    o4 = orientation(s2.start, s2.end, s1.end)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(s2.start, s1):
+        return True
+    if o2 == 0 and on_segment(s2.end, s1):
+        return True
+    if o3 == 0 and on_segment(s1.start, s2):
+        return True
+    if o4 == 0 and on_segment(s1.end, s2):
+        return True
+    return False
+
+
+def _shared_endpoint_only(s1: Segment, s2: Segment) -> bool:
+    """True when the intersection is exactly one point and that point is an
+    endpoint of at least one segment."""
+    endpoints = []
+    for p in (s1.start, s1.end):
+        if on_segment(p, s2):
+            endpoints.append(p)
+    for p in (s2.start, s2.end):
+        if on_segment(p, s1) and p not in endpoints:
+            endpoints.append(p)
+    if len(endpoints) != 1:
+        return False
+    # A single shared point which is an endpoint of one of the segments.
+    # Verify there is no crossing elsewhere: for non-collinear segments a
+    # single shared endpoint-point is the whole intersection.
+    touch = endpoints[0]
+    collinear = (
+        orientation(s1.start, s1.end, s2.start) == 0
+        and orientation(s1.start, s1.end, s2.end) == 0
+    )
+    if collinear:
+        # Collinear segments sharing exactly one point: they meet end-to-end.
+        return touch in (s1.start, s1.end) and touch in (s2.start, s2.end)
+    return True
+
+
+def segments_touch(s1: Segment, s2: Segment) -> bool:
+    """True when the segments intersect in exactly one endpoint-anchored point."""
+    return segments_intersect(s1, s2) and _shared_endpoint_only(s1, s2)
+
+
+def segments_cross(s1: Segment, s2: Segment) -> bool:
+    """True when the segments intersect in a way an NCT set forbids.
+
+    Crossing means: they intersect, and the intersection is *not* a single
+    point that is an endpoint of at least one of the two segments.
+    """
+    if not segments_intersect(s1, s2):
+        return False
+    return not _shared_endpoint_only(s1, s2)

@@ -1,0 +1,122 @@
+"""Plane segments.
+
+A :class:`Segment` is a closed, possibly degenerate-free straight segment
+with exact rational endpoints.  Segments are normalised so that the first
+endpoint is lexicographically smaller; a ``label`` identifies the segment
+through splitting and re-storage (the two-level structures store fragments
+of a segment in several places but must report the original exactly once).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Optional
+
+from .point import Coordinate, Point
+
+
+class Segment:
+    """A non-degenerate closed plane segment with exact endpoints.
+
+    Parameters
+    ----------
+    p, q:
+        The endpoints (order irrelevant; stored lexicographically).
+    label:
+        Stable identity used for duplicate-free reporting.  Defaults to the
+        endpoint pair itself, which is adequate when all segments are
+        distinct.
+    """
+
+    __slots__ = ("start", "end", "label")
+
+    def __init__(self, p: Point, q: Point, label: Optional[Hashable] = None):
+        if p == q:
+            raise ValueError(f"degenerate segment at {p!r}")
+        if q < p:
+            p, q = q, p
+        self.start = p
+        self.end = q
+        self.label = label if label is not None else (p.as_tuple(), q.as_tuple())
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coords(
+        cls,
+        x1: Coordinate,
+        y1: Coordinate,
+        x2: Coordinate,
+        y2: Coordinate,
+        label: Optional[Hashable] = None,
+    ) -> "Segment":
+        return cls(Point(x1, y1), Point(x2, y2), label=label)
+
+    # ------------------------------------------------------------------
+    # extents
+    # ------------------------------------------------------------------
+    @property
+    def xmin(self) -> Coordinate:
+        return self.start.x
+
+    @property
+    def xmax(self) -> Coordinate:
+        return self.end.x
+
+    @property
+    def ymin(self) -> Coordinate:
+        return min(self.start.y, self.end.y)
+
+    @property
+    def ymax(self) -> Coordinate:
+        return max(self.start.y, self.end.y)
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.start.x == self.end.x
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def y_at(self, x: Coordinate) -> Fraction:
+        """The y-coordinate of the segment at vertical line ``x``.
+
+        Requires ``xmin <= x <= xmax`` and a non-vertical segment.
+        """
+        if self.is_vertical:
+            raise ValueError("y_at is undefined for a vertical segment")
+        if not (self.xmin <= x <= self.xmax):
+            raise ValueError(f"x={x} outside segment x-range [{self.xmin}, {self.xmax}]")
+        dx = self.end.x - self.start.x
+        return self.start.y + Fraction(self.end.y - self.start.y) * Fraction(
+            x - self.start.x, dx
+        )
+
+    def spans_x(self, x: Coordinate) -> bool:
+        """True when the vertical line at ``x`` meets the segment's x-extent."""
+        return self.xmin <= x <= self.xmax
+
+    def with_label(self, label: Hashable) -> "Segment":
+        return Segment(self.start, self.end, label=label)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (
+            self.start == other.start
+            and self.end == other.end
+            and self.label == other.label
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end, self.label))
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment(({self.start.x!r}, {self.start.y!r}) -> "
+            f"({self.end.x!r}, {self.end.y!r}), label={self.label!r})"
+        )

@@ -1,0 +1,125 @@
+"""Frame transformations.
+
+Two reductions used throughout the paper:
+
+1.  **Fixed direction → vertical** (footnote 1).  Queries with any fixed
+    angular coefficient ``m`` reduce to vertical queries under an exact
+    *linear* change of coordinates (a rational shear — we avoid irrational
+    rotations entirely).  Linear bijections preserve incidence, so
+    non-crossing sets stay non-crossing and query answers transfer verbatim.
+
+2.  **Vertical base line → line-based frame** (Sections 3–4 → Section 2).
+    Segments hanging off a vertical base line ``x = c`` on one side are
+    line-based segments in the frame ``u = y``, ``h = |x - c|``; a vertical
+    query at ``x0`` on that side becomes a constant-height query at
+    ``h = |x0 - c|``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from .linebased import HQuery, LineBasedSegment
+from .point import Coordinate, Point, check_coordinate
+from .query import VerticalQuery
+from .segment import Segment
+
+
+class FixedDirectionFrame:
+    """Exact linear map sending direction ``(1, m)`` to the vertical.
+
+    For ``m != 0`` we use ``T(x, y) = (m*x - y, y)``; for ``m == 0``
+    (horizontal queries) we use the axis swap ``T(x, y) = (y, x)``.  Both are
+    invertible linear maps with rational entries.
+    """
+
+    def __init__(self, m: Coordinate):
+        self.m = check_coordinate(m)
+
+    def forward_point(self, p: Point) -> Point:
+        if self.m == 0:
+            return Point(p.y, p.x)
+        return Point(self.m * p.x - p.y, p.y)
+
+    def inverse_point(self, p: Point) -> Point:
+        if self.m == 0:
+            return Point(p.y, p.x)
+        # u = m*x - y, v = y  =>  x = (u + v) / m, y = v
+        return Point(Fraction(p.x + p.y, 1) / Fraction(self.m), p.y)
+
+    def forward_segment(self, s: Segment) -> Segment:
+        return Segment(
+            self.forward_point(s.start), self.forward_point(s.end), label=s.label
+        )
+
+    def inverse_segment(self, s: Segment) -> Segment:
+        return Segment(
+            self.inverse_point(s.start), self.inverse_point(s.end), label=s.label
+        )
+
+    def forward_query(self, p1: Point, p2: Optional[Point] = None) -> VerticalQuery:
+        """Map a query with angular coefficient ``m`` into a vertical query.
+
+        ``p1`` (and optionally ``p2``) are points on the query; with one
+        point the query is the full line through it with slope ``m``.
+        """
+        q1 = self.forward_point(p1)
+        if p2 is None:
+            return VerticalQuery.line(q1.x)
+        q2 = self.forward_point(p2)
+        if q1.x != q2.x:
+            raise ValueError(
+                f"query endpoints {p1!r}, {p2!r} do not have angular "
+                f"coefficient {self.m}"
+            )
+        lo, hi = (q1.y, q2.y) if q1.y <= q2.y else (q2.y, q1.y)
+        return VerticalQuery.segment(q1.x, lo, hi)
+
+
+class VerticalBaseFrame:
+    """The line-based frame attached to one side of a vertical base line.
+
+    Parameters
+    ----------
+    c:
+        The x-coordinate of the base line.
+    side:
+        ``"left"`` — segments with ``x <= c``, ``h = c - x``;
+        ``"right"`` — segments with ``x >= c``, ``h = x - c``.
+    """
+
+    def __init__(self, c: Coordinate, side: str):
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        self.c = check_coordinate(c)
+        self.side = side
+
+    def height_of(self, x: Coordinate) -> Coordinate:
+        return self.c - x if self.side == "left" else x - self.c
+
+    def to_line_based(self, s: Segment) -> LineBasedSegment:
+        """Convert a plane segment with one endpoint on ``x = c``.
+
+        The plane segment must lie entirely on this frame's side.
+        """
+        h_start = self.height_of(s.start.x)
+        h_end = self.height_of(s.end.x)
+        if h_start < 0 or h_end < 0:
+            raise ValueError(f"{s!r} extends to the wrong side of x={self.c}")
+        if h_start == 0:
+            base, apex, h_apex = s.start, s.end, h_end
+        elif h_end == 0:
+            base, apex, h_apex = s.end, s.start, h_start
+        else:
+            raise ValueError(f"{s!r} has no endpoint on the base line x={self.c}")
+        return LineBasedSegment(
+            base.y, apex.y, h_apex, payload=s, label=("lb", self.side, s.label)
+        )
+
+    def to_hquery(self, q: VerticalQuery) -> HQuery:
+        """Convert a vertical query on this frame's side."""
+        h = self.height_of(q.x)
+        if h < 0:
+            raise ValueError(f"query x={q.x} is on the wrong side of x={self.c}")
+        return HQuery(h, ulo=q.ylo, uhi=q.yhi)

@@ -1,0 +1,32 @@
+"""Simulated block storage with I/O accounting.
+
+This package implements the paper's cost model: data lives in blocks of
+``B`` items; the cost of an algorithm is the number of blocks read and
+written.  See DESIGN.md §5 for the accounting conventions.
+"""
+
+from .buffer import LRUBufferPool
+from .disk import BlockDevice
+from .errors import (
+    DanglingPageError,
+    DoubleFreeError,
+    PageOverflowError,
+    StorageError,
+)
+from .page import HEADER_SLOTS, Page
+from .pager import Pager
+from .stats import IOStats, Measurement
+
+__all__ = [
+    "BlockDevice",
+    "DanglingPageError",
+    "DoubleFreeError",
+    "HEADER_SLOTS",
+    "IOStats",
+    "LRUBufferPool",
+    "Measurement",
+    "Page",
+    "PageOverflowError",
+    "Pager",
+    "StorageError",
+]

@@ -1,0 +1,85 @@
+"""An optional LRU buffer pool.
+
+The paper's bounds assume no cache: every block touch is an I/O.  Real
+systems keep an ``M``-page buffer pool, which mostly hides the top levels of
+any tree.  :class:`LRUBufferPool` lets benchmarks quantify that effect (it is
+*off* by default everywhere; engines take a :class:`Pager` and are agnostic
+to whether a pool sits underneath).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .disk import BlockDevice
+from .page import Page
+
+
+class LRUBufferPool:
+    """A read cache of ``capacity`` pages over a :class:`BlockDevice`.
+
+    The pool exposes the same ``read``/``write``/``alloc``/``free``/
+    ``snapshot`` surface as :class:`BlockDevice`, so a :class:`Pager` can be
+    constructed directly on top of it.
+
+    Writes are write-through: the device is charged for every write (the
+    paper's structures write only during construction and updates, and those
+    bounds are about writes actually reaching disk).
+    """
+
+    def __init__(self, device: BlockDevice, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.device = device
+        self.capacity = capacity
+        self._lru: "OrderedDict[int, Page]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def block_capacity(self) -> int:
+        return self.device.block_capacity
+
+    def tagged(self, tag: str):
+        return self.device.tagged(tag)
+
+    def read(self, page_id: int) -> Page:
+        cached = self._lru.get(page_id)
+        if cached is not None:
+            self._lru.move_to_end(page_id)
+            self.hits += 1
+            return cached
+        page = self.device.read(page_id)
+        self.misses += 1
+        self._cache(page)
+        return page
+
+    def write(self, page: Page) -> None:
+        self.device.write(page)
+        self._cache(page)
+
+    def alloc(self) -> Page:
+        return self.device.alloc()
+
+    def free(self, page_id: int) -> None:
+        self._lru.pop(page_id, None)
+        self.device.free(page_id)
+
+    def snapshot(self):
+        return self.device.snapshot()
+
+    def reset_counters(self) -> None:
+        self.device.reset_counters()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        touched = self.hits + self.misses
+        return self.hits / touched if touched else 0.0
+
+    def _cache(self, page: Page) -> None:
+        self._lru[page.page_id] = page
+        self._lru.move_to_end(page.page_id)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)

@@ -1,0 +1,39 @@
+"""Errors raised by the simulated block-storage layer."""
+
+
+class StorageError(Exception):
+    """Base class for every error raised by :mod:`repro.iosim`."""
+
+
+class PageOverflowError(StorageError):
+    """Raised when more than ``B`` items are written into a single page.
+
+    The paper's cost model assumes that a node the analysis says "fits in one
+    block" really does fit.  Enforcing the capacity at write time keeps the
+    simulator honest: a structure cannot silently cheat by packing an
+    unbounded amount of data into one simulated I/O.
+    """
+
+    def __init__(self, page_id: int, size: int, capacity: int):
+        self.page_id = page_id
+        self.size = size
+        self.capacity = capacity
+        super().__init__(
+            f"page {page_id} holds {size} items but capacity is {capacity}"
+        )
+
+
+class DanglingPageError(StorageError):
+    """Raised when reading a page id that was never allocated or was freed."""
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        super().__init__(f"page {page_id} is not allocated")
+
+
+class DoubleFreeError(StorageError):
+    """Raised when freeing a page id that is not currently allocated."""
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        super().__init__(f"page {page_id} freed twice (or never allocated)")

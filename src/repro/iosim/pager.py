@@ -1,0 +1,93 @@
+"""Operation-scoped page access.
+
+The paper counts one I/O per *node visit*.  Within a single logical operation
+(one query, one insertion) a well-implemented algorithm keeps the handful of
+blocks it is actively working on pinned in memory, so touching the same block
+twice inside one operation costs one I/O, not two.  :class:`Pager` models
+exactly that: inside a ``with pager.operation():`` scope, the first fetch of
+each distinct page is charged to the device and later fetches are free;
+writes to a page are likewise charged once per operation (flush-on-complete
+semantics).
+
+Outside an operation scope every fetch and write is charged — the
+conservative default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Set
+
+from .disk import BlockDevice
+from .page import Page
+
+
+class Pager:
+    """Charged access to a :class:`BlockDevice` with per-operation pinning."""
+
+    def __init__(self, device: BlockDevice):
+        self.device = device
+        self._pinned: Optional[Dict[int, Page]] = None
+        self._dirty: Optional[Set[int]] = None
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # operation scope
+    # ------------------------------------------------------------------
+    @contextmanager
+    def operation(self) -> Iterator[None]:
+        """Scope one logical operation; nested scopes join the outermost."""
+        self._depth += 1
+        if self._depth == 1:
+            self._pinned = {}
+            self._dirty = set()
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                self._pinned = None
+                self._dirty = None
+
+    @property
+    def in_operation(self) -> bool:
+        return self._depth > 0
+
+    # ------------------------------------------------------------------
+    # charged access
+    # ------------------------------------------------------------------
+    def fetch(self, page_id: int) -> Page:
+        """Read a page; within an operation, re-reads of a pinned page are free."""
+        if self._pinned is not None:
+            cached = self._pinned.get(page_id)
+            if cached is not None:
+                return cached
+            page = self.device.read(page_id)
+            self._pinned[page_id] = page
+            return page
+        return self.device.read(page_id)
+
+    def write(self, page: Page) -> None:
+        """Write a page; within an operation each page is flushed once."""
+        if self._dirty is not None:
+            if page.page_id in self._dirty:
+                page.validate()
+                return
+            self._dirty.add(page.page_id)
+            if self._pinned is not None:
+                self._pinned[page.page_id] = page
+        self.device.write(page)
+
+    def alloc(self) -> Page:
+        """Allocate a fresh page (free; it must still be written)."""
+        page = self.device.alloc()
+        if self._pinned is not None:
+            self._pinned[page.page_id] = page
+        return page
+
+    def free(self, page_id: int) -> None:
+        self.device.free(page_id)
+        if self._pinned is not None:
+            self._pinned.pop(page_id, None)
+        if self._dirty is not None:
+            self._dirty.discard(page_id)

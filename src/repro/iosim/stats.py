@@ -1,0 +1,73 @@
+"""I/O statistics: snapshots, diffs and scoped measurement.
+
+The unit of cost throughout the library is the *I/O operation* — reading or
+writing one block — exactly as in the paper's model.  :class:`IOStats` is an
+immutable snapshot of a device's counters; subtracting two snapshots gives
+the cost of the work performed between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IOStats:
+    """An immutable snapshot of block-device counters."""
+
+    reads: int = 0
+    writes: int = 0
+    allocs: int = 0
+    frees: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/O operations (reads + writes)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            allocs=self.allocs - other.allocs,
+            frees=self.frees - other.frees,
+        )
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            allocs=self.allocs + other.allocs,
+            frees=self.frees + other.frees,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"reads={self.reads} writes={self.writes} "
+            f"allocs={self.allocs} frees={self.frees}"
+        )
+
+
+class Measurement:
+    """Scoped I/O measurement around a block device.
+
+    Use as a context manager::
+
+        with Measurement(device) as m:
+            index.query(q)
+        print(m.stats.reads)
+
+    The measurement is cheap (two snapshots) and nestable.
+    """
+
+    def __init__(self, device):
+        self._device = device
+        self._start: IOStats | None = None
+        self.stats: IOStats = IOStats()
+
+    def __enter__(self) -> "Measurement":
+        self._start = self._device.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stats = self._device.snapshot() - self._start

@@ -1,0 +1,15 @@
+"""External-memory storage substrates: B+-trees, page chains, interval indexes."""
+
+from .bplus import BPlusTree
+from .chain import PageChain
+from .disjoint import DisjointIntervalIndex, IntervalOverlapError
+from .interval_tree import ExternalIntervalTree, default_fanout
+
+__all__ = [
+    "BPlusTree",
+    "DisjointIntervalIndex",
+    "ExternalIntervalTree",
+    "IntervalOverlapError",
+    "PageChain",
+    "default_fanout",
+]

@@ -1,0 +1,431 @@
+"""An external-memory B+-tree.
+
+The workhorse ordered file of the library (the paper's reference [7]): used
+for multislab lists in the segment tree ``G``, for the slab lists of the
+external interval tree, and for the on-line interval indexes.  Costs are the
+classical ones: ``O(log_B n + t)`` I/Os per range query, ``O(log_B n)`` per
+insertion/deletion, ``O(n)`` blocks.
+
+Layout
+------
+* Leaf page: ``items = [(key, value), ...]`` sorted by key (duplicate keys
+  allowed); header ``leaf=True``, ``next``/``prev`` sibling pids.
+* Internal page: ``items = [(min_key_of_child, child_pid), ...]``; header
+  ``leaf=False``.
+
+Keys may be any totally ordered values (ints, Fractions, tuples).  The tree
+exposes leaf-level navigation (:meth:`locate`, :meth:`scan_at`) so
+fractional-cascading bridges can jump straight to a leaf and walk siblings —
+the O(1)-per-level navigation of Section 4.3 depends on it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from ..iosim import Page, Pager
+
+KeyValue = Tuple[Any, Any]
+
+
+class BPlusTree:
+    """A B+-tree over one :class:`~repro.iosim.pager.Pager`.
+
+    Create with :meth:`create` (empty) or :meth:`build` (bulk-load from
+    sorted pairs); re-attach to an existing tree with the constructor.
+    """
+
+    def __init__(self, pager: Pager, root_pid: int):
+        self.pager = pager
+        self.root_pid = root_pid
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, pager: Pager) -> "BPlusTree":
+        """Create an empty tree (a single empty leaf)."""
+        root = pager.alloc()
+        root.set_header("leaf", True)
+        root.set_header("next", None)
+        root.set_header("prev", None)
+        pager.write(root)
+        return cls(pager, root.page_id)
+
+    @classmethod
+    def build(cls, pager: Pager, pairs: Iterable[KeyValue]) -> "BPlusTree":
+        """Bulk-load from key-sorted ``(key, value)`` pairs.
+
+        Costs ``O(n)`` writes; raises if the input is unsorted.
+        """
+        pairs = list(pairs)
+        for a, b in zip(pairs, pairs[1:]):
+            if b[0] < a[0]:
+                raise ValueError("bulk-load input must be sorted by key")
+        if not pairs:
+            return cls.create(pager)
+
+        capacity = pager.device.block_capacity
+        # Fill leaves to ~2/3 so early insertions do not immediately split.
+        fill = max(2, (2 * capacity) // 3)
+
+        leaves: List[Page] = []
+        for start in range(0, len(pairs), fill):
+            leaf = pager.alloc()
+            leaf.set_header("leaf", True)
+            leaf.put_items(pairs[start : start + fill])
+            leaves.append(leaf)
+        for i, leaf in enumerate(leaves):
+            leaf.set_header("prev", leaves[i - 1].page_id if i > 0 else None)
+            leaf.set_header("next", leaves[i + 1].page_id if i + 1 < len(leaves) else None)
+            pager.write(leaf)
+
+        level: List[Tuple[Any, int]] = [
+            (leaf.items[0][0], leaf.page_id) for leaf in leaves
+        ]
+        while len(level) > 1:
+            next_level: List[Tuple[Any, int]] = []
+            for start in range(0, len(level), fill):
+                node = pager.alloc()
+                node.set_header("leaf", False)
+                node.put_items(level[start : start + fill])
+                pager.write(node)
+                next_level.append((node.items[0][0], node.page_id))
+            level = next_level
+        return cls(pager, level[0][1])
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, key: Any) -> Page:
+        """Walk to the leaf that would hold ``key`` (leftmost on ties)."""
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            keys = [k for k, _pid in page.items]
+            # Child to descend into: the rightmost child whose min key is
+            # <= key; bisect_left finds the first child with min key >= key.
+            pos = bisect.bisect_left(keys, key)
+            if pos == len(keys) or (pos > 0 and keys[pos] != key):
+                pos -= 1
+            pos = max(pos, 0)
+            page = self.pager.fetch(page.items[pos][1])
+        return page
+
+    def locate(self, key: Any) -> Tuple[int, int]:
+        """Return ``(leaf_pid, index)`` of the first item with key >= ``key``.
+
+        The index may equal the leaf length when every key in the tree is
+        smaller; :meth:`scan_at` handles that by moving to the next leaf.
+        """
+        leaf = self._descend_to_leaf(key)
+        idx = bisect.bisect_left([k for k, _v in leaf.items], key)
+        return leaf.page_id, idx
+
+    def locate_first(self, pred: Callable[[Any], bool]) -> Tuple[int, int]:
+        """Return ``(leaf_pid, index)`` of the first item whose key satisfies
+        a *monotone* predicate (False...False True...True over key order).
+
+        Runs in ``O(log_B n)`` I/Os.  When no item satisfies the predicate
+        the returned position is one past the last item (scans stop
+        immediately).  Used by the multislab lists of Solution 2, where the
+        search boundary depends on evaluating the stored fragments at the
+        query line rather than on comparing a fixed key.
+        """
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            # Descend into the child just before the first child whose
+            # minimum key already satisfies the predicate: the boundary is
+            # either inside it or at the start of the next child.
+            pos = len(page.items) - 1
+            for i, (min_key, _pid) in enumerate(page.items):
+                if pred(min_key):
+                    pos = max(0, i - 1)
+                    break
+            page = self.pager.fetch(page.items[pos][1])
+        for idx, (key, _value) in enumerate(page.items):
+            if pred(key):
+                return page.page_id, idx
+        # Not in this leaf: the boundary is at the start of what follows.
+        return page.page_id, len(page.items)
+
+    def search(self, key: Any) -> List[Any]:
+        """All values stored under exactly ``key``."""
+        values = []
+        for k, v in self.scan_from(key):
+            if k != key:
+                break
+            values.append(v)
+        return values
+
+    def min_item(self) -> Optional[KeyValue]:
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            page = self.pager.fetch(page.items[0][1])
+        return page.items[0] if page.items else None
+
+    def max_item(self) -> Optional[KeyValue]:
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            page = self.pager.fetch(page.items[-1][1])
+        return page.items[-1] if page.items else None
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def scan_at(self, leaf_pid: int, index: int) -> Iterator[KeyValue]:
+        """Yield items from ``(leaf_pid, index)`` onward, walking siblings."""
+        pid: Optional[int] = leaf_pid
+        while pid is not None:
+            leaf = self.pager.fetch(pid)
+            for i in range(index, len(leaf.items)):
+                yield leaf.items[i]
+            pid = leaf.get_header("next")
+            index = 0
+
+    def scan_at_reverse(self, leaf_pid: int, index: int) -> Iterator[KeyValue]:
+        """Yield items from ``(leaf_pid, index)`` backward (inclusive)."""
+        pid: Optional[int] = leaf_pid
+        while pid is not None:
+            leaf = self.pager.fetch(pid)
+            if index >= len(leaf.items):
+                index = len(leaf.items) - 1
+            for i in range(index, -1, -1):
+                yield leaf.items[i]
+            pid = leaf.get_header("prev")
+            index = 10**9  # clamped to the previous leaf's last item
+
+    def scan_from(self, key: Any) -> Iterator[KeyValue]:
+        """Yield items with key >= ``key`` in ascending order."""
+        leaf_pid, idx = self.locate(key)
+        return self.scan_at(leaf_pid, idx)
+
+    def range_scan(self, lo: Any, hi: Any) -> Iterator[KeyValue]:
+        """Yield items with ``lo <= key <= hi`` in ascending order."""
+        for k, v in self.scan_from(lo):
+            if k > hi:
+                break
+            yield (k, v)
+
+    def items(self) -> Iterator[KeyValue]:
+        """Full ascending scan."""
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            page = self.pager.fetch(page.items[0][1])
+        return self.scan_at(page.page_id, 0)
+
+    def __len__(self) -> int:
+        """Item count via a full scan (diagnostics; O(n) I/Os)."""
+        return sum(1 for _ in self.items())
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert one pair in ``O(log_B n)`` I/Os (duplicates allowed)."""
+        split = self._insert_into(self.root_pid, key, value)
+        if split is not None:
+            old_root = self.pager.fetch(self.root_pid)
+            old_min = old_root.items[0][0]
+            new_root = self.pager.alloc()
+            new_root.set_header("leaf", False)
+            new_root.put_items([(old_min, self.root_pid), split])
+            self.pager.write(new_root)
+            self.root_pid = new_root.page_id
+
+    def _insert_into(
+        self, pid: int, key: Any, value: Any
+    ) -> Optional[Tuple[Any, int]]:
+        """Insert under ``pid``; return ``(min_key, new_pid)`` on split."""
+        page = self.pager.fetch(pid)
+        if page.get_header("leaf"):
+            keys = [k for k, _v in page.items]
+            pos = bisect.bisect_right(keys, key)
+            page.items.insert(pos, (key, value))
+            if len(page.items) <= page.capacity:
+                self.pager.write(page)
+                return None
+            return self._split_leaf(page)
+
+        keys = [k for k, _pid in page.items]
+        pos = bisect.bisect_right(keys, key) - 1
+        pos = max(pos, 0)
+        child_split = self._insert_into(page.items[pos][1], key, value)
+        if pos == 0 and key < page.items[0][0]:
+            # Keep separator keys equal to true child minima.
+            page.items[0] = (key, page.items[0][1])
+            self.pager.write(page)
+        if child_split is None:
+            return None
+        page.items.insert(pos + 1, child_split)
+        if len(page.items) <= page.capacity:
+            self.pager.write(page)
+            return None
+        return self._split_internal(page)
+
+    def _split_leaf(self, page: Page) -> Tuple[Any, int]:
+        mid = len(page.items) // 2
+        right = self.pager.alloc()
+        right.set_header("leaf", True)
+        right.put_items(page.items[mid:])
+        page.put_items(page.items[:mid])
+
+        next_pid = page.get_header("next")
+        right.set_header("next", next_pid)
+        right.set_header("prev", page.page_id)
+        page.set_header("next", right.page_id)
+        if next_pid is not None:
+            nxt = self.pager.fetch(next_pid)
+            nxt.set_header("prev", right.page_id)
+            self.pager.write(nxt)
+        self.pager.write(page)
+        self.pager.write(right)
+        return (right.items[0][0], right.page_id)
+
+    def _split_internal(self, page: Page) -> Tuple[Any, int]:
+        mid = len(page.items) // 2
+        right = self.pager.alloc()
+        right.set_header("leaf", False)
+        right.put_items(page.items[mid:])
+        page.put_items(page.items[:mid])
+        self.pager.write(page)
+        self.pager.write(right)
+        return (right.items[0][0], right.page_id)
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: Any, match: Optional[Callable[[Any], bool]] = None) -> bool:
+        """Delete one item with ``key`` (and ``match(value)`` if given).
+
+        Returns True when an item was removed.  Underflowing pages are merged
+        into a sibling when possible, keeping space linear.
+        """
+        removed, _empty = self._delete_from(self.root_pid, key, match)
+        while removed:
+            root = self.pager.fetch(self.root_pid)
+            if root.get_header("leaf") or len(root.items) != 1:
+                break
+            only_child = root.items[0][1]
+            self.pager.free(root.page_id)
+            self.root_pid = only_child
+        return removed
+
+    def _delete_from(
+        self, pid: int, key: Any, match: Optional[Callable[[Any], bool]]
+    ) -> Tuple[bool, bool]:
+        """Delete under ``pid``; return ``(removed, subtree_now_empty)``."""
+        page = self.pager.fetch(pid)
+        if page.get_header("leaf"):
+            keys = [k for k, _v in page.items]
+            pos = bisect.bisect_left(keys, key)
+            while pos < len(page.items) and page.items[pos][0] == key:
+                if match is None or match(page.items[pos][1]):
+                    del page.items[pos]
+                    self.pager.write(page)
+                    return True, not page.items
+                pos += 1
+            return False, False
+
+        keys = [k for k, _pid in page.items]
+        pos = bisect.bisect_right(keys, key) - 1
+        pos = max(pos, 0)
+        # With duplicate keys the target may sit in the next child as well.
+        while pos < len(page.items):
+            if pos > 0 and page.items[pos][0] > key:
+                break
+            removed, child_empty = self._delete_from(page.items[pos][1], key, match)
+            if removed:
+                now_empty = self._repair_child(page, pos, child_empty)
+                return True, now_empty
+            pos += 1
+        return False, False
+
+    def _repair_child(self, parent: Page, pos: int, child_empty: bool) -> bool:
+        """Refresh the separator for child ``pos``; prune it when empty.
+
+        Returns True when the parent's whole subtree is now empty (its only
+        child emptied out).
+        """
+        child_pid = parent.items[pos][1]
+        if not child_empty:
+            child = self.pager.fetch(child_pid)
+            if parent.items[pos][0] != child.items[0][0]:
+                parent.items[pos] = (child.items[0][0], child_pid)
+            self.pager.write(parent)
+            return False
+        # Empty child subtree: free it (unlinking the bottom leaf from the
+        # sibling chain), unless it is the parent's only child — an empty
+        # tree keeps a single empty leaf.
+        if len(parent.items) > 1:
+            self._free_empty_subtree(child_pid)
+            del parent.items[pos]
+            self.pager.write(parent)
+            return False
+        self.pager.write(parent)
+        return True
+
+    def _free_empty_subtree(self, pid: int) -> None:
+        """Free a subtree that contains no items."""
+        page = self.pager.fetch(pid)
+        if page.get_header("leaf"):
+            prev_pid = page.get_header("prev")
+            next_pid = page.get_header("next")
+            if prev_pid is not None:
+                prev = self.pager.fetch(prev_pid)
+                prev.set_header("next", next_pid)
+                self.pager.write(prev)
+            if next_pid is not None:
+                nxt = self.pager.fetch(next_pid)
+                nxt.set_header("prev", prev_pid)
+                self.pager.write(nxt)
+        else:
+            for _key, child in page.items:
+                self._free_empty_subtree(child)
+        self.pager.free(pid)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Free every page of the tree."""
+        self._free_subtree(self.root_pid)
+
+    def _free_subtree(self, pid: int) -> None:
+        page = self.pager.fetch(pid)
+        if not page.get_header("leaf"):
+            for _key, child in page.items:
+                self._free_subtree(child)
+        self.pager.free(pid)
+
+    def height(self) -> int:
+        """Tree height in pages (diagnostics)."""
+        h = 1
+        page = self.pager.fetch(self.root_pid)
+        while not page.get_header("leaf"):
+            h += 1
+            page = self.pager.fetch(page.items[0][1])
+        return h
+
+    def check_invariants(self) -> None:
+        """Assert sortedness, separator correctness and sibling links."""
+        leaves: List[int] = []
+        self._check_subtree(self.root_pid, None, leaves)
+        for prev_pid, cur_pid in zip(leaves, leaves[1:]):
+            cur = self.pager.fetch(cur_pid)
+            prev = self.pager.fetch(prev_pid)
+            assert prev.get_header("next") == cur_pid, "broken next link"
+            assert cur.get_header("prev") == prev_pid, "broken prev link"
+
+    def _check_subtree(self, pid: int, min_key, leaves: List[int]):
+        page = self.pager.fetch(pid)
+        keys = [k for k, _v in page.items]
+        assert keys == sorted(keys), f"page {pid} unsorted"
+        if min_key is not None and keys:
+            assert keys[0] >= min_key, f"page {pid} violates separator"
+        if page.get_header("leaf"):
+            leaves.append(pid)
+            return
+        assert page.items, f"internal page {pid} is empty"
+        for k, child in page.items:
+            self._check_subtree(child, k, leaves)

@@ -1,0 +1,94 @@
+"""A linked chain of pages holding an unordered sequence of items.
+
+The simplest external structure: O(1) I/O access to the head, O(k/B) to
+scan ``k`` items, O(1) amortised appends (the tail page is found through a
+head-header pointer).  Used for interval-tree leaves and other scan-only
+payloads.  The head page id is stable for the lifetime of the chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from ..iosim import Pager
+
+
+class PageChain:
+    """An append-only sequence of items spread over linked pages."""
+
+    def __init__(self, pager: Pager, head_pid: int):
+        self.pager = pager
+        self.head_pid = head_pid
+
+    @classmethod
+    def create(cls, pager: Pager, items: Iterable[Any] = ()) -> "PageChain":
+        head = pager.alloc()
+        head.set_header("next", None)
+        head.set_header("tail", head.page_id)
+        head.set_header("count", 0)
+        pager.write(head)
+        chain = cls(pager, head.page_id)
+        chain.extend(items)
+        return chain
+
+    def append(self, item: Any) -> None:
+        head = self.pager.fetch(self.head_pid)
+        tail = (
+            head
+            if head.get_header("tail") == self.head_pid
+            else self.pager.fetch(head.get_header("tail"))
+        )
+        if tail.free_slots == 0:
+            new_tail = self.pager.alloc()
+            new_tail.set_header("next", None)
+            tail.set_header("next", new_tail.page_id)
+            self.pager.write(tail)
+            tail = new_tail
+            head.set_header("tail", tail.page_id)
+        tail.append_item(item)
+        self.pager.write(tail)
+        head.set_header("count", head.get_header("count") + 1)
+        self.pager.write(head)
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def __iter__(self) -> Iterator[Any]:
+        pid: Optional[int] = self.head_pid
+        while pid is not None:
+            page = self.pager.fetch(pid)
+            yield from page.items
+            pid = page.get_header("next")
+
+    def count(self) -> int:
+        """Item count, read from the head page (1 I/O)."""
+        return self.pager.fetch(self.head_pid).get_header("count")
+
+    def to_list(self) -> List[Any]:
+        return list(self)
+
+    def replace(self, items: Iterable[Any]) -> None:
+        """Replace the whole contents; the head page id stays stable."""
+        head = self.pager.fetch(self.head_pid)
+        # Free the old tail pages.
+        pid = head.get_header("next")
+        while pid is not None:
+            page = self.pager.fetch(pid)
+            next_pid = page.get_header("next")
+            self.pager.free(pid)
+            pid = next_pid
+        head.put_items([])
+        head.set_header("next", None)
+        head.set_header("tail", self.head_pid)
+        head.set_header("count", 0)
+        self.pager.write(head)
+        self.extend(items)
+
+    def destroy(self) -> None:
+        pid: Optional[int] = self.head_pid
+        while pid is not None:
+            page = self.pager.fetch(pid)
+            next_pid = page.get_header("next")
+            self.pager.free(pid)
+            pid = next_pid

@@ -1,0 +1,45 @@
+"""Synthetic workloads: NCT segment sets and query streams.
+
+Every generator is deterministic under a ``seed`` and produces sets that
+are non-crossing by construction (see each module's argument for why).
+"""
+
+from .files import dump, dumps, load, loads
+from .linebased import fan, shared_base_fans, verticals, with_on_line_segments
+from .map_layer import delaunay_edges, monotone_polylines
+from .nct_random import bounding_box, grid_segments, grid_segments_touching
+from .queries import (
+    hqueries,
+    measured_output,
+    mixed_queries,
+    ray_queries,
+    segment_queries,
+    stabbing_queries,
+)
+from .temporal import version_history
+
+__all__ = [
+    "bounding_box",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "delaunay_edges",
+    "fan",
+    "grid_segments",
+    "grid_segments_touching",
+    "hqueries",
+    "measured_output",
+    "mixed_queries",
+    "monotone_polylines",
+    "ray_queries",
+    "segment_queries",
+    "shared_base_fans",
+    "stabbing_queries",
+    "temporal",
+    "verticals",
+    "version_history",
+    "with_on_line_segments",
+]
+
+from . import temporal  # noqa: E402  (re-export the module itself)

@@ -1,0 +1,104 @@
+"""Reading and writing segment sets as text files.
+
+A minimal interchange format so real data can flow in and out of the
+library without losing exactness:
+
+* one segment per line: ``x1 <TAB> y1 <TAB> x2 <TAB> y2 [<TAB> label]``;
+* coordinates are integers or exact rationals written ``p/q``;
+* ``#``-prefixed lines and blank lines are ignored;
+* labels default to the 0-based line position among segments.
+
+The loader can validate the NCT invariant on the way in.
+"""
+
+from __future__ import annotations
+
+import io
+from fractions import Fraction
+from typing import Iterable, List, TextIO, Union
+
+from ..geometry import Segment, validate_nct
+
+PathOrFile = Union[str, TextIO]
+
+
+class SegmentFormatError(ValueError):
+    """Raised for malformed segment lines, with the line number."""
+
+    def __init__(self, lineno: int, reason: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {reason}")
+
+
+def _parse_coordinate(token: str, lineno: int):
+    token = token.strip()
+    try:
+        if "/" in token:
+            num, den = token.split("/", 1)
+            return Fraction(int(num), int(den))
+        return int(token)
+    except (ValueError, ZeroDivisionError) as exc:
+        raise SegmentFormatError(lineno, f"bad coordinate {token!r}") from exc
+
+
+def _format_coordinate(value) -> str:
+    if isinstance(value, Fraction) and value.denominator != 1:
+        return f"{value.numerator}/{value.denominator}"
+    return str(int(value))
+
+
+def loads(text: str, validate: bool = False) -> List[Segment]:
+    """Parse segments from a string (see module docstring for the format)."""
+    return load(io.StringIO(text), validate=validate)
+
+
+def load(source: PathOrFile, validate: bool = False) -> List[Segment]:
+    """Load segments from a path or open text file."""
+    if isinstance(source, str):
+        with open(source) as fh:
+            return load(fh, validate=validate)
+    segments: List[Segment] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) == 1:
+            parts = line.split()
+        if len(parts) not in (4, 5):
+            raise SegmentFormatError(
+                lineno, f"expected 4 or 5 fields, got {len(parts)}"
+            )
+        x1, y1, x2, y2 = (_parse_coordinate(p, lineno) for p in parts[:4])
+        label = parts[4] if len(parts) == 5 else len(segments)
+        if (x1, y1) == (x2, y2):
+            raise SegmentFormatError(lineno, "degenerate segment")
+        segments.append(Segment.from_coords(x1, y1, x2, y2, label=label))
+    if validate:
+        validate_nct(segments)
+    return segments
+
+
+def dumps(segments: Iterable[Segment]) -> str:
+    """Serialise segments to the text format (labels stringified)."""
+    out = io.StringIO()
+    dump(segments, out)
+    return out.getvalue()
+
+
+def dump(segments: Iterable[Segment], sink: PathOrFile) -> None:
+    """Write segments to a path or open text file."""
+    if isinstance(sink, str):
+        with open(sink, "w") as fh:
+            dump(segments, fh)
+            return
+    sink.write("# x1\ty1\tx2\ty2\tlabel\n")
+    for s in segments:
+        fields = [
+            _format_coordinate(s.start.x),
+            _format_coordinate(s.start.y),
+            _format_coordinate(s.end.x),
+            _format_coordinate(s.end.y),
+            str(s.label),
+        ]
+        sink.write("\t".join(fields) + "\n")

@@ -1,0 +1,115 @@
+"""Generators of non-crossing line-based segment sets (Section 2 inputs).
+
+All generators return :class:`~repro.geometry.linebased.LineBasedSegment`
+lists that are NCT *by construction*:
+
+* :func:`verticals` — segments rising straight up; never cross.
+* :func:`fan` — base points on a grid, each apex confined to the open
+  vertical slab around its base point, so no two segments ever share an
+  x-extent interior.
+* :func:`shared_base_fans` — clusters sharing a base point (touching), with
+  apexes ordered by angle inside the cluster's slab.
+
+Coordinates are integers scaled by ``spread`` so exact predicates stay fast.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geometry import LineBasedSegment
+
+
+def _rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def verticals(
+    n: int,
+    max_height: int = 1000,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[LineBasedSegment]:
+    """``n`` segments rising vertically from distinct base points."""
+    rng = _rng(seed, rng)
+    heights = [rng.randint(1, max_height) for _ in range(n)]
+    return [
+        LineBasedSegment(2 * i, 2 * i, h, label=("v", i))
+        for i, h in enumerate(heights)
+    ]
+
+
+def fan(
+    n: int,
+    max_height: int = 1000,
+    spread: int = 10,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[LineBasedSegment]:
+    """``n`` leaning segments, each confined to its own vertical slab.
+
+    Base point ``i`` sits at ``u = 2 * spread * i``; the apex stays within
+    ``(u - spread, u + spread)``, so x-extents of distinct segments never
+    share interior points and the set is non-crossing.
+    """
+    rng = _rng(seed, rng)
+    segments = []
+    for i in range(n):
+        u0 = 2 * spread * i
+        du = rng.randint(-(spread - 1), spread - 1)
+        h = rng.randint(1, max_height)
+        segments.append(LineBasedSegment(u0, u0 + du, h, label=("f", i)))
+    return segments
+
+
+def shared_base_fans(
+    n_clusters: int,
+    per_cluster: int = 4,
+    max_height: int = 1000,
+    spread: int = 100,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[LineBasedSegment]:
+    """Clusters of segments sharing one base point (touching configurations).
+
+    Within a cluster the segments fan out with strictly increasing slope at
+    equal height, so they only meet at the shared base point; clusters live
+    in disjoint slabs.
+    """
+    rng = _rng(seed, rng)
+    segments = []
+    for c in range(n_clusters):
+        u0 = 2 * spread * c
+        height = rng.randint(per_cluster, max_height)
+        # Distinct apex offsets inside (-spread, spread), shared height:
+        # rays from one point with distinct directions never re-meet.
+        offsets = rng.sample(range(-(spread - 1), spread), per_cluster)
+        for k, du in enumerate(sorted(offsets)):
+            segments.append(
+                LineBasedSegment(u0, u0 + du, height, label=("c", c, k))
+            )
+    return segments
+
+
+def with_on_line_segments(
+    segments: List[LineBasedSegment],
+    n_on_line: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[LineBasedSegment]:
+    """Append ``n_on_line`` disjoint segments lying on the base line.
+
+    They are placed beyond the maximum u of the input so nothing crosses.
+    """
+    rng = _rng(seed, rng)
+    start = max((max(s.u0, s.u1) for s in segments), default=0) + 10
+    extra = []
+    u = start
+    for i in range(n_on_line):
+        width = rng.randint(1, 10)
+        extra.append(LineBasedSegment(u, u + width, 0, label=("ol", i)))
+        u += width + rng.randint(1, 5)
+    return segments + extra

@@ -1,0 +1,89 @@
+"""GIS-style map-layer workloads.
+
+The paper motivates segment databases with GIS maps "stored as collections
+of NCT segments".  Two synthetic stand-ins:
+
+* :func:`delaunay_edges` — edges of a Delaunay triangulation over random
+  integer sites (via scipy): a classic proxy for road/parcel networks;
+  segments touch at shared vertices and never cross.
+* :func:`monotone_polylines` — stacked x-monotone polylines (contour lines /
+  river layers) confined to disjoint horizontal bands.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geometry import Segment
+
+
+def _rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def delaunay_edges(
+    n_sites: int,
+    extent: int = 10**6,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Segment]:
+    """Delaunay-triangulation edges over ``n_sites`` random integer sites.
+
+    Returns roughly ``3 * n_sites`` segments.  Sites are drawn from a huge
+    integer extent so qhull's floating-point triangulation is exact for
+    them (degeneracies are astronomically unlikely and the output can be
+    checked with :func:`repro.geometry.validate_nct`).
+    """
+    from scipy.spatial import Delaunay  # imported lazily; scipy is optional
+
+    rng = _rng(seed, rng)
+    sites = set()
+    while len(sites) < n_sites:
+        sites.add((rng.randint(0, extent), rng.randint(0, extent)))
+    points = sorted(sites)
+    tri = Delaunay(points)
+    edges = set()
+    for simplex in tri.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        edges.add((min(a, b), max(a, b)))
+        edges.add((min(b, c), max(b, c)))
+        edges.add((min(a, c), max(a, c)))
+    segments = []
+    for i, (a, b) in enumerate(sorted(edges)):
+        (x1, y1), (x2, y2) = points[a], points[b]
+        segments.append(Segment.from_coords(x1, y1, x2, y2, label=("d", i)))
+    return segments
+
+
+def monotone_polylines(
+    n_lines: int,
+    points_per_line: int = 50,
+    band_height: int = 1000,
+    step_x: int = 100,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Segment]:
+    """``n_lines`` x-monotone polylines in disjoint horizontal bands.
+
+    Each polyline contributes ``points_per_line - 1`` touching segments;
+    distinct polylines never meet.
+    """
+    rng = _rng(seed, rng)
+    segments = []
+    for line in range(n_lines):
+        y_base = line * band_height
+        x = 0
+        y = y_base + rng.randint(1, band_height - 2)
+        for j in range(points_per_line - 1):
+            x_next = x + rng.randint(1, step_x)
+            y_next = y_base + rng.randint(1, band_height - 2)
+            if (x_next, y_next) == (x, y):
+                x_next += 1
+            segments.append(
+                Segment.from_coords(x, y, x_next, y_next, label=("p", line, j))
+            )
+            x, y = x_next, y_next
+    return segments

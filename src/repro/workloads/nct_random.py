@@ -1,0 +1,111 @@
+"""Random NCT plane-segment sets, non-crossing by construction.
+
+Two regimes:
+
+* :func:`grid_segments` — one segment per grid cell, endpoints strictly
+  inside the cell, so segments are pairwise disjoint (never even touch).
+* :func:`grid_segments_touching` — segments drawn between corners of a
+  coarse grid graph along a random spanning structure; segments share
+  corners (touch) but never cross.
+
+Both return plane :class:`~repro.geometry.segment.Segment` objects with
+integer coordinates and stable labels.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..geometry import Segment
+
+
+def _rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def grid_segments(
+    n: int,
+    cell_size: int = 100,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Segment]:
+    """``n`` pairwise-disjoint segments, one per cell of a near-square grid.
+
+    Each segment's endpoints are strictly inside its cell (margin 1), so no
+    two segments can intersect at all.
+    """
+    rng = _rng(seed, rng)
+    cols = max(1, math.isqrt(n))
+    segments = []
+    for i in range(n):
+        row, col = divmod(i, cols)
+        x_base = col * cell_size
+        y_base = row * cell_size
+        while True:
+            x1 = x_base + rng.randint(1, cell_size - 2)
+            y1 = y_base + rng.randint(1, cell_size - 2)
+            x2 = x_base + rng.randint(1, cell_size - 2)
+            y2 = y_base + rng.randint(1, cell_size - 2)
+            if (x1, y1) != (x2, y2):
+                break
+        segments.append(Segment.from_coords(x1, y1, x2, y2, label=("g", i)))
+    return segments
+
+
+def grid_segments_touching(
+    n: int,
+    cell_size: int = 100,
+    touch_fraction: float = 0.5,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Segment]:
+    """Like :func:`grid_segments`, but a fraction of segments snap an
+    endpoint onto a neighbouring segment's endpoint (touch configurations).
+
+    Construction: a ``touch_fraction`` of cells host *chains* — the segment
+    starts exactly where the previous cell's segment ended (on the shared
+    cell border), producing long touching polyline runs; the rest are
+    interior segments as in :func:`grid_segments`.
+    """
+    rng = _rng(seed, rng)
+    cols = max(1, math.isqrt(n))
+    segments: List[Segment] = []
+    prev_end = None
+    for i in range(n):
+        row, col = divmod(i, cols)
+        x_base = col * cell_size
+        y_base = row * cell_size
+        chain = rng.random() < touch_fraction and prev_end is not None and col > 0
+        if chain:
+            x1, y1 = prev_end
+        else:
+            x1 = x_base + rng.randint(1, cell_size - 2)
+            y1 = y_base + rng.randint(1, cell_size - 2)
+        # End on the right border of the cell (shared with the next cell)
+        # so the next segment may chain onto it; last column ends inside.
+        if col + 1 < cols:
+            x2 = x_base + cell_size
+            y2 = y_base + rng.randint(1, cell_size - 2)
+        else:
+            x2 = x_base + rng.randint(1, cell_size - 2)
+            y2 = y_base + rng.randint(1, cell_size - 2)
+        if (x1, y1) == (x2, y2):
+            y2 = y2 + 1 if y2 < y_base + cell_size - 1 else y2 - 1
+        segments.append(Segment.from_coords(x1, y1, x2, y2, label=("t", i)))
+        prev_end = (x2, y2) if col + 1 < cols else None
+    return segments
+
+
+def bounding_box(segments: List[Segment]):
+    """(xmin, ymin, xmax, ymax) of a non-empty segment set."""
+    if not segments:
+        raise ValueError("empty segment set has no bounding box")
+    xmin = min(s.xmin for s in segments)
+    xmax = max(s.xmax for s in segments)
+    ymin = min(s.ymin for s in segments)
+    ymax = max(s.ymax for s in segments)
+    return xmin, ymin, xmax, ymax

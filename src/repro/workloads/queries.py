@@ -1,0 +1,150 @@
+"""Query generators with controllable output size.
+
+Benchmarks sweep both the database size ``N`` and the output size ``T``
+(the paper's bounds have an additive ``t = T/B`` term), so the generators
+can target a selectivity: the fraction of segments a query reports.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from ..geometry import (
+    HQuery,
+    LineBasedSegment,
+    Segment,
+    VerticalQuery,
+    vs_intersects,
+)
+
+
+def _rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+def stabbing_queries(
+    segments: Sequence[Segment],
+    count: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[VerticalQuery]:
+    """Full-line queries at x positions drawn from the data's x-extent."""
+    rng = _rng(seed, rng)
+    xmin = min(s.xmin for s in segments)
+    xmax = max(s.xmax for s in segments)
+    return [VerticalQuery.line(rng.randint(int(xmin), int(xmax))) for _ in range(count)]
+
+
+def segment_queries(
+    segments: Sequence[Segment],
+    count: int,
+    selectivity: float = 0.01,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[VerticalQuery]:
+    """Vertical segment queries whose expected output tracks ``selectivity``.
+
+    For each query an x is drawn, the stabbed segments' intersection
+    ordinates are computed exactly, and a y-window covering about
+    ``selectivity * len(segments)`` of them is cut.  When the stab at x
+    yields fewer hits than the target, the window covers all of them.
+    """
+    rng = _rng(seed, rng)
+    xmin = min(s.xmin for s in segments)
+    xmax = max(s.xmax for s in segments)
+    target = max(1, int(selectivity * len(segments)))
+    queries = []
+    for _ in range(count):
+        x0 = rng.randint(int(xmin), int(xmax))
+        ys = []
+        for s in segments:
+            if not s.spans_x(x0):
+                continue
+            if s.is_vertical:
+                ys.append(Fraction(s.ymin))
+            else:
+                ys.append(s.y_at(x0))
+        if not ys:
+            queries.append(VerticalQuery.segment(x0, 0, 1))
+            continue
+        ys.sort()
+        start = rng.randint(0, max(0, len(ys) - target))
+        window = ys[start : start + target]
+        queries.append(VerticalQuery.segment(x0, window[0], window[-1]))
+    return queries
+
+
+def ray_queries(
+    segments: Sequence[Segment],
+    count: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[VerticalQuery]:
+    """Upward/downward ray queries anchored inside the data's bounding box."""
+    rng = _rng(seed, rng)
+    xmin = min(s.xmin for s in segments)
+    xmax = max(s.xmax for s in segments)
+    ymin = min(s.ymin for s in segments)
+    ymax = max(s.ymax for s in segments)
+    queries = []
+    for _ in range(count):
+        x0 = rng.randint(int(xmin), int(xmax))
+        y0 = rng.randint(int(ymin), int(ymax))
+        if rng.random() < 0.5:
+            queries.append(VerticalQuery.ray_up(x0, ylo=y0))
+        else:
+            queries.append(VerticalQuery.ray_down(x0, yhi=y0))
+    return queries
+
+
+def mixed_queries(
+    segments: Sequence[Segment],
+    count: int,
+    selectivity: float = 0.01,
+    seed: Optional[int] = None,
+) -> List[VerticalQuery]:
+    """An even mix of the three generalized-segment query kinds."""
+    rng = _rng(seed, None)
+    per_kind = count // 3
+    out = stabbing_queries(segments, per_kind, rng=rng)
+    out += ray_queries(segments, per_kind, rng=rng)
+    out += segment_queries(segments, count - 2 * per_kind, selectivity, rng=rng)
+    rng.shuffle(out)
+    return out
+
+
+def hqueries(
+    segments: Sequence[LineBasedSegment],
+    count: int,
+    selectivity: float = 0.05,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[HQuery]:
+    """Constant-height queries against a line-based set.
+
+    The height is drawn up to the tallest apex; the u-window is cut around
+    the sorted crossing ordinates to approximate the target selectivity.
+    """
+    rng = _rng(seed, rng)
+    max_h = max((s.h1 for s in segments), default=1)
+    target = max(1, int(selectivity * len(segments)))
+    queries = []
+    for _ in range(count):
+        h = rng.randint(0, int(max_h))
+        us = sorted(s.u_at(h) for s in segments if not s.on_base_line and s.h1 >= h)
+        if not us:
+            queries.append(HQuery.segment(h, 0, 1))
+            continue
+        start = rng.randint(0, max(0, len(us) - target))
+        window = us[start : start + target]
+        queries.append(HQuery.segment(h, window[0], window[-1]))
+    return queries
+
+
+def measured_output(segments: Sequence[Segment], query: VerticalQuery) -> int:
+    """Exact output size ``T`` of a query (brute force; for harness tables)."""
+    return sum(1 for s in segments if vs_intersects(s, query))

@@ -1,0 +1,55 @@
+"""Temporal-database workload.
+
+The paper lists temporal databases [13] among segment-database
+applications: a tuple version valid over ``[t_from, t_to]`` with a (possibly
+drifting) attribute value is a plane segment in (time, value) space.  A VS
+query at time ``t`` with a value window is "which versions were valid at
+time ``t`` with value in the window" — exactly a vertical-segment query.
+
+:func:`version_history` lays out per-key version chains: consecutive
+versions of a key touch at their transition instant; distinct keys live in
+disjoint value bands, so the set is NCT by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geometry import Segment
+
+
+def version_history(
+    n_keys: int,
+    versions_per_key: int = 20,
+    band: int = 1000,
+    max_duration: int = 50,
+    drift: Optional[int] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> List[Segment]:
+    """Version chains for ``n_keys`` keys.
+
+    Key ``k`` occupies the value band ``[k * band, (k + 1) * band)``.  Each
+    version is a segment from ``(t_i, v_i)`` to ``(t_{i+1}, v_{i+1})``;
+    consecutive versions share the transition point (touching).
+    """
+    rng = rng if rng is not None else random.Random(seed)
+    if drift is None:
+        drift = band // 4
+    segments = []
+    for k in range(n_keys):
+        v_lo = k * band + drift + 1
+        v_hi = (k + 1) * band - drift - 2
+        t = rng.randint(0, max_duration)
+        v = rng.randint(v_lo, v_hi)
+        for j in range(versions_per_key):
+            t_next = t + rng.randint(1, max_duration)
+            v_next = min(max(v + rng.randint(-drift, drift), v_lo), v_hi)
+            if v_next == v and t_next == t:
+                t_next += 1
+            segments.append(
+                Segment.from_coords(t, v, t_next, v_next, label=("ver", k, j))
+            )
+            t, v = t_next, v_next
+    return segments

@@ -1,0 +1,111 @@
+"""Tests for the complexity-model fitting layer."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    MODELS,
+    ascii_series,
+    best_model,
+    fit_model,
+    growth_ratio,
+    il_star,
+    render_fits,
+    render_table,
+)
+
+
+def synthesize(model_name, a=3.0, b=2.0, c=5.0, B=64):
+    f = MODELS[model_name]
+    measurements = []
+    for N in (2**10, 2**12, 2**14, 2**16, 2**18):
+        for T in (0, 64, 1024):
+            cost = a * f(N, B, T) + b * (T / B) + c
+            measurements.append((N, B, T, cost))
+    return measurements
+
+
+class TestFitModel:
+    def test_recovers_coefficients_exactly(self):
+        data = synthesize("log2(n)")
+        fit = fit_model(data, "log2(n)")
+        assert fit.r_squared > 0.9999
+        assert abs(fit.search_coef - 3.0) < 1e-6
+        assert abs(fit.output_coef - 2.0) < 1e-6
+        assert abs(fit.const - 5.0) < 1e-6
+
+    def test_predict_roundtrip(self):
+        data = synthesize("log_B(n)")
+        fit = fit_model(data, "log_B(n)")
+        N, B, T, cost = data[-1]
+        assert abs(fit.predict(N, B, T) - cost) < 1e-6
+
+    def test_too_few_measurements(self):
+        with pytest.raises(ValueError):
+            fit_model([(1024, 64, 0, 10.0)], "log2(n)")
+
+    def test_describe_mentions_model(self):
+        data = synthesize("n")
+        fit = fit_model(data, "n")
+        assert "n" in fit.describe()
+        assert "R²" in fit.describe()
+
+
+class TestBestModel:
+    def test_identifies_logarithmic_data(self):
+        data = synthesize("log2(n)")
+        ranking = best_model(data)
+        # log2(n) data must not be explained best by a linear model.
+        assert ranking[0].model != "n"
+        assert ranking[0].r_squared > 0.999
+
+    def test_identifies_linear_data(self):
+        data = synthesize("n")
+        ranking = best_model(data)
+        assert ranking[0].model == "n"
+
+    def test_candidates_subset(self):
+        data = synthesize("log2(n)")
+        ranking = best_model(data, candidates=["log2(n)", "n"])
+        assert {fit.model for fit in ranking} == {"log2(n)", "n"}
+
+
+class TestGrowthRatio:
+    def test_logarithmic_growth_is_small(self):
+        data = synthesize("log2(n)", b=0.0)
+        assert growth_ratio(data) < 3
+
+    def test_linear_growth_tracks_n(self):
+        data = synthesize("n", b=0.0, c=0.0)
+        assert growth_ratio(data) > 100
+
+
+class TestIlStar:
+    def test_small_constants(self):
+        # IL*(B) <= 3 for every realistic block size (the paper's point
+        # that the term is negligible).
+        for B in (16, 64, 1024, 2**20):
+            assert 1 <= il_star(B) <= 3
+
+
+class TestRendering:
+    def test_render_table(self):
+        table = render_table(["N", "cost"], [[1024, 12.5], [2048, 14.0]])
+        assert "| N" in table.replace("|  N", "| N") or "N" in table
+        assert "12.50" in table
+        assert "2048" in table
+
+    def test_render_table_integers_unchanged(self):
+        table = render_table(["x"], [[3.0]])
+        assert " 3 " in table or "| 3 |" in table
+
+    def test_ascii_series(self):
+        art = ascii_series("reads", [1, 2], [10.0, 20.0])
+        assert "reads" in art
+        assert "#" in art
+
+    def test_render_fits(self):
+        data = synthesize("log2(n)")
+        text = render_fits(best_model(data))
+        assert "->" in text

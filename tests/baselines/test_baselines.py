@@ -1,0 +1,129 @@
+"""Baselines: correctness against the exact predicate, and their cost shape."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FullScanIndex, GridIndex, StabFilterIndex
+from repro.geometry import Segment, VerticalQuery, vs_intersects
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import grid_segments, mixed_queries, segment_queries
+
+
+def oracle(segments, q):
+    return sorted(s.label for s in segments if vs_intersects(s, q))
+
+
+def make(cls, segments, capacity=16, **kw):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    index = cls.build(pager, segments, **kw)
+    return dev, pager, index
+
+
+class TestFullScan:
+    def test_matches_oracle(self):
+        segments = grid_segments(120, seed=1)
+        _d, _p, index = make(FullScanIndex, segments)
+        for q in mixed_queries(segments, 15, seed=2):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q)
+
+    def test_query_cost_is_linear(self):
+        segments = grid_segments(1024, seed=3)
+        dev, pager, index = make(FullScanIndex, segments, capacity=32)
+        with Measurement(dev) as m:
+            index.query(VerticalQuery.segment(0, 0, 1))
+        assert m.stats.reads >= 1024 // 32
+
+    def test_insert(self):
+        _d, _p, index = make(FullScanIndex, [])
+        s = Segment.from_coords(0, 0, 1, 1, label="s")
+        index.insert(s)
+        assert len(index) == 1
+        assert index.query(VerticalQuery.line(0)) == [s]
+
+
+class TestStabFilter:
+    def test_matches_oracle(self):
+        segments = grid_segments(200, seed=4)
+        _d, _p, index = make(StabFilterIndex, segments)
+        for q in mixed_queries(segments, 20, seed=5):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q)
+
+    def test_insert_then_query(self):
+        segments = grid_segments(100, seed=6)
+        _d, _p, index = make(StabFilterIndex, segments[:50])
+        for s in segments[50:]:
+            index.insert(s)
+        for q in mixed_queries(segments, 10, seed=7):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q)
+
+    def test_stabbed_count_at_least_output(self):
+        segments = grid_segments(200, seed=8)
+        _d, _p, index = make(StabFilterIndex, segments)
+        for q in segment_queries(segments, 5, selectivity=0.01, seed=9):
+            assert index.stabbed_count(q) >= len(index.query(q))
+
+    def test_pays_for_discarded_segments(self):
+        """The motivating gap: a short query over a tall stab column costs
+        I/O proportional to the column, not to the answer."""
+        # 512 long horizontal segments all crossing x=500, plus a thin query.
+        segments = [
+            Segment.from_coords(0, 4 * i, 1000, 4 * i, label=i) for i in range(512)
+        ]
+        dev, pager, index = make(StabFilterIndex, segments, capacity=16)
+        q = VerticalQuery.segment(500, 0, 4)  # answer: 2 segments
+        with Measurement(dev) as m:
+            result = index.query(q)
+        assert len(result) == 2
+        assert m.stats.reads >= 512 // 16  # paid for the whole column
+
+
+class TestGrid:
+    def test_matches_oracle(self):
+        segments = grid_segments(300, seed=10)
+        _d, _p, index = make(GridIndex, segments)
+        for q in mixed_queries(segments, 25, seed=11):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q)
+
+    def test_empty(self):
+        _d, _p, index = make(GridIndex, [])
+        assert index.query(VerticalQuery.line(0)) == []
+
+    def test_no_duplicates_for_replicated_segments(self):
+        # Long segments replicated across many cells must report once.
+        segments = [
+            Segment.from_coords(0, 10 * i, 10000, 10 * i + 1, label=i)
+            for i in range(40)
+        ]
+        _d, _p, index = make(GridIndex, segments, cells=8)
+        assert index.replication_factor > 1
+        got = [s.label for s in index.query(VerticalQuery.line(5000))]
+        assert sorted(got) == list(range(40))
+
+    def test_query_outside_bounds(self):
+        segments = grid_segments(50, seed=12)
+        _d, _p, index = make(GridIndex, segments)
+        assert index.query(VerticalQuery.line(-10**9)) == []
+
+    def test_cells_validation(self):
+        dev = BlockDevice(block_capacity=16)
+        try:
+            GridIndex(Pager(dev), cells=0)
+            assert False
+        except ValueError:
+            pass
+
+
+@given(st.integers(0, 10**6), st.integers(2, 40))
+@settings(max_examples=60, deadline=None)
+def test_all_baselines_agree(seed, n):
+    segments = grid_segments(n, cell_size=20, seed=seed)
+    queries = mixed_queries(segments, 6, seed=seed + 1)
+    built = [
+        make(FullScanIndex, segments)[2],
+        make(StabFilterIndex, segments)[2],
+        make(GridIndex, segments)[2],
+    ]
+    for q in queries:
+        answers = [sorted(s.label for s in b.query(q)) for b in built]
+        assert answers[0] == answers[1] == answers[2], q

@@ -1,0 +1,155 @@
+"""Tests for the R-tree baseline."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RTreeIndex
+from repro.geometry import Segment, VerticalQuery, vs_intersects
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import (
+    delaunay_edges,
+    grid_segments,
+    grid_segments_touching,
+    mixed_queries,
+)
+
+
+def make(segments, capacity=16):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    index = RTreeIndex.build(pager, segments)
+    return dev, pager, index
+
+
+def oracle(segments, q):
+    return sorted((s.label for s in segments if vs_intersects(s, q)), key=str)
+
+
+class TestBuild:
+    def test_empty(self):
+        _d, _p, index = make([])
+        assert index.query(VerticalQuery.line(0)) == []
+        assert len(index) == 0
+
+    def test_str_packing_is_tight(self):
+        n, capacity = 2048, 32
+        segments = grid_segments(n, seed=1)
+        dev, _p, index = make(segments, capacity=capacity)
+        # STR fills pages: little more than n/B leaves plus the upper levels.
+        assert dev.pages_in_use <= 1.2 * math.ceil(n / capacity) + 8
+        index.check_invariants()
+
+    def test_height_logarithmic(self):
+        segments = grid_segments(4096, seed=2)
+        _d, _p, index = make(segments, capacity=16)
+        assert index.height() <= math.ceil(math.log(4096 / 16, 16)) + 2
+
+    def test_all_segments_roundtrip(self):
+        segments = grid_segments(300, seed=3)
+        _d, _p, index = make(segments)
+        assert sorted((s.label for s in index.all_segments()), key=str) == sorted(
+            (s.label for s in segments), key=str
+        )
+
+
+class TestQueries:
+    def test_matches_oracle_grid(self):
+        segments = grid_segments(400, seed=4)
+        _d, _p, index = make(segments)
+        for q in mixed_queries(segments, 25, seed=5):
+            assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+                segments, q
+            ), q
+
+    def test_matches_oracle_touching(self):
+        segments = grid_segments_touching(350, seed=6)
+        _d, _p, index = make(segments)
+        for q in mixed_queries(segments, 25, seed=7):
+            assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+                segments, q
+            ), q
+
+    def test_matches_oracle_delaunay(self):
+        segments = delaunay_edges(300, seed=8)
+        _d, _p, index = make(segments)
+        for q in mixed_queries(segments, 20, seed=9):
+            assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+                segments, q
+            ), q
+
+    def test_query_io_reasonable_on_uniform_data(self):
+        segments = grid_segments(4096, seed=10)
+        dev, pager, index = make(segments, capacity=32)
+        q = mixed_queries(segments, 1, selectivity=0.002, seed=11)[0]
+        with Measurement(dev) as m:
+            index.query(q)
+        # No worst-case bound exists, but on uniform data a narrow query
+        # touches one root-to-leaf corridor.
+        assert m.stats.reads <= 40
+
+    def test_no_duplicates(self):
+        segments = grid_segments_touching(200, seed=12)
+        _d, _p, index = make(segments)
+        for q in mixed_queries(segments, 15, seed=13):
+            got = [s.label for s in index.query(q)]
+            assert len(got) == len(set(got))
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        dev = BlockDevice(block_capacity=8)
+        index = RTreeIndex(Pager(dev))
+        s = Segment.from_coords(0, 0, 5, 5, label="s")
+        index.insert(s)
+        assert [x.label for x in index.query(VerticalQuery.line(2))] == ["s"]
+
+    def test_incremental_matches_oracle(self):
+        segments = grid_segments(250, seed=14)
+        dev = BlockDevice(block_capacity=8)
+        index = RTreeIndex(Pager(dev))
+        for s in segments:
+            index.insert(s)
+        index.check_invariants()
+        for q in mixed_queries(segments, 20, seed=15):
+            assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+                segments, q
+            ), q
+
+    def test_mixed_bulk_and_insert(self):
+        segments = grid_segments(300, seed=16)
+        _d, _p, index = make(segments[:200], capacity=8)
+        for s in segments[200:]:
+            index.insert(s)
+        index.check_invariants()
+        assert len(index) == 300
+        for q in mixed_queries(segments, 15, seed=17):
+            assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+                segments, q
+            ), q
+
+    def test_delete_not_supported(self):
+        segments = grid_segments(10, seed=18)
+        _d, _p, index = make(segments)
+        try:
+            index.delete(segments[0])
+            assert False
+        except NotImplementedError:
+            pass
+
+
+@given(st.integers(0, 10**6), st.integers(2, 60))
+@settings(max_examples=60, deadline=None)
+def test_rtree_matches_oracle_property(seed, n):
+    segments = grid_segments_touching(n, cell_size=20, seed=seed)
+    _d, _p, index = make(segments, capacity=4)
+    rng = random.Random(seed)
+    for _ in range(4):
+        x0 = rng.randint(-2, 25 * int(math.isqrt(n)) + 30)
+        y1 = rng.randint(-2, 200)
+        q = VerticalQuery.segment(x0, y1, y1 + rng.randint(0, 150))
+        assert sorted((s.label for s in index.query(q)), key=str) == oracle(
+            segments, q
+        )

@@ -1,0 +1,115 @@
+"""Construction invariants of the external PST (paper Figure 3)."""
+
+import math
+
+import pytest
+
+from repro.core.linebased import ExternalPST, read_node
+from repro.geometry import LineBasedSegment
+from repro.iosim import BlockDevice, Pager
+from repro.workloads import fan, shared_base_fans, verticals
+
+
+def build(segments, capacity=4, fanout=2):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = ExternalPST.build(pager, segments, fanout=fanout)
+    return dev, pager, tree
+
+
+class TestBuild:
+    def test_empty(self):
+        _d, _p, tree = build([])
+        assert tree.root_pid is None
+        assert len(tree) == 0
+
+    def test_single_leaf(self):
+        segments = fan(3, seed=1)
+        _d, _p, tree = build(segments)
+        assert tree.height() == 1
+        assert sorted(s.label for s in tree.all_segments()) == sorted(
+            s.label for s in segments
+        )
+
+    def test_root_keeps_tallest(self):
+        segments = fan(40, seed=2)
+        _d, _p, tree = build(segments, capacity=4)
+        root = tree.read_root()
+        tallest = sorted(segments, key=lambda s: s.h1, reverse=True)[:4]
+        assert {s.label for s in root.items} == {s.label for s in tallest}
+
+    def test_low_separates_levels(self):
+        segments = fan(100, seed=3)
+        _d, _p, tree = build(segments, capacity=4)
+        root = tree.read_root()
+        min_here = min(s.h1 for s in root.items)
+        assert root.low <= min_here
+        for child in root.children:
+            assert child.top.h1 <= root.low
+
+    def test_items_ordered_by_base_intersection(self):
+        segments = fan(50, seed=4)
+        _d, _p, tree = build(segments, capacity=8)
+        root = tree.read_root()
+        keys = [s.base_order_key() for s in root.items]
+        assert keys == sorted(keys)
+
+    def test_children_bands_ordered_and_disjoint(self):
+        segments = fan(200, seed=5)
+        _d, _p, tree = build(segments, capacity=8)
+        root = tree.read_root()
+        assert len(root.children) == 2
+        left, right = root.children
+        assert left.max_base < right.min_base
+
+    def test_height_logarithmic(self):
+        n = 2048
+        capacity = 8
+        segments = fan(n, seed=6)
+        _d, _p, tree = build(segments, capacity=capacity)
+        blocks = n / capacity
+        assert tree.height() <= math.ceil(math.log2(blocks)) + 2
+
+    def test_blocked_height_much_smaller(self):
+        n = 4096
+        capacity = 64
+        segments = fan(n, seed=7)
+        _d, _p, binary = build(segments, capacity=capacity, fanout=2)
+        _d2, _p2, blocked = build(segments, capacity=capacity, fanout=capacity // 4)
+        assert blocked.height() < binary.height()
+        # log_16(4096/64) = 1.5 levels plus the adaptive bottom levels.
+        assert blocked.height() <= 4
+
+    def test_linear_space(self):
+        n = 2000
+        capacity = 16
+        segments = fan(n, seed=8)
+        dev, _p, tree = build(segments, capacity=capacity)
+        assert dev.pages_in_use <= 3 * math.ceil(n / capacity)
+
+    def test_invariants_after_build(self):
+        for workload in (fan(150, seed=9), verticals(90, seed=9),
+                         shared_base_fans(20, per_cluster=5, seed=9)):
+            _d, _p, tree = build(workload, capacity=4)
+            tree.check_invariants()
+
+    def test_rejects_on_line_segments(self):
+        with pytest.raises(ValueError):
+            build([LineBasedSegment(0, 5, 0)])
+
+    def test_rejects_fanout_one(self):
+        dev = BlockDevice(block_capacity=4)
+        with pytest.raises(ValueError):
+            ExternalPST(Pager(dev), fanout=1)
+
+    def test_binary_nodes_are_single_block(self):
+        segments = fan(100, seed=10)
+        _d, _p, tree = build(segments, capacity=4, fanout=2)
+        root = tree.read_root()
+        assert root.routing_pid is None  # routing lives in the header
+
+    def test_blocked_nodes_use_routing_page(self):
+        segments = fan(2000, seed=11)
+        _d, _p, tree = build(segments, capacity=16, fanout=4)
+        root = tree.read_root()
+        assert root.routing_pid is not None

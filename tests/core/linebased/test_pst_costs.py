@@ -1,0 +1,106 @@
+"""Lemma 1/2/3 I/O costs, measured.
+
+The point of the reproduction: queries on the binary PST must cost
+``O(log2 n + t)`` I/Os and on the blocked PST ``O(log_B n + t)``, with the
+output term paying one I/O per ``B`` reported segments, not one per
+segment.
+"""
+
+import math
+
+from repro.core.linebased import ExternalPST
+from repro.geometry import HQuery
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import fan, hqueries
+
+
+def build(segments, capacity, fanout):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = ExternalPST.build(pager, segments, fanout=fanout)
+    return dev, pager, tree
+
+
+def query_cost(dev, pager, tree, q):
+    with pager.operation():
+        with Measurement(dev) as m:
+            result = tree.query(q)
+    return m.stats.reads, len(result)
+
+
+class TestBinaryPSTCosts:
+    def test_query_io_tracks_log_plus_output(self):
+        capacity = 16
+        n = 8192
+        segments = fan(n, seed=1)
+        dev, pager, tree = build(segments, capacity, fanout=2)
+        log_term = math.log2(n / capacity)
+        for q in hqueries(segments, 12, selectivity=0.02, seed=2):
+            reads, t_out = query_cost(dev, pager, tree, q)
+            budget = 4 * log_term + 4 * (t_out / capacity) + 6
+            assert reads <= budget, (reads, budget, t_out)
+
+    def test_output_term_is_blocked(self):
+        """A query reporting k*B segments must not cost ~k*B I/Os."""
+        capacity = 32
+        segments = fan(4096, seed=3)
+        dev, pager, tree = build(segments, capacity, fanout=2)
+        q = HQuery.line(0)  # reports everything
+        reads, t_out = query_cost(dev, pager, tree, q)
+        assert t_out == 4096
+        assert reads <= 4 * (t_out / capacity)
+
+    def test_io_grows_logarithmically_with_n(self):
+        capacity = 16
+        costs = []
+        for n in (1024, 4096, 16384):
+            segments = fan(n, seed=4)
+            dev, pager, tree = build(segments, capacity, fanout=2)
+            qs = hqueries(segments, 8, selectivity=0.001, seed=5)
+            total = 0
+            for q in qs:
+                reads, _t = query_cost(dev, pager, tree, q)
+                total += reads
+            costs.append(total / len(qs))
+        # Quadrupling n adds ~2 levels: the increase must be additive and
+        # small, nothing like the 4x of a linear scan.
+        assert costs[1] - costs[0] <= 14
+        assert costs[2] - costs[1] <= 14
+        assert costs[2] <= costs[0] + 30
+
+
+class TestBlockedPSTCosts:
+    def test_blocked_beats_binary_on_point_queries(self):
+        capacity = 64
+        n = 16384
+        segments = fan(n, seed=6)
+        dev_b, pager_b, binary = build(segments, capacity, fanout=2)
+        dev_k, pager_k, blocked = build(segments, capacity, fanout=capacity // 4)
+        qs = hqueries(segments, 10, selectivity=0.0005, seed=7)
+        cost_binary = sum(query_cost(dev_b, pager_b, binary, q)[0] for q in qs)
+        cost_blocked = sum(query_cost(dev_k, pager_k, blocked, q)[0] for q in qs)
+        assert cost_blocked < cost_binary
+
+    def test_blocked_io_near_height(self):
+        capacity = 64
+        segments = fan(16384, seed=8)
+        dev, pager, tree = build(segments, capacity, fanout=capacity // 4)
+        for q in hqueries(segments, 10, selectivity=0.0005, seed=9):
+            reads, t_out = query_cost(dev, pager, tree, q)
+            # height <= 3; two pages per node; small straddle factor.
+            assert reads <= 8 * tree.height() + 4 * (t_out / capacity) + 4
+
+
+class TestFindCosts:
+    def test_find_is_logarithmic(self):
+        capacity = 16
+        n = 8192
+        segments = fan(n, seed=10)
+        dev, pager, tree = build(segments, capacity, fanout=2)
+        log_term = math.log2(n / capacity)
+        for q in hqueries(segments, 10, selectivity=0.2, seed=11):
+            with pager.operation():
+                with Measurement(dev) as m:
+                    tree.find_leftmost(q)
+            # Find never pays the output term.
+            assert m.stats.reads <= 5 * log_term + 6, m.stats.reads

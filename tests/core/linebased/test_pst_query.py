@@ -1,0 +1,165 @@
+"""Query correctness of the external PST against the brute-force oracle."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linebased import ExternalPST
+from repro.geometry import HQuery, LineBasedSegment, lb_intersects
+from repro.iosim import BlockDevice, Pager
+from repro.workloads import fan, hqueries, shared_base_fans, verticals
+
+
+def build(segments, capacity=4, fanout=2):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = ExternalPST.build(pager, segments, fanout=fanout)
+    return dev, pager, tree
+
+
+def oracle(segments, q):
+    return sorted(s.label for s in segments if lb_intersects(s, q))
+
+
+class TestReport:
+    def test_empty_tree(self):
+        _d, _p, tree = build([])
+        assert tree.query(HQuery.line(5)) == []
+
+    def test_full_line_query_reports_tall_enough(self):
+        segments = fan(60, seed=1)
+        _d, _p, tree = build(segments)
+        q = HQuery.line(500)
+        assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)
+
+    def test_window_query_matches_oracle(self):
+        segments = fan(120, seed=2)
+        _d, _p, tree = build(segments, capacity=8)
+        for q in hqueries(segments, 25, selectivity=0.1, seed=3):
+            assert sorted(s.label for s in tree.query(q)) == oracle(segments, q), q
+
+    def test_no_duplicates(self):
+        segments = shared_base_fans(15, per_cluster=6, seed=4)
+        _d, _p, tree = build(segments, capacity=4)
+        for q in hqueries(segments, 10, selectivity=0.3, seed=5):
+            got = [s.label for s in tree.query(q)]
+            assert len(got) == len(set(got))
+
+    def test_touching_at_apex_counts(self):
+        s = LineBasedSegment(0, 4, 4, label="apex")
+        _d, _p, tree = build([s])
+        assert [x.label for x in tree.query(HQuery.segment(4, 0, 10))] == ["apex"]
+
+    def test_query_at_base_height(self):
+        segments = fan(40, seed=6)
+        _d, _p, tree = build(segments)
+        q = HQuery.line(0)  # every proper segment starts at h=0
+        assert len(tree.query(q)) == len(segments)
+
+    def test_query_above_everything(self):
+        segments = fan(40, max_height=100, seed=7)
+        _d, _p, tree = build(segments)
+        assert tree.query(HQuery.line(101)) == []
+
+    def test_ray_window(self):
+        segments = fan(80, seed=8)
+        _d, _p, tree = build(segments, capacity=8)
+        q = HQuery(h=50, ulo=100, uhi=None)  # unbounded right
+        assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)
+        q2 = HQuery(h=50, ulo=None, uhi=300)
+        assert sorted(s.label for s in tree.query(q2)) == oracle(segments, q2)
+
+    def test_blocked_pst_same_answers(self):
+        segments = fan(300, seed=9)
+        _d1, _p1, binary = build(segments, capacity=16, fanout=2)
+        _d2, _p2, blocked = build(segments, capacity=16, fanout=4)
+        for q in hqueries(segments, 15, selectivity=0.05, seed=10):
+            assert sorted(s.label for s in binary.query(q)) == sorted(
+                s.label for s in blocked.query(q)
+            )
+
+    def test_shared_base_cluster_queries(self):
+        segments = shared_base_fans(12, per_cluster=8, seed=11)
+        _d, _p, tree = build(segments, capacity=4)
+        for q in hqueries(segments, 20, selectivity=0.2, seed=12):
+            assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)
+
+    def test_verticals(self):
+        segments = verticals(100, seed=13)
+        _d, _p, tree = build(segments, capacity=8)
+        for q in hqueries(segments, 15, selectivity=0.1, seed=14):
+            assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)
+
+
+class TestFind:
+    def test_find_on_empty(self):
+        _d, _p, tree = build([])
+        assert tree.find_leftmost(HQuery.line(1)) is None
+
+    def test_find_none_when_no_hit(self):
+        segments = fan(30, max_height=100, seed=15)
+        _d, _p, tree = build(segments)
+        assert tree.find_leftmost(HQuery.line(200)) is None
+
+    def test_find_leftmost_matches_oracle(self):
+        segments = fan(150, seed=16)
+        _d, _p, tree = build(segments, capacity=8)
+        for q in hqueries(segments, 20, selectivity=0.1, seed=17):
+            hits = [s for s in segments if lb_intersects(s, q)]
+            result = tree.find_leftmost(q)
+            if not hits:
+                assert result is None
+            else:
+                expected = min(hits, key=lambda s: s.base_order_key())
+                assert result[0] == expected
+
+    def test_find_rightmost_matches_oracle(self):
+        segments = fan(150, seed=18)
+        _d, _p, tree = build(segments, capacity=8)
+        for q in hqueries(segments, 20, selectivity=0.1, seed=19):
+            hits = [s for s in segments if lb_intersects(s, q)]
+            result = tree.find_rightmost(q)
+            if not hits:
+                assert result is None
+            else:
+                expected = max(hits, key=lambda s: s.base_order_key())
+                assert result[0] == expected
+
+    def test_find_returns_home_node(self):
+        segments = fan(100, seed=20)
+        _d, pager, tree = build(segments, capacity=4)
+        q = hqueries(segments, 1, selectivity=0.2, seed=21)[0]
+        result = tree.find_leftmost(q)
+        if result is not None:
+            segment, pid = result
+            node = tree.read(pid)
+            assert segment in node.items
+
+
+@st.composite
+def fan_and_query(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(0, 10**6))
+    segments = fan(n, max_height=60, seed=seed)
+    h = draw(st.integers(0, 70))
+    span = 20 * n
+    ulo = draw(st.integers(-5, span))
+    width = draw(st.integers(0, span))
+    return segments, HQuery(h, ulo, ulo + width)
+
+
+@given(fan_and_query())
+@settings(max_examples=250, deadline=None)
+def test_pst_query_matches_oracle_property(case):
+    segments, q = case
+    _d, _p, tree = build(segments, capacity=4)
+    assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)
+
+
+@given(fan_and_query(), st.integers(2, 8))
+@settings(max_examples=120, deadline=None)
+def test_pst_query_oracle_any_fanout(case, fanout):
+    segments, q = case
+    _d, _p, tree = build(segments, capacity=8, fanout=fanout)
+    assert sorted(s.label for s in tree.query(q)) == oracle(segments, q)

@@ -1,0 +1,110 @@
+"""Unit tests for the witness-based search primitives (Figures 8–11).
+
+These pin down the invariant the reconstructed Find/Report rely on:
+classification of stored segments against a query, and band pruning by the
+tightest witnesses.
+"""
+
+from repro.core.linebased.search import BELOW, HIT, LEFT, RIGHT, _Bounds, classify
+from repro.geometry import HQuery, LineBasedSegment
+
+
+def seg(u0, u1, h1, label=None):
+    return LineBasedSegment(u0, u1, h1, label=label)
+
+
+class TestClassify:
+    Q = HQuery.segment(4, 10, 20)
+
+    def test_below(self):
+        assert classify(seg(0, 0, 3), self.Q) == BELOW
+
+    def test_left_witness(self):
+        assert classify(seg(0, 0, 10), self.Q) == LEFT
+
+    def test_right_witness(self):
+        assert classify(seg(30, 30, 10), self.Q) == RIGHT
+
+    def test_hit_interior(self):
+        assert classify(seg(15, 15, 10), self.Q) == HIT
+
+    def test_hit_at_window_edges(self):
+        assert classify(seg(10, 10, 4), self.Q) == HIT  # u = ulo, h = query h
+        assert classify(seg(20, 20, 100), self.Q) == HIT  # u = uhi
+
+    def test_slanted_segment_evaluated_at_query_height(self):
+        # Base at u=0 but leaning right: at h=4 it reaches u=12 (in window).
+        assert classify(seg(0, 24, 8), self.Q) == HIT
+
+    def test_unbounded_window_never_has_witnesses(self):
+        line = HQuery.line(4)
+        assert classify(seg(-(10**9), -(10**9), 10), line) == HIT
+        assert classify(seg(10**9, 10**9, 10), line) == HIT
+
+    def test_ray_window_one_sided(self):
+        ray = HQuery(4, ulo=10, uhi=None)
+        assert classify(seg(0, 0, 10), ray) == LEFT
+        assert classify(seg(10**6, 10**6, 10), ray) == HIT
+
+
+class TestBounds:
+    def test_left_witness_tightens_upward(self):
+        bounds = _Bounds()
+        bounds.absorb(seg(0, 0, 10), LEFT)
+        bounds.absorb(seg(5, 5, 10), LEFT)
+        bounds.absorb(seg(2, 2, 10), LEFT)  # looser: ignored
+        assert bounds.left == seg(5, 5, 10).base_order_key()
+
+    def test_right_witness_tightens_downward(self):
+        bounds = _Bounds()
+        bounds.absorb(seg(30, 30, 10), RIGHT)
+        bounds.absorb(seg(25, 25, 10), RIGHT)
+        bounds.absorb(seg(28, 28, 10), RIGHT)  # looser: ignored
+        assert bounds.right == seg(25, 25, 10).base_order_key()
+
+    def test_prunes_band_left(self):
+        bounds = _Bounds()
+        bounds.absorb(seg(5, 5, 10), LEFT)
+        lo = seg(0, 0, 10).base_order_key()
+        hi = seg(5, 5, 10).base_order_key()
+        assert bounds.prunes_band(lo, hi)  # entirely at-or-left of witness
+        hi2 = seg(6, 6, 10).base_order_key()
+        assert not bounds.prunes_band(lo, hi2)  # reaches past the witness
+
+    def test_prunes_band_right(self):
+        bounds = _Bounds()
+        bounds.absorb(seg(25, 25, 10), RIGHT)
+        lo = seg(25, 25, 10).base_order_key()
+        hi = seg(30, 30, 10).base_order_key()
+        assert bounds.prunes_band(lo, hi)
+        lo2 = seg(24, 24, 10).base_order_key()
+        assert not bounds.prunes_band(lo2, hi)
+
+    def test_no_witnesses_prunes_nothing(self):
+        bounds = _Bounds()
+        assert not bounds.prunes_band(
+            seg(0, 0, 1).base_order_key(), seg(100, 100, 1).base_order_key()
+        )
+
+    def test_below_absorption_is_ignored(self):
+        bounds = _Bounds()
+        bounds.absorb(seg(5, 5, 1), BELOW)
+        assert bounds.left is None and bounds.right is None
+
+
+class TestWitnessSoundness:
+    """The pruning rule itself: a witness only ever excludes non-hits."""
+
+    def test_left_witness_excludes_only_misses(self):
+        # Non-crossing set: witness w at u=10 (reaching h) proves every
+        # segment with a smaller base key that reaches h is left of it.
+        q = HQuery.segment(5, 12, 20)
+        witness = seg(10, 10, 10, label="w")
+        assert classify(witness, q) == LEFT
+        # Anything non-crossing with base key below the witness that
+        # reaches h=5 must evaluate left of the witness there.
+        others = [seg(2, 6, 10, label="a"), seg(9, 3, 6, label="b")]
+        for other in others:
+            assert other.base_order_key() < witness.base_order_key()
+            assert other.u_at(5) <= witness.u_at(5)
+            assert classify(other, q) != HIT

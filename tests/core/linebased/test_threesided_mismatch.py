@@ -1,0 +1,55 @@
+"""Reproduction of the paper's Figure 2.
+
+A segment query against line-based segments and the 3-sided query on their
+endpoint set *differ*: the figure's three cases are
+
+* segment 1 — intersected by the query AND endpoint inside the 3-sided
+  region (both queries agree);
+* segment 2 — intersected by the query but endpoint OUTSIDE the region
+  (a 3-sided query on endpoints would miss it);
+* segment 3 — endpoint INSIDE the region but segment NOT intersected
+  (a 3-sided query on endpoints would falsely report it).
+
+Despite the mismatch, the PST answers the segment query correctly (that is
+Section 2's point: the PST machinery transfers, the query semantics do
+not).
+"""
+
+from repro.core.linebased import ExternalPST
+from repro.geometry import HQuery, LineBasedSegment, lb_intersects
+from repro.iosim import BlockDevice, Pager
+
+# Query: height 4, u in [4, 10].
+QUERY = HQuery.segment(4, 4, 10)
+
+# The 3-sided region on apexes: u in [4, 10], h >= 4 (open above).
+# The three segments are mutually non-crossing (an NCT set).
+SEG1 = LineBasedSegment(6, 7, 6, label=1)    # hits query; apex (7, 6) inside
+SEG2 = LineBasedSegment(9, 11, 8, label=2)   # hits query at u=10; apex (11, 8) outside
+SEG3 = LineBasedSegment(0, 5, 9, label=3)    # apex (5, 9) inside; passes left of query
+
+
+def apex_in_three_sided(s, q):
+    return s.h1 >= q.h and q.ulo <= s.u1 <= q.uhi
+
+
+def test_segment1_agreement():
+    assert lb_intersects(SEG1, QUERY)
+    assert apex_in_three_sided(SEG1, QUERY)
+
+
+def test_segment2_query_hit_but_endpoint_outside():
+    assert lb_intersects(SEG2, QUERY)
+    assert not apex_in_three_sided(SEG2, QUERY)
+
+
+def test_segment3_endpoint_inside_but_no_intersection():
+    assert not lb_intersects(SEG3, QUERY)
+    assert apex_in_three_sided(SEG3, QUERY)
+
+
+def test_pst_answers_the_segment_query_not_the_3sided_one():
+    dev = BlockDevice(block_capacity=2)
+    tree = ExternalPST.build(Pager(dev), [SEG1, SEG2, SEG3])
+    got = sorted(s.label for s in tree.query(QUERY))
+    assert got == [1, 2]  # segment 3 excluded, segment 2 included

@@ -1,0 +1,80 @@
+"""Theorem 1 costs, measured: O(n) space; O(log2 n · log_B n + t) query."""
+
+import math
+
+from repro.core.solution1 import TwoLevelBinaryIndex
+from repro.geometry import VerticalQuery
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import grid_segments, segment_queries, stabbing_queries
+
+
+def build(segments, capacity=16, blocked=True):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    index = TwoLevelBinaryIndex.build(pager, segments, blocked=blocked)
+    return dev, pager, index
+
+
+class TestSpace:
+    def test_linear_space(self):
+        capacity = 16
+        for n in (1000, 4000):
+            segments = grid_segments(n, seed=1)
+            dev, _p, index = build(segments, capacity=capacity)
+            n_blocks = n / capacity
+            # Each segment is stored at most twice plus structural overhead.
+            assert dev.pages_in_use <= 14 * n_blocks, (n, dev.pages_in_use)
+
+    def test_space_scales_linearly(self):
+        capacity = 16
+        pages = []
+        for n in (1000, 2000, 4000):
+            segments = grid_segments(n, seed=2)
+            dev, _p, _index = build(segments, capacity=capacity)
+            pages.append(dev.pages_in_use)
+        # Doubling n should about double the pages (within 35%).
+        assert pages[1] / pages[0] < 2.7
+        assert pages[2] / pages[1] < 2.7
+
+
+class TestQueryCost:
+    def test_query_io_budget(self):
+        capacity = 16
+        n = 8192
+        segments = grid_segments(n, seed=3)
+        dev, pager, index = build(segments, capacity=capacity)
+        n_blocks = n / capacity
+        levels = math.log2(n_blocks)
+        per_level = 3 * math.log(n_blocks, capacity) + 8
+        for q in segment_queries(segments, 10, selectivity=0.01, seed=4):
+            with Measurement(dev) as m:
+                result = index.query(q)
+            budget = levels * per_level + 6 * (len(result) / capacity) + 10
+            assert m.stats.reads <= budget, (m.stats.reads, budget, len(result))
+
+    def test_growth_is_polylogarithmic(self):
+        capacity = 16
+        means = []
+        for n in (1024, 4096, 16384):
+            segments = grid_segments(n, seed=5)
+            dev, pager, index = build(segments, capacity=capacity)
+            qs = segment_queries(segments, 8, selectivity=0.001, seed=6)
+            total = 0
+            for q in qs:
+                with Measurement(dev) as m:
+                    index.query(q)
+                total += m.stats.reads
+            means.append(total / len(qs))
+        # 16x data growth: a linear scan would grow 16x; log^2 growth is
+        # under ~2.5x here.
+        assert means[2] / means[0] < 4, means
+
+    def test_stabbing_output_dominated(self):
+        capacity = 32
+        segments = grid_segments(2048, seed=7)
+        dev, pager, index = build(segments, capacity=capacity)
+        q = stabbing_queries(segments, 1, seed=8)[0]
+        with Measurement(dev) as m:
+            result = index.query(q)
+        if len(result) >= capacity:
+            assert m.stats.reads <= 30 * (len(result) / capacity) + 60

@@ -1,0 +1,117 @@
+"""Theorem 2 costs, measured: O(n log2 B) space; polylog query I/O."""
+
+import math
+
+from repro.core.solution1 import TwoLevelBinaryIndex
+from repro.core.solution2 import TwoLevelIntervalIndex
+from repro.geometry import Segment
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import grid_segments, segment_queries
+
+
+def build(segments, capacity=32, fanout=None):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    index = TwoLevelIntervalIndex.build(pager, segments, fanout=fanout)
+    return dev, pager, index
+
+
+class TestSpace:
+    def test_space_n_log_b(self):
+        capacity = 32
+        n = 4000
+        segments = grid_segments(n, seed=1)
+        dev, _p, _index = build(segments, capacity=capacity)
+        n_blocks = n / capacity
+        budget = 16 * n_blocks * math.log2(capacity)
+        assert dev.pages_in_use <= budget, (dev.pages_in_use, budget)
+
+    def test_space_scales_linearly_in_n(self):
+        capacity = 32
+        pages = []
+        for n in (1500, 3000, 6000):
+            segments = grid_segments(n, seed=2)
+            dev, _p, _i = build(segments, capacity=capacity)
+            pages.append(dev.pages_in_use)
+        assert pages[1] / pages[0] < 2.8
+        assert pages[2] / pages[1] < 2.8
+
+
+class TestQueryCost:
+    def test_query_io_budget(self):
+        capacity = 32
+        n = 8192
+        segments = grid_segments(n, seed=3)
+        dev, pager, index = build(segments, capacity=capacity)
+        n_blocks = n / capacity
+        level_cost = (
+            math.log(n_blocks, capacity) + math.log2(capacity)
+        )
+        levels = index.height()
+        for q in segment_queries(segments, 10, selectivity=0.01, seed=4):
+            with Measurement(dev) as m:
+                result = index.query(q)
+            budget = 10 * levels * level_cost + 8 * (len(result) / capacity) + 20
+            assert m.stats.reads <= budget, (m.stats.reads, budget, len(result))
+
+    def test_beats_solution1_at_scale(self):
+        """Theorem 2's point: replacing the binary first level by the
+        interval tree removes a log factor from queries."""
+        capacity = 64
+        n = 16384
+        segments = grid_segments(n, seed=5)
+        dev2, pager2, sol2 = build(segments, capacity=capacity)
+        dev1 = BlockDevice(block_capacity=capacity)
+        sol1 = TwoLevelBinaryIndex.build(Pager(dev1), segments)
+        queries = segment_queries(segments, 10, selectivity=0.002, seed=6)
+        cost1 = cost2 = 0
+        for q in queries:
+            with Measurement(dev1) as m1:
+                sol1.query(q)
+            cost1 += m1.stats.reads
+            with Measurement(dev2) as m2:
+                sol2.query(q)
+            cost2 += m2.stats.reads
+        assert cost2 < cost1, (cost2, cost1)
+
+    def test_growth_is_sublinear(self):
+        capacity = 32
+        means = []
+        for n in (2048, 8192):
+            segments = grid_segments(n, seed=7)
+            dev, pager, index = build(segments, capacity=capacity)
+            qs = segment_queries(segments, 8, selectivity=0.002, seed=8)
+            total = 0
+            for q in qs:
+                with Measurement(dev) as m:
+                    index.query(q)
+                total += m.stats.reads
+            means.append(total / len(qs))
+        # 4x data must not cost anywhere near 4x I/O.
+        assert means[1] / means[0] < 2.2, means
+
+
+class TestCascadeAblation:
+    def test_bridges_cheaper_on_long_heavy_workload(self):
+        import random
+
+        capacity = 64  # b = 16: a deep G with multi-level allocations
+        rng = random.Random(42)
+        wide = []
+        for i in range(4000):
+            left = rng.randrange(0, 60000)
+            right = left + rng.randrange(10000, 40000)
+            wide.append(
+                Segment.from_coords(left, 10 * i, right, 10 * i + 3, label=("w", i))
+            )
+        dev, pager, index = build(wide, capacity=capacity)
+        queries = segment_queries(wide, 12, selectivity=0.01, seed=9)
+        with_b = without = 0
+        for q in queries:
+            with Measurement(dev) as m:
+                index.query(q, use_bridges=True)
+            with_b += m.stats.reads
+            with Measurement(dev) as m:
+                index.query(q, use_bridges=False)
+            without += m.stats.reads
+        assert with_b < without, (with_b, without)

@@ -1,0 +1,226 @@
+"""Unit tests for the segment tree G with fractional cascading."""
+
+import random
+from fractions import Fraction
+
+from repro.core.solution2.gtree import BRIDGE_D, GTree
+from repro.core.solution2.slabs import LongFragment
+from repro.geometry import Segment
+from repro.iosim import BlockDevice, Measurement, Pager
+
+
+def make_fragment(boundaries, i, j, y_at_si, y_at_sj, label):
+    """A long fragment spanning boundaries i..j (1-based)."""
+    s_i, s_j = boundaries[i - 1], boundaries[j - 1]
+    payload = Segment.from_coords(s_i, y_at_si, s_j, y_at_sj, label=label)
+    return (i, j, LongFragment(s_i, s_j, y_at_si, y_at_sj, payload))
+
+
+def build(boundaries, fragments, capacity=8):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = GTree.build(pager, boundaries, fragments)
+    return dev, pager, tree
+
+
+def brute(fragments, x0, ylo, yhi):
+    out = set()
+    for _i, _j, frag in fragments:
+        if frag.x_left <= x0 <= frag.x_right:
+            y = frag.y_at(x0)
+            if (ylo is None or y >= ylo) and (yhi is None or y <= yhi):
+                out.add(frag.payload.label)
+    return sorted(out, key=str)
+
+
+def random_fragments(boundaries, n, seed, y_spread=1000):
+    """Non-crossing horizontal-ish fragments at distinct integer heights."""
+    rng = random.Random(seed)
+    b = len(boundaries)
+    heights = rng.sample(range(-y_spread, y_spread), n)
+    fragments = []
+    for idx, y in enumerate(sorted(heights)):
+        i = rng.randint(1, b - 1)
+        j = rng.randint(i + 1, b)
+        fragments.append(make_fragment(boundaries, i, j, y, y, ("f", idx)))
+    return fragments
+
+
+BOUNDARIES = [0, 10, 20, 30, 40, 50, 60, 70]
+
+
+class TestBuild:
+    def test_no_inner_slabs(self):
+        dev = BlockDevice(block_capacity=8)
+        assert GTree.build(Pager(dev), [5], []) is None
+
+    def test_empty_g(self):
+        _d, _p, g = build(BOUNDARIES, [])
+        assert g.query(35, None, None) == []
+        g.check_invariants()
+
+    def test_allocation_count_logarithmic(self):
+        # A fragment spanning everything allocates at O(log b) nodes, and
+        # each stored copy is cut to its allocation node's multislab.
+        frag = make_fragment(BOUNDARIES, 1, 8, 5, 5, "wide")
+        _d, _p, g = build(BOUNDARIES, [frag])
+        g.check_invariants()
+        stored = g.real_fragments()
+        assert 1 <= len(stored) <= 2 * 3  # 2 per level of a 7-leaf tree
+        # The stored pieces tile [s_1, s_8] without overlap.
+        spans = sorted((f.x_left, f.x_right) for f in stored)
+        assert spans[0][0] == 0 and spans[-1][1] == 70
+        for (l1, r1), (l2, r2) in zip(spans, spans[1:]):
+            assert r1 == l2
+
+    def test_query_single_fragment(self):
+        frag = make_fragment(BOUNDARIES, 2, 5, 100, 200, "f")
+        _d, _p, g = build(BOUNDARIES, [frag])
+        hits = g.query(25, None, None)
+        assert [h.payload.label for h in hits] == ["f"]
+        assert g.query(25, 0, 100) == []  # y at 25 is 150
+        hits = g.query(25, 145, 155)
+        assert [h.payload.label for h in hits] == ["f"]
+
+    def test_query_outside_inner_range(self):
+        frag = make_fragment(BOUNDARIES, 1, 8, 5, 5, "wide")
+        _d, _p, g = build(BOUNDARIES, [frag])
+        assert g.query(-5, None, None) == []
+        assert g.query(75, None, None) == []
+
+    def test_query_on_boundary_catches_enders(self):
+        # One fragment ends at s_4=30, another starts there.
+        ender = make_fragment(BOUNDARIES, 2, 4, 0, 0, "ender")
+        starter = make_fragment(BOUNDARIES, 4, 6, 10, 10, "starter")
+        _d, _p, g = build(BOUNDARIES, [ender, starter])
+        got = sorted(h.payload.label for h in g.query(30, None, None))
+        assert got == ["ender", "starter"]
+
+    def test_no_duplicates_on_boundary(self):
+        crosser = make_fragment(BOUNDARIES, 2, 6, 0, 0, "crosser")
+        _d, _p, g = build(BOUNDARIES, [crosser])
+        got = [h.payload.label for h in g.query(30, None, None)]
+        assert got == ["crosser"]
+
+
+class TestQueriesRandom:
+    def test_matches_bruteforce(self):
+        fragments = random_fragments(BOUNDARIES, 60, seed=1)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        g.check_invariants()
+        rng = random.Random(2)
+        for _ in range(40):
+            x0 = rng.randint(0, 70)
+            ylo = rng.randint(-1100, 1000)
+            yhi = ylo + rng.randint(0, 800)
+            got = sorted(
+                (h.payload.label for h in g.query(x0, ylo, yhi)), key=str
+            )
+            assert got == brute(fragments, x0, ylo, yhi), (x0, ylo, yhi)
+
+    def test_unbounded_windows(self):
+        fragments = random_fragments(BOUNDARIES, 40, seed=3)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        for x0 in (0, 15, 30, 55, 70):
+            for ylo, yhi in [(None, None), (0, None), (None, 0)]:
+                got = sorted(
+                    (h.payload.label for h in g.query(x0, ylo, yhi)), key=str
+                )
+                assert got == brute(fragments, x0, ylo, yhi), (x0, ylo, yhi)
+
+    def test_ablation_same_answers(self):
+        fragments = random_fragments(BOUNDARIES, 80, seed=4)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        rng = random.Random(5)
+        for _ in range(25):
+            x0 = rng.randint(0, 70)
+            ylo = rng.randint(-1100, 900)
+            yhi = ylo + rng.randint(0, 600)
+            with_b = sorted(
+                (h.payload.label for h in g.query(x0, ylo, yhi, use_bridges=True)),
+                key=str,
+            )
+            without = sorted(
+                (h.payload.label for h in g.query(x0, ylo, yhi, use_bridges=False)),
+                key=str,
+            )
+            assert with_b == without
+
+    def test_augmented_never_reported(self):
+        fragments = random_fragments(BOUNDARIES, 50, seed=6)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        for x0 in (5, 25, 45, 65):
+            for h in g.query(x0, None, None):
+                assert not h.augmented
+
+
+class TestBridges:
+    def test_d_property_after_build(self):
+        fragments = random_fragments(BOUNDARIES, 100, seed=7)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        g.check_d_property()
+
+    def test_bridges_reduce_io(self):
+        boundaries = list(range(0, 1700, 100))  # 17 boundaries, 16 inner slabs
+        fragments = random_fragments(boundaries, 3000, seed=8, y_spread=100000)
+        capacity = 32
+        dev, pager, g = build(boundaries, fragments, capacity=capacity)
+        rng = random.Random(9)
+        with_bridges = 0
+        without = 0
+        for _ in range(20):
+            x0 = rng.randint(0, 1600)
+            ylo = rng.randint(-100000, 90000)
+            yhi = ylo + 2000
+            with pager.operation():
+                with Measurement(dev) as m:
+                    g.query(x0, ylo, yhi, use_bridges=True)
+            with_bridges += m.stats.reads
+            with pager.operation():
+                with Measurement(dev) as m:
+                    g.query(x0, ylo, yhi, use_bridges=False)
+            without += m.stats.reads
+        assert with_bridges < without
+
+
+class TestInsert:
+    def test_insert_then_query(self):
+        fragments = random_fragments(BOUNDARIES, 30, seed=10)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        extra = make_fragment(BOUNDARIES, 1, 8, 5000, 5000, "new")
+        g.insert(extra[0], extra[1], extra[2])
+        got = [h.payload.label for h in g.query(35, 4999, 5001)]
+        assert got == ["new"]
+        everything = fragments + [extra]
+        got = sorted((h.payload.label for h in g.query(35, None, None)), key=str)
+        assert got == brute(everything, 35, None, None)
+
+    def test_many_inserts_trigger_bridge_rebuild(self):
+        fragments = random_fragments(BOUNDARIES, 40, seed=11)
+        dev, pager, g = build(BOUNDARIES, fragments, capacity=8)
+        rng = random.Random(12)
+        inserted = []
+        for k in range(60):
+            y = 2000 + 7 * k
+            i = rng.randint(1, 7)
+            j = rng.randint(i + 1, 8)
+            frag = make_fragment(BOUNDARIES, i, j, y, y, ("n", k))
+            g.insert(frag[0], frag[1], frag[2])
+            inserted.append(frag)
+        g.check_invariants()
+        everything = fragments + inserted
+        for x0 in (5, 25, 45, 65):
+            got = sorted((h.payload.label for h in g.query(x0, None, None)), key=str)
+            assert got == brute(everything, x0, None, None), x0
+
+    def test_total_count(self):
+        fragments = random_fragments(BOUNDARIES, 25, seed=13)
+        _d, _p, g = build(BOUNDARIES, fragments)
+        assert g.total_count() == 25
+
+
+def test_destroy_frees_pages():
+    fragments = random_fragments(BOUNDARIES, 50, seed=14)
+    dev, _p, g = build(BOUNDARIES, fragments)
+    g.destroy()
+    assert dev.pages_in_use == 0

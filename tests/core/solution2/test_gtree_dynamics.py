@@ -1,0 +1,125 @@
+"""Deeper dynamics of the G structure: stale hints, rebuilds, d-property
+maintenance under insertion streams."""
+
+import random
+
+from repro.core.solution2.gtree import GTree
+from repro.core.solution2.slabs import LongFragment
+from repro.geometry import Segment
+from repro.iosim import BlockDevice, Measurement, Pager
+
+BOUNDARIES = list(range(0, 900, 100))  # 8 inner slabs
+
+
+def frag(i, j, y, label):
+    s_i, s_j = BOUNDARIES[i - 1], BOUNDARIES[j - 1]
+    payload = Segment.from_coords(s_i - 1, y, s_j + 1, y, label=label)
+    return (i, j, LongFragment(s_i, s_j, y, y, payload))
+
+
+def fragments(n, seed, y_spread=10**6):
+    rng = random.Random(seed)
+    out = []
+    for idx, y in enumerate(sorted(rng.sample(range(-y_spread, y_spread), n))):
+        a = rng.randint(1, len(BOUNDARIES) - 1)
+        c = rng.randint(a + 1, len(BOUNDARIES))
+        out.append(frag(a, c, y, ("f", idx)))
+    return out
+
+
+def brute(frags, x0, ylo, yhi):
+    hits = set()
+    for _i, _j, f in frags:
+        if f.x_left <= x0 <= f.x_right:
+            y = f.y_at(x0)
+            if (ylo is None or y >= ylo) and (yhi is None or y <= yhi):
+                hits.add(f.payload.label)
+    return sorted(hits, key=str)
+
+
+def build(frags, capacity=8):
+    dev = BlockDevice(capacity)
+    pager = Pager(dev)
+    g = GTree.build(pager, BOUNDARIES, frags)
+    return dev, pager, g
+
+
+class TestStaleHints:
+    def test_queries_correct_between_bridge_rebuilds(self):
+        """Insertions shift list positions; bridge hints go stale but the
+        self-correcting navigation must keep answers exact."""
+        base = fragments(60, seed=1)
+        dev, pager, g = build(base)
+        rng = random.Random(2)
+        live = list(base)
+        for k in range(40):
+            a = rng.randint(1, len(BOUNDARIES) - 1)
+            c = rng.randint(a + 1, len(BOUNDARIES))
+            extra = frag(a, c, 2_000_000 + 31 * k, ("n", k))
+            g.insert(extra[0], extra[1], extra[2])
+            live.append(extra)
+            if k % 7 == 0:
+                for x0 in (50, 250, 550, 850):
+                    ylo = rng.randint(-10**6, 2_100_000)
+                    got = sorted(
+                        (h.payload.label for h in g.query(x0, ylo, ylo + 10**6)),
+                        key=str,
+                    )
+                    assert got == brute(live, x0, ylo, ylo + 10**6), (k, x0)
+
+    def test_manual_bridge_rebuild_is_idempotent(self):
+        base = fragments(50, seed=3)
+        _dev, _pager, g = build(base)
+        g.rebuild_bridges()
+        g.rebuild_bridges()
+        g.check_invariants()
+        g.check_d_property()
+        for x0 in (150, 450, 750):
+            got = sorted((h.payload.label for h in g.query(x0, None, None)),
+                         key=str)
+            assert got == brute(base, x0, None, None)
+
+    def test_d_property_restored_after_insert_burst(self):
+        base = fragments(40, seed=4)
+        _dev, _pager, g = build(base)
+        rng = random.Random(5)
+        for k in range(30):
+            a = rng.randint(1, len(BOUNDARIES) - 1)
+            c = rng.randint(a + 1, len(BOUNDARIES))
+            f = frag(a, c, 3_000_000 + 17 * k, ("m", k))
+            g.insert(f[0], f[1], f[2])
+        g.rebuild_bridges()
+        g.check_d_property()
+
+
+class TestCountersAndSpace:
+    def test_total_counter_tracks_inserts(self):
+        base = fragments(20, seed=6)
+        _dev, _pager, g = build(base)
+        assert g.total_count() == 20
+        f = frag(1, 8, 5_000_000, "wide")
+        g.insert(f[0], f[1], f[2])
+        assert g.total_count() == 21
+
+    def test_space_freed_and_rebuilt_on_bridge_refresh(self):
+        base = fragments(80, seed=7)
+        dev, _pager, g = build(base)
+        before = dev.pages_in_use
+        g.rebuild_bridges()
+        after = dev.pages_in_use
+        # Same structure rebuilt: space must not creep upward.
+        assert after <= before * 1.3
+
+    def test_query_io_reasonable_after_many_inserts(self):
+        base = fragments(100, seed=8)
+        dev, pager, g = build(base, capacity=16)
+        rng = random.Random(9)
+        for k in range(80):
+            a = rng.randint(1, len(BOUNDARIES) - 1)
+            c = rng.randint(a + 1, len(BOUNDARIES))
+            f = frag(a, c, 4_000_000 + 13 * k, ("q", k))
+            g.insert(f[0], f[1], f[2])
+        with pager.operation():
+            with Measurement(dev) as m:
+                g.query(450, 0, 100)
+        assert m.stats.reads <= 40

@@ -1,0 +1,177 @@
+"""Correctness of Solution 2 against the brute-force oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solution2 import TwoLevelIntervalIndex
+from repro.geometry import Segment, VerticalQuery, vs_intersects
+from repro.iosim import BlockDevice, Pager
+from repro.workloads import (
+    grid_segments,
+    grid_segments_touching,
+    mixed_queries,
+    monotone_polylines,
+    stabbing_queries,
+    version_history,
+)
+
+
+def build(segments, capacity=16, fanout=None, blocked=True):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    index = TwoLevelIntervalIndex.build(pager, segments, fanout=fanout, blocked=blocked)
+    return dev, pager, index
+
+
+def oracle(segments, q):
+    return sorted(s.label for s in segments if vs_intersects(s, q))
+
+
+class TestQueries:
+    def test_empty(self):
+        _d, _p, index = build([])
+        assert index.query(VerticalQuery.line(0)) == []
+
+    def test_leaf_only(self):
+        segments = grid_segments(10, seed=1)
+        _d, _p, index = build(segments)
+        for q in mixed_queries(segments, 9, seed=2):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q)
+
+    def test_grid_workload(self):
+        segments = grid_segments(400, seed=3)
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 30, selectivity=0.05, seed=4):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q), q
+
+    def test_touching_workload(self):
+        segments = grid_segments_touching(350, seed=5)
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 30, selectivity=0.05, seed=6):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q), q
+
+    def test_polyline_workload(self):
+        segments = monotone_polylines(8, points_per_line=40, seed=7)
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 30, selectivity=0.1, seed=8):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q), q
+
+    def test_temporal_workload(self):
+        segments = version_history(10, versions_per_key=30, seed=9)
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 30, selectivity=0.05, seed=10):
+            assert sorted(s.label for s in index.query(q)) == oracle(segments, q), q
+
+    def test_queries_on_slab_boundaries(self):
+        segments = grid_segments(300, seed=11)
+        _d, pager, index = build(segments, capacity=16)
+        view = index._read_view(index.root_pid)
+        for s_i in view.boundaries:
+            for q in (
+                VerticalQuery.line(s_i),
+                VerticalQuery.segment(s_i, 0, 4000),
+                VerticalQuery.ray_up(s_i, ylo=500),
+            ):
+                assert sorted(s.label for s in index.query(q)) == oracle(segments, q), q
+
+    def test_long_fragment_retrieval(self):
+        # Wide segments crossing many slabs exercise G specifically.
+        wide = [
+            Segment.from_coords(0, 10 * i, 5000, 10 * i + 5, label=("w", i))
+            for i in range(64)
+        ]
+        narrow = grid_segments(100, seed=12)
+        segments = wide + narrow
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 25, selectivity=0.1, seed=13):
+            assert sorted((s.label for s in index.query(q)), key=str) == sorted(
+                oracle(segments, q), key=str
+            ), q
+
+    def test_no_duplicates(self):
+        segments = grid_segments_touching(200, seed=14)
+        _d, _p, index = build(segments, capacity=16)
+        for q in stabbing_queries(segments, 20, seed=15):
+            got = [s.label for s in index.query(q)]
+            assert len(got) == len(set(got))
+
+    def test_ablation_matches(self):
+        segments = grid_segments(300, seed=16)
+        _d, _p, index = build(segments, capacity=16)
+        for q in mixed_queries(segments, 15, seed=17):
+            fast = sorted(s.label for s in index.query(q, use_bridges=True))
+            slow = sorted(s.label for s in index.query(q, use_bridges=False))
+            assert fast == slow
+
+    def test_matches_solution1(self):
+        from repro.core.solution1 import TwoLevelBinaryIndex
+
+        segments = version_history(6, versions_per_key=25, seed=18)
+        _d1, _p1, sol2 = build(segments, capacity=16)
+        dev = BlockDevice(block_capacity=16)
+        sol1 = TwoLevelBinaryIndex.build(Pager(dev), segments)
+        for q in mixed_queries(segments, 20, seed=19):
+            assert sorted(s.label for s in sol2.query(q)) == sorted(
+                s.label for s in sol1.query(q)
+            )
+
+    def test_invariants_after_build(self):
+        segments = grid_segments_touching(250, seed=20)
+        _d, _p, index = build(segments, capacity=16)
+        index.check_invariants()
+
+    def test_all_segments_roundtrip(self):
+        segments = grid_segments(150, seed=21)
+        _d, _p, index = build(segments, capacity=16)
+        assert sorted(s.label for s in index.all_segments()) == sorted(
+            s.label for s in segments
+        )
+
+    def test_height_shorter_than_solution1(self):
+        from repro.core.solution1 import TwoLevelBinaryIndex
+
+        segments = grid_segments(2000, seed=22)
+        _d, _p, sol2 = build(segments, capacity=64)
+        dev = BlockDevice(block_capacity=64)
+        sol1 = TwoLevelBinaryIndex.build(Pager(dev), segments)
+        assert sol2.height() < sol1.height()
+
+    def test_delete_not_supported(self):
+        segments = grid_segments(20, seed=23)
+        _d, _p, index = build(segments)
+        try:
+            index.delete(segments[0])
+            assert False
+        except NotImplementedError:
+            pass
+
+
+@st.composite
+def segments_and_query(draw):
+    kind = draw(st.sampled_from(["grid", "touch", "temporal"]))
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(3, 70))
+    if kind == "grid":
+        segments = grid_segments(n, cell_size=20, seed=seed)
+    elif kind == "touch":
+        segments = grid_segments_touching(n, cell_size=20, seed=seed)
+    else:
+        segments = version_history(max(1, n // 10), versions_per_key=10, seed=seed)
+    xmin = min(s.xmin for s in segments)
+    xmax = max(s.xmax for s in segments)
+    ymin = min(s.ymin for s in segments)
+    ymax = max(s.ymax for s in segments)
+    x0 = draw(st.integers(int(xmin) - 2, int(xmax) + 2))
+    y1 = draw(st.integers(int(ymin) - 2, int(ymax) + 2))
+    dy = draw(st.integers(0, int(ymax - ymin) + 4))
+    return segments, VerticalQuery.segment(x0, y1, y1 + dy)
+
+
+@given(segments_and_query())
+@settings(max_examples=120, deadline=None)
+def test_solution2_matches_oracle_property(case):
+    segments, q = case
+    _d, _p, index = build(segments, capacity=16, fanout=3)
+    assert sorted((s.label for s in index.query(q)), key=str) == sorted(
+        oracle(segments, q), key=str
+    )

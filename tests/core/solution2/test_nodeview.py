@@ -1,0 +1,59 @@
+"""Record-chain encoding of Solution 2's first-level nodes."""
+
+from repro.core.solution2.index import _NodeView
+
+
+def roundtrip(view_setup):
+    view = _NodeView(0, [])
+    view_setup(view)
+    decoded = _NodeView(0, view.records())
+    return view, decoded
+
+
+def test_full_roundtrip():
+    def setup(v):
+        v.boundaries = [10, 20, 30]
+        v.children = [100, 101, 102, 103]
+        v.c_roots = [None, 7, None]
+        v.l_metas = [("m", i) for i in range(3)]
+        v.r_metas = [("r", i) for i in range(3)]
+        v.g_pid = 55
+
+    view, decoded = roundtrip(setup)
+    assert decoded.boundaries == view.boundaries
+    assert decoded.children == view.children
+    assert decoded.c_roots == view.c_roots
+    assert decoded.l_metas == view.l_metas
+    assert decoded.r_metas == view.r_metas
+    assert decoded.g_pid == view.g_pid
+
+
+def test_no_g_roundtrip():
+    def setup(v):
+        v.boundaries = [5]
+        v.children = [1, 2]
+        v.c_roots = [None]
+        v.l_metas = [("m", 0)]
+        v.r_metas = [("r", 0)]
+        v.g_pid = None
+
+    _view, decoded = roundtrip(setup)
+    assert decoded.g_pid is None
+    assert len(decoded.children) == 2
+
+
+def test_records_are_order_insensitive_per_kind():
+    # The decoder appends per kind in record order; kinds may interleave.
+    records = [
+        ("child", 0, 100),
+        ("bound", 0, 10),
+        ("g", None, None),
+        ("lmeta", 0, ("m", 0)),
+        ("child", 1, 101),
+        ("rmeta", 0, ("r", 0)),
+        ("c", 0, None),
+    ]
+    view = _NodeView(9, records)
+    assert view.boundaries == [10]
+    assert view.children == [100, 101]
+    assert view.g_pid is None

@@ -1,0 +1,120 @@
+"""Tests for slab arithmetic and fragment splitting (paper Figures 5–6)."""
+
+from fractions import Fraction
+
+from repro.core.solution2 import (
+    boundary_index,
+    choose_boundaries,
+    slab_of,
+    split_segment,
+)
+from repro.geometry import Segment
+
+BOUNDS = [10, 20, 30, 40]
+
+
+def seg(x1, y1, x2, y2, label="s"):
+    return Segment.from_coords(x1, y1, x2, y2, label=label)
+
+
+class TestSlabArithmetic:
+    def test_slab_of(self):
+        assert slab_of(BOUNDS, 5) == 0
+        assert slab_of(BOUNDS, 10) == 1  # boundary belongs to the right slab
+        assert slab_of(BOUNDS, 15) == 1
+        assert slab_of(BOUNDS, 40) == 4
+        assert slab_of(BOUNDS, 99) == 4
+
+    def test_boundary_index(self):
+        assert boundary_index(BOUNDS, 10) == 1
+        assert boundary_index(BOUNDS, 40) == 4
+        assert boundary_index(BOUNDS, 15) is None
+
+    def test_choose_boundaries_distinct(self):
+        segments = [seg(i, 0, i + 1, 1, label=i) for i in range(50)]
+        bounds = choose_boundaries(segments, 4)
+        assert bounds == sorted(set(bounds))
+        assert len(bounds) <= 4
+
+
+class TestSplitting:
+    def test_spanning_segment_figure6(self):
+        # Spans slabs completely: one long fragment + two short ones.
+        s = seg(5, 0, 45, 40)
+        split = split_segment(BOUNDS, s)
+        assert split.on_line is None
+        i, left = split.left_short
+        assert i == 1
+        assert left.h1 == 5  # 10 - 5
+        j, right = split.right_short
+        assert j == 4
+        assert right.h1 == 5  # 45 - 40
+        a, c, frag = split.long
+        assert (a, c) == (1, 4)
+        assert frag.x_left == 10 and frag.x_right == 40
+        assert frag.y_at(10) == Fraction(5)
+        assert frag.payload is s
+
+    def test_one_boundary_only_two_shorts(self):
+        s = seg(15, 0, 25, 10)
+        split = split_segment(BOUNDS, s)
+        assert split.long is None
+        assert split.left_short[0] == 2
+        assert split.right_short[0] == 2
+
+    def test_no_boundary_returns_none(self):
+        assert split_segment(BOUNDS, seg(11, 0, 19, 5)) is None
+
+    def test_endpoint_on_boundary_no_left_short(self):
+        s = seg(10, 0, 35, 25)
+        split = split_segment(BOUNDS, s)
+        assert split.left_short is None
+        assert split.long[0] == 1 and split.long[1] == 3
+        assert split.right_short[0] == 3
+
+    def test_endpoint_on_boundary_no_right_short(self):
+        s = seg(5, 0, 30, 25)
+        split = split_segment(BOUNDS, s)
+        assert split.right_short is None
+        assert split.left_short[0] == 1
+        assert split.long == (1, 3, split.long[2])
+
+    def test_touching_single_boundary_from_left(self):
+        s = seg(5, 0, 10, 5)
+        split = split_segment(BOUNDS, s)
+        assert split.long is None and split.right_short is None
+        assert split.left_short[0] == 1
+
+    def test_vertical_on_boundary(self):
+        s = seg(20, 3, 20, 9)
+        split = split_segment(BOUNDS, s)
+        assert split.on_line == (2, (3, 9))
+        assert split.left_short is None and split.right_short is None
+
+    def test_vertical_off_boundary(self):
+        assert split_segment(BOUNDS, seg(21, 3, 21, 9)) is None
+
+    def test_fragment_count_bound(self):
+        # At most 1 long + 2 short fragments per segment (paper's bound).
+        for s in [seg(5, 0, 45, 1), seg(12, 0, 38, 1), seg(10, 0, 40, 1)]:
+            split = split_segment(BOUNDS, s)
+            pieces = sum(
+                1
+                for p in (split.left_short, split.right_short, split.long)
+                if p is not None
+            )
+            assert pieces <= 3
+
+    def test_fragments_tile_the_segment(self):
+        s = seg(5, 0, 45, 40)
+        split = split_segment(BOUNDS, s)
+        # left short covers [5,10]; long [10,40]; right short [40,45].
+        _i, left = split.left_short
+        _j, right = split.right_short
+        _a, _c, frag = split.long
+        assert left.h1 == 5
+        assert frag.x_left == 10 and frag.x_right == 40
+        assert right.h1 == 5
+        # The cut ordinates agree with the original segment.
+        assert frag.y_at(10) == s.y_at(10)
+        assert frag.y_at(40) == s.y_at(40)

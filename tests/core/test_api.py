@@ -1,0 +1,159 @@
+"""Tests for the SegmentDatabase facade."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    CrossingError,
+    Point,
+    Segment,
+    SegmentDatabase,
+    VerticalQuery,
+    vs_intersects,
+)
+from repro.workloads import grid_segments, mixed_queries
+
+
+def oracle(segments, q):
+    return sorted((s.label for s in segments if vs_intersects(s, q)), key=str)
+
+
+class TestFacade:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentDatabase(engine="btree")
+
+    def test_all_engines_agree(self):
+        segments = grid_segments(150, seed=1)
+        queries = mixed_queries(segments, 12, seed=2)
+        dbs = [
+            SegmentDatabase.bulk_load(segments, engine=e, block_capacity=16)
+            for e in ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+        ]
+        for q in queries:
+            answers = [sorted((s.label for s in db.query(q)), key=str) for db in dbs]
+            assert all(a == answers[0] for a in answers), q
+
+    def test_bulk_load_validates_nct(self):
+        crossing = [
+            Segment.from_coords(0, 0, 2, 2, label="a"),
+            Segment.from_coords(0, 2, 2, 0, label="b"),
+        ]
+        with pytest.raises(CrossingError):
+            SegmentDatabase.bulk_load(crossing, validate=True)
+
+    def test_validated_insert_rejects_crossing(self):
+        db = SegmentDatabase.bulk_load(
+            [Segment.from_coords(0, 0, 4, 4, label="a")],
+            engine="solution1",
+            validate=True,
+        )
+        with pytest.raises(ValueError):
+            db.insert(Segment.from_coords(0, 4, 4, 0, label="b"))
+
+    def test_io_stats_reset_after_build(self):
+        segments = grid_segments(100, seed=3)
+        db = SegmentDatabase.bulk_load(segments, block_capacity=16)
+        assert db.io_stats().total == 0  # build cost excluded from stats
+        db.query(VerticalQuery.line(50))
+        assert db.io_stats().reads > 0
+        db.reset_io_stats()
+        assert db.io_stats().total == 0
+
+    def test_space_in_blocks(self):
+        segments = grid_segments(200, seed=4)
+        db = SegmentDatabase.bulk_load(segments, block_capacity=16)
+        assert db.space_in_blocks() > 0
+
+    def test_stab_shortcut(self):
+        segments = grid_segments(80, seed=5)
+        db = SegmentDatabase.bulk_load(segments, block_capacity=16)
+        q = VerticalQuery.line(150)
+        assert sorted((s.label for s in db.stab(150)), key=str) == oracle(segments, q)
+
+    def test_len_and_all_segments(self):
+        segments = grid_segments(60, seed=6)
+        for engine in ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree"):
+            db = SegmentDatabase.bulk_load(segments, engine=engine, block_capacity=16)
+            assert len(db) == 60
+            assert sorted(s.label for s in db.all_segments()) == sorted(
+                s.label for s in segments
+            )
+
+    def test_delete_on_solution1(self):
+        segments = grid_segments(50, seed=7)
+        db = SegmentDatabase.bulk_load(segments, engine="solution1", block_capacity=16)
+        assert db.delete(segments[0])
+        assert len(db) == 49
+
+    def test_delete_on_solution2_raises(self):
+        segments = grid_segments(20, seed=8)
+        db = SegmentDatabase.bulk_load(segments, engine="solution2", block_capacity=16)
+        with pytest.raises(NotImplementedError):
+            db.delete(segments[0])
+
+    def test_buffer_pool_reduces_io(self):
+        segments = grid_segments(1000, seed=9)
+        queries = mixed_queries(segments, 10, seed=10)
+        cold = SegmentDatabase.bulk_load(segments, block_capacity=16)
+        warm = SegmentDatabase.bulk_load(segments, block_capacity=16, buffer_pages=256)
+        for q in queries:
+            cold.query(q)
+            warm.query(q)
+        assert warm.io_stats().reads < cold.io_stats().reads
+
+    def test_insert_each_engine(self):
+        extra = Segment.from_coords(-50, -50, -40, -45, label="x")
+        for engine in ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree"):
+            db = SegmentDatabase.bulk_load(
+                grid_segments(40, seed=11), engine=engine, block_capacity=16
+            )
+            db.insert(extra)
+            assert len(db) == 41
+            q = VerticalQuery.segment(-45, -50, -40)
+            assert "x" in {s.label for s in db.query(q)}
+
+
+class TestDirectedQueries:
+    def test_slope_one_queries(self):
+        # Data: NCT segments; queries with angular coefficient 1.
+        data = [
+            Segment.from_coords(0, 2, 4, 0, label="hit"),
+            Segment.from_coords(0, 5, 4, 6, label="miss"),
+            Segment.from_coords(2, 1, 2, 3, label="touch"),
+        ]
+        db = SegmentDatabase.with_direction(data, slope=1, block_capacity=16)
+        got = sorted(
+            s.label for s in db.query_through(Point(1, 0), Point(3, 2))
+        )
+        assert got == ["hit", "touch"]
+
+    def test_reported_segments_are_original_frame(self):
+        data = [Segment.from_coords(0, 2, 4, 0, label="hit")]
+        db = SegmentDatabase.with_direction(data, slope=1, block_capacity=16)
+        (hit,) = db.query_through(Point(1, 0), Point(3, 2))
+        assert hit == data[0]
+
+    def test_horizontal_direction(self):
+        data = [
+            Segment.from_coords(1, 0, 1, 10, label="v1"),
+            Segment.from_coords(5, -5, 5, 3, label="v2"),
+            Segment.from_coords(7, 4, 9, 8, label="d"),
+        ]
+        db = SegmentDatabase.with_direction(data, slope=0, block_capacity=16)
+        # Horizontal line y = 2 crosses v1 and v2.
+        got = sorted(s.label for s in db.query_through(Point(0, 2)))
+        assert got == ["v1", "v2"]
+
+    def test_directed_insert(self):
+        db = SegmentDatabase.with_direction([], slope=1, block_capacity=16)
+        db.insert(Segment.from_coords(0, 2, 4, 0, label="late"))
+        assert len(db) == 1
+        got = db.query_through(Point(1, 0), Point(3, 2))
+        assert [s.label for s in got] == ["late"]
+
+    def test_wrong_slope_rejected(self):
+        db = SegmentDatabase.with_direction([], slope=1, block_capacity=16)
+        with pytest.raises(ValueError):
+            db.query_through(Point(0, 0), Point(1, 5))

@@ -1,0 +1,159 @@
+"""Tests for the future-work extensions (arbitrary slopes, deletions)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extensions import ArbitraryQueryIndex, TombstoneDeletions
+from repro.core.solution2 import TwoLevelIntervalIndex
+from repro.geometry import Segment, VerticalQuery, segments_intersect, vs_intersects
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.workloads import grid_segments, grid_segments_touching, mixed_queries
+
+
+def build_arbitrary(segments, capacity=16):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    return dev, pager, ArbitraryQueryIndex.build(pager, segments)
+
+
+class TestArbitraryQueries:
+    def test_matches_bruteforce_random_slopes(self):
+        segments = grid_segments(300, seed=1)
+        _d, _p, index = build_arbitrary(segments)
+        rng = random.Random(2)
+        for _ in range(25):
+            x1 = rng.randrange(0, 1700)
+            y1 = rng.randrange(0, 1700)
+            q = Segment.from_coords(
+                x1, y1, x1 + rng.randrange(1, 400),
+                y1 + rng.randrange(-400, 400) or 7, label="q",
+            )
+            expected = sorted(
+                (s.label for s in segments if segments_intersect(s, q)), key=str
+            )
+            got = sorted((s.label for s in index.query_segment(q)), key=str)
+            assert got == expected, q
+
+    def test_vertical_parity_with_engines(self):
+        segments = grid_segments_touching(250, seed=3)
+        _d, _p, index = build_arbitrary(segments)
+        for q in mixed_queries(segments, 15, seed=4):
+            expected = sorted(
+                (s.label for s in segments if vs_intersects(s, q)), key=str
+            )
+            got = sorted((s.label for s in index.query_vertical(q)), key=str)
+            assert got == expected, q
+
+    def test_no_duplicates(self):
+        # Long segments: stab(a) and the range scan must not double-report.
+        segments = [
+            Segment.from_coords(0, 5 * i, 2000, 5 * i + 2, label=i)
+            for i in range(50)
+        ]
+        _d, _p, index = build_arbitrary(segments)
+        q = Segment.from_coords(500, 0, 900, 260, label="q")
+        got = [s.label for s in index.query_segment(q)]
+        assert len(got) == len(set(got))
+
+    def test_insert_then_query(self):
+        segments = grid_segments(100, seed=5)
+        _d, _p, index = build_arbitrary(segments)
+        s = Segment.from_coords(-100, -100, -50, -60, label="late")
+        index.insert(s)
+        assert len(index) == 101
+        q = Segment.from_coords(-80, -120, -80, -40, label="q")
+        assert "late" in {x.label for x in index.query_segment(q)}
+
+    def test_narrow_query_is_cheap(self):
+        segments = grid_segments(4096, seed=6)
+        dev, pager, index = build_arbitrary(segments, capacity=32)
+        q = Segment.from_coords(1000, 0, 1030, 500, label="q")
+        with Measurement(dev) as m:
+            index.query_segment(q)
+        # Candidates are one stab column plus a 30-wide start scan.
+        assert m.stats.reads <= 60
+
+
+def make_tombstoned(segments, capacity=16):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+
+    def factory(segs):
+        return TwoLevelIntervalIndex.build(pager, segs)
+
+    return dev, TombstoneDeletions(factory, segments)
+
+
+class TestTombstoneDeletions:
+    def test_delete_hides_segment(self):
+        segments = grid_segments(120, seed=7)
+        _d, db = make_tombstoned(segments)
+        victim = segments[0]
+        assert db.delete(victim)
+        for q in mixed_queries(segments, 10, seed=8):
+            assert victim.label not in {s.label for s in db.query(q)}
+
+    def test_delete_missing_returns_false(self):
+        segments = grid_segments(30, seed=9)
+        _d, db = make_tombstoned(segments)
+        ghost = Segment.from_coords(-5, -5, -1, -1, label="ghost")
+        assert not db.delete(ghost)
+
+    def test_double_delete_returns_false(self):
+        segments = grid_segments(30, seed=10)
+        _d, db = make_tombstoned(segments)
+        assert db.delete(segments[3])
+        assert not db.delete(segments[3])
+
+    def test_reinsert_after_delete(self):
+        segments = grid_segments(60, seed=11)
+        _d, db = make_tombstoned(segments)
+        victim = segments[5]
+        db.delete(victim)
+        db.insert(victim)
+        q = VerticalQuery.line(victim.start.x)
+        assert victim.label in {s.label for s in db.query(q)}
+
+    def test_rebuild_compacts_tombstones(self):
+        segments = grid_segments(100, seed=12)
+        _d, db = make_tombstoned(segments)
+        for s in segments[:70]:
+            db.delete(s)
+        assert db.tombstone_count < 70  # a rebuild fired along the way
+        assert len(db) == 30
+        assert len(db.all_segments()) == 30
+
+    def test_matches_solution1_deletions(self):
+        from repro.core.solution1 import TwoLevelBinaryIndex
+
+        segments = grid_segments(150, seed=13)
+        _d, tomb = make_tombstoned(segments)
+        dev = BlockDevice(block_capacity=16)
+        real = TwoLevelBinaryIndex.build(Pager(dev), segments)
+        rng = random.Random(14)
+        for s in rng.sample(segments, 60):
+            assert tomb.delete(s)
+            assert real.delete(s)
+        for q in mixed_queries(segments, 12, seed=15):
+            assert sorted((s.label for s in tomb.query(q)), key=str) == sorted(
+                (s.label for s in real.query(q)), key=str
+            )
+
+
+@given(st.integers(0, 10**6), st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_query_property(seed, span):
+    segments = grid_segments(60, cell_size=20, seed=seed)
+    _d, _p, index = build_arbitrary(segments)
+    rng = random.Random(seed)
+    x1, y1 = rng.randrange(0, 160), rng.randrange(0, 160)
+    q = Segment.from_coords(x1, y1, x1 + span, y1 + rng.randrange(-40, 41) or 3,
+                            label="q")
+    expected = sorted(
+        (s.label for s in segments if segments_intersect(s, q)), key=str
+    )
+    got = sorted((s.label for s in index.query_segment(q)), key=str)
+    assert got == expected

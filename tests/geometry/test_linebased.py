@@ -1,0 +1,127 @@
+"""Unit tests for line-based segments and constant-height queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import HQuery, LineBasedSegment, lb_cross, lb_intersects
+
+
+class TestLineBasedSegment:
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            LineBasedSegment(0, 1, -1)
+
+    def test_point_rejected(self):
+        with pytest.raises(ValueError):
+            LineBasedSegment(2, 2, 0)
+
+    def test_on_base_line(self):
+        s = LineBasedSegment(0, 5, 0)
+        assert s.on_base_line
+
+    def test_u_at_exact(self):
+        s = LineBasedSegment(0, 3, 3)
+        assert s.u_at(1) == 1
+        assert s.u_at(Fraction(1, 2)) == Fraction(1, 2)
+        assert s.u_at(0) == 0
+        assert s.u_at(3) == 3
+
+    def test_u_at_out_of_range(self):
+        s = LineBasedSegment(0, 3, 3)
+        with pytest.raises(ValueError):
+            s.u_at(4)
+
+    def test_u_at_on_base_line_raises(self):
+        with pytest.raises(ValueError):
+            LineBasedSegment(0, 5, 0).u_at(0)
+
+    def test_base_order_key_orders_by_base_point(self):
+        a = LineBasedSegment(0, 10, 5)
+        b = LineBasedSegment(1, -10, 5)
+        assert a.base_order_key() < b.base_order_key()
+
+    def test_base_order_key_breaks_ties_by_angle(self):
+        # Two segments sharing a base point, fanning out: the one leaning
+        # left comes first.
+        left = LineBasedSegment(0, -5, 5, label="L")
+        right = LineBasedSegment(0, 5, 5, label="R")
+        assert left.base_order_key() < right.base_order_key()
+
+    def test_base_order_key_on_line_segments(self):
+        going_left = LineBasedSegment(0, -5, 0)
+        going_right = LineBasedSegment(0, 5, 0)
+        upward = LineBasedSegment(0, 0, 5)
+        # On-line leftward < any proper segment at same base < on-line rightward.
+        assert going_left.base_order_key() < upward.base_order_key()
+        assert upward.base_order_key() < going_right.base_order_key()
+
+
+class TestHQuery:
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            HQuery(-1, 0, 1)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            HQuery(1, 2, 1)
+
+    def test_line_query_unbounded(self):
+        q = HQuery.line(2)
+        assert q.covers_u(-(10**15)) and q.covers_u(10**15)
+
+
+class TestLbIntersects:
+    def test_hit(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert lb_intersects(s, HQuery.segment(2, 0, 3))
+
+    def test_query_above_apex_misses(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert not lb_intersects(s, HQuery.segment(5, -100, 100))
+
+    def test_touch_at_apex_counts(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert lb_intersects(s, HQuery.segment(4, 4, 10))
+
+    def test_touch_at_base_counts(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert lb_intersects(s, HQuery.segment(0, -2, 0))
+
+    def test_u_window_misses(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert not lb_intersects(s, HQuery.segment(2, 3, 10))
+        assert not lb_intersects(s, HQuery.segment(2, -10, 1))
+
+    def test_on_line_segment_needs_h_zero(self):
+        s = LineBasedSegment(0, 5, 0)
+        assert lb_intersects(s, HQuery.segment(0, 4, 9))
+        assert not lb_intersects(s, HQuery.segment(1, 4, 9))
+        assert not lb_intersects(s, HQuery.segment(0, 6, 9))
+
+    def test_line_kind_query(self):
+        s = LineBasedSegment(0, 4, 4)
+        assert lb_intersects(s, HQuery.line(2))
+        assert not lb_intersects(s, HQuery.line(5))
+
+    def test_exact_boundary(self):
+        s = LineBasedSegment(0, 3, 3)  # u at h=1 is exactly 1
+        assert lb_intersects(s, HQuery.segment(1, 1, 2))
+        assert not lb_intersects(s, HQuery.segment(1, Fraction(10**9 + 1, 10**9), 2))
+
+
+class TestLbCross:
+    def test_fan_does_not_cross(self):
+        a = LineBasedSegment(0, -5, 5, label="a")
+        b = LineBasedSegment(0, 5, 5, label="b")
+        assert not lb_cross(a, b)
+
+    def test_crossing_detected(self):
+        a = LineBasedSegment(0, 4, 4, label="a")
+        b = LineBasedSegment(2, -2, 4, label="b")
+        assert lb_cross(a, b)
+
+    def test_parallel_disjoint(self):
+        a = LineBasedSegment(0, 0, 4, label="a")  # vertical-ish in frame
+        b = LineBasedSegment(2, 2, 4, label="b")
+        assert not lb_cross(a, b)

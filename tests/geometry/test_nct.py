@@ -1,0 +1,124 @@
+"""Tests for NCT validation: brute force oracle and plane sweep."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CrossingError,
+    Segment,
+    find_crossing_bruteforce,
+    find_crossing_sweep,
+    segments_cross,
+    validate_nct,
+)
+
+
+def seg(x1, y1, x2, y2, label=None):
+    return Segment.from_coords(x1, y1, x2, y2, label=label)
+
+
+class TestBruteForce:
+    def test_empty_set(self):
+        assert find_crossing_bruteforce([]) is None
+
+    def test_touching_chain_is_clean(self):
+        chain = [seg(i, i % 2, i + 1, (i + 1) % 2, label=i) for i in range(10)]
+        assert find_crossing_bruteforce(chain) is None
+
+    def test_crossing_found(self):
+        pair = find_crossing_bruteforce(
+            [seg(0, 0, 2, 2, label="a"), seg(0, 2, 2, 0, label="b")]
+        )
+        assert pair is not None
+        assert segments_cross(*pair)
+
+
+class TestValidate:
+    def test_validate_clean_set(self):
+        validate_nct([seg(0, 0, 1, 1), seg(2, 0, 3, 1)])
+
+    def test_validate_raises_with_pair(self):
+        with pytest.raises(CrossingError) as exc:
+            validate_nct([seg(0, 0, 2, 2, label="a"), seg(0, 2, 2, 0, label="b")])
+        labels = {s.label for s in exc.value.pair}
+        assert labels == {"a", "b"}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            validate_nct([], method="magic")
+
+    def test_explicit_methods_agree(self):
+        data = [seg(0, 0, 4, 0), seg(1, 0, 1, 3), seg(2, -5, 2, 0), seg(0, 4, 4, 4)]
+        validate_nct(data, method="brute")
+        validate_nct(data, method="sweep")
+
+
+class TestSweepDegenerateCases:
+    def test_vertical_vertical_overlap(self):
+        bad = [seg(1, 0, 1, 4, label="a"), seg(1, 3, 1, 6, label="b")]
+        assert find_crossing_sweep(bad) is not None
+
+    def test_vertical_vertical_touch_ok(self):
+        good = [seg(1, 0, 1, 4), seg(1, 4, 1, 6)]
+        assert find_crossing_sweep(good) is None
+
+    def test_vertical_crossing_diagonal(self):
+        bad = [seg(1, -2, 1, 2, label="v"), seg(0, 0, 2, 0, label="h")]
+        assert find_crossing_sweep(bad) is not None
+
+    def test_vertical_t_junction_ok(self):
+        good = [seg(1, 0, 1, 2), seg(0, 0, 2, 0)]
+        assert find_crossing_sweep(good) is None
+
+    def test_shared_endpoint_star_ok(self):
+        star = [
+            seg(0, 0, 2, 1, label=1),
+            seg(0, 0, 2, -1, label=2),
+            seg(0, 0, -2, 1, label=3),
+            seg(0, 0, 2, 0, label=4),
+        ]
+        assert find_crossing_sweep(star) is None
+
+    def test_crossing_through_shared_point(self):
+        # Two segments crossing exactly at a third segment's endpoint.
+        bad = [
+            seg(0, 0, 4, 4, label="a"),
+            seg(0, 4, 4, 0, label="b"),
+            seg(2, 2, 5, 2, label="c"),  # touches both at their crossing
+        ]
+        assert find_crossing_sweep(bad) is not None
+
+    def test_collinear_overlap_detected(self):
+        bad = [seg(0, 0, 3, 3, label="a"), seg(1, 1, 4, 4, label="b")]
+        assert find_crossing_sweep(bad) is not None
+
+    def test_collinear_chain_ok(self):
+        good = [seg(0, 0, 1, 1), seg(1, 1, 2, 2), seg(2, 2, 3, 3)]
+        assert find_crossing_sweep(good) is None
+
+
+@st.composite
+def random_segments(draw):
+    """Small random segment sets on an 8x8 grid: degeneracies are frequent."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    segments = []
+    for i in range(n):
+        x1 = draw(st.integers(0, 8))
+        y1 = draw(st.integers(0, 8))
+        x2 = draw(st.integers(0, 8))
+        y2 = draw(st.integers(0, 8))
+        if (x1, y1) == (x2, y2):
+            x2 = x1 + 1
+        segments.append(seg(x1, y1, x2, y2, label=i))
+    return segments
+
+
+@given(random_segments())
+@settings(max_examples=400, deadline=None)
+def test_sweep_agrees_with_bruteforce(segments):
+    brute = find_crossing_bruteforce(segments)
+    swept = find_crossing_sweep(segments)
+    assert (brute is None) == (swept is None)
+    if swept is not None:
+        assert segments_cross(*swept)

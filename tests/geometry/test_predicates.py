@@ -1,0 +1,172 @@
+"""Unit tests for exact geometric predicates."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    Segment,
+    on_segment,
+    orientation,
+    segments_cross,
+    segments_intersect,
+    segments_touch,
+)
+
+
+def seg(x1, y1, x2, y2, label=None):
+    return Segment.from_coords(x1, y1, x2, y2, label=label)
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_exact_with_fractions(self):
+        a = Point(0, 0)
+        b = Point(Fraction(1, 3), Fraction(1, 3))
+        c = Point(Fraction(2, 3), Fraction(2, 3))
+        assert orientation(a, b, c) == 0
+
+
+class TestOnSegment:
+    def test_interior_point(self):
+        assert on_segment(Point(1, 1), seg(0, 0, 2, 2))
+
+    def test_endpoint(self):
+        assert on_segment(Point(0, 0), seg(0, 0, 2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment(Point(3, 3), seg(0, 0, 2, 2))
+
+    def test_off_line(self):
+        assert not on_segment(Point(1, 0), seg(0, 0, 2, 2))
+
+    def test_vertical_segment(self):
+        assert on_segment(Point(1, 1), seg(1, 0, 1, 2))
+        assert not on_segment(Point(1, 3), seg(1, 0, 1, 2))
+
+
+class TestCrossVsTouch:
+    def test_proper_crossing_is_cross(self):
+        s1 = seg(0, 0, 2, 2)
+        s2 = seg(0, 2, 2, 0)
+        assert segments_intersect(s1, s2)
+        assert segments_cross(s1, s2)
+        assert not segments_touch(s1, s2)
+
+    def test_shared_endpoint_is_touch(self):
+        s1 = seg(0, 0, 1, 1)
+        s2 = seg(1, 1, 2, 0)
+        assert segments_intersect(s1, s2)
+        assert segments_touch(s1, s2)
+        assert not segments_cross(s1, s2)
+
+    def test_t_junction_is_touch(self):
+        spine = seg(0, 0, 2, 0)
+        stem = seg(1, 0, 1, 1)
+        assert segments_touch(spine, stem)
+        assert not segments_cross(spine, stem)
+
+    def test_collinear_overlap_is_cross(self):
+        s1 = seg(0, 0, 2, 0)
+        s2 = seg(1, 0, 3, 0)
+        assert segments_cross(s1, s2)
+        assert not segments_touch(s1, s2)
+
+    def test_collinear_containment_is_cross(self):
+        outer = seg(0, 0, 3, 0)
+        inner = seg(1, 0, 2, 0)
+        assert segments_cross(outer, inner)
+
+    def test_collinear_end_to_end_is_touch(self):
+        s1 = seg(0, 0, 1, 0)
+        s2 = seg(1, 0, 2, 0)
+        assert segments_touch(s1, s2)
+        assert not segments_cross(s1, s2)
+
+    def test_collinear_overlap_sharing_endpoint_is_cross(self):
+        s1 = seg(0, 0, 3, 0)
+        s2 = seg(0, 0, 1, 0)
+        assert segments_cross(s1, s2)
+
+    def test_disjoint_segments(self):
+        s1 = seg(0, 0, 1, 0)
+        s2 = seg(0, 1, 1, 1)
+        assert not segments_intersect(s1, s2)
+        assert not segments_cross(s1, s2)
+        assert not segments_touch(s1, s2)
+
+    def test_vertical_crossing_horizontal(self):
+        v = seg(1, -1, 1, 1)
+        h = seg(0, 0, 2, 0)
+        assert segments_cross(v, h)
+
+    def test_vertical_touching_at_endpoint(self):
+        v = seg(1, 0, 1, 1)
+        h = seg(0, 0, 2, 0)
+        assert segments_touch(v, h)
+        assert not segments_cross(v, h)
+
+    def test_near_miss_is_exact(self):
+        # The segments come within 1/10^9 of each other but do not meet.
+        s1 = seg(0, 0, 2, 2)
+        s2 = seg(0, Fraction(1, 10**9), 1, Fraction(10**9 + 1, 10**9))
+        assert not segments_intersect(s1, s2)
+
+    def test_cross_is_symmetric(self):
+        s1 = seg(0, 0, 2, 2)
+        s2 = seg(0, 2, 2, 0)
+        assert segments_cross(s1, s2) == segments_cross(s2, s1)
+
+
+class TestSegmentBasics:
+    def test_degenerate_segment_rejected(self):
+        with pytest.raises(ValueError):
+            seg(1, 1, 1, 1)
+
+    def test_endpoints_normalised(self):
+        s = seg(2, 0, 0, 0)
+        assert s.start == Point(0, 0)
+        assert s.end == Point(2, 0)
+
+    def test_float_coordinates_rejected(self):
+        with pytest.raises(TypeError):
+            Point(0.5, 1)
+
+    def test_bool_coordinates_rejected(self):
+        with pytest.raises(TypeError):
+            Point(True, 1)
+
+    def test_y_at_is_exact(self):
+        s = seg(0, 0, 3, 1)
+        assert s.y_at(1) == Fraction(1, 3)
+        assert s.y_at(0) == 0
+        assert s.y_at(3) == 1
+
+    def test_y_at_outside_range_raises(self):
+        with pytest.raises(ValueError):
+            seg(0, 0, 1, 1).y_at(2)
+
+    def test_y_at_vertical_raises(self):
+        with pytest.raises(ValueError):
+            seg(1, 0, 1, 5).y_at(1)
+
+    def test_extents(self):
+        s = seg(0, 5, 3, -1)
+        assert (s.xmin, s.xmax, s.ymin, s.ymax) == (0, 3, -1, 5)
+
+    def test_label_defaults_to_endpoints(self):
+        s = seg(0, 0, 1, 1)
+        assert s.label == ((0, 0), (1, 1))
+
+    def test_with_label(self):
+        s = seg(0, 0, 1, 1).with_label("road-17")
+        assert s.label == "road-17"

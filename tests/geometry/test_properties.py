@@ -1,0 +1,117 @@
+"""Hypothesis properties of the exact geometric predicates."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Segment,
+    VerticalQuery,
+    orientation,
+    query_as_segment,
+    segments_cross,
+    segments_intersect,
+    segments_touch,
+    vs_intersects,
+)
+
+coords = st.integers(-50, 50)
+
+
+@st.composite
+def segment_st(draw, label=None):
+    x1, y1 = draw(coords), draw(coords)
+    x2, y2 = draw(coords), draw(coords)
+    assume((x1, y1) != (x2, y2))
+    return Segment.from_coords(x1, y1, x2, y2, label=label)
+
+
+class TestPredicateAlgebra:
+    @given(segment_st(1), segment_st(2))
+    @settings(max_examples=300, deadline=None)
+    def test_intersect_is_symmetric(self, s1, s2):
+        assert segments_intersect(s1, s2) == segments_intersect(s2, s1)
+
+    @given(segment_st(1), segment_st(2))
+    @settings(max_examples=300, deadline=None)
+    def test_cross_touch_partition_intersection(self, s1, s2):
+        inter = segments_intersect(s1, s2)
+        cross = segments_cross(s1, s2)
+        touch = segments_touch(s1, s2)
+        # cross and touch are mutually exclusive and exhaust intersection.
+        assert not (cross and touch)
+        assert inter == (cross or touch)
+
+    @given(segment_st(1), segment_st(2))
+    @settings(max_examples=300, deadline=None)
+    def test_cross_is_symmetric(self, s1, s2):
+        assert segments_cross(s1, s2) == segments_cross(s2, s1)
+
+    @given(segment_st(1))
+    @settings(max_examples=100, deadline=None)
+    def test_segment_never_crosses_itself(self, s):
+        twin = Segment(s.start, s.end, label=2)
+        # Identical geometry = collinear full overlap = crossing.
+        assert segments_cross(s, twin)
+
+    @given(segment_st(1), st.integers(-60, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_shared_endpoint_is_touch_not_cross(self, s, dy):
+        assume(dy != 0)
+        other = Segment(s.end, Point(s.end.x + 1, s.end.y + dy), label=2)
+        if segments_intersect(s, other):
+            # They can also overlap collinearly; exclude that case.
+            if orientation(s.start, s.end, other.end) != 0:
+                assert segments_touch(s, other)
+                assert not segments_cross(s, other)
+
+
+class TestOrientationAlgebra:
+    @given(
+        st.tuples(coords, coords), st.tuples(coords, coords),
+        st.tuples(coords, coords),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_orientation_antisymmetric_in_swap(self, a, b, c):
+        pa, pb, pc = Point(*a), Point(*b), Point(*c)
+        assert orientation(pa, pb, pc) == -orientation(pa, pc, pb)
+
+    @given(
+        st.tuples(coords, coords), st.tuples(coords, coords),
+        st.tuples(coords, coords),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_orientation_cyclic_invariance(self, a, b, c):
+        pa, pb, pc = Point(*a), Point(*b), Point(*c)
+        assert orientation(pa, pb, pc) == orientation(pb, pc, pa)
+
+    @given(st.tuples(coords, coords), st.tuples(coords, coords),
+           st.fractions(min_value=0, max_value=1))
+    @settings(max_examples=200, deadline=None)
+    def test_points_on_a_line_are_collinear(self, a, b, lam):
+        pa, pb = Point(*a), Point(*b)
+        assume(pa != pb)
+        mid = Point(
+            pa.x + Fraction(lam) * (pb.x - pa.x),
+            pa.y + Fraction(lam) * (pb.y - pa.y),
+        )
+        assert orientation(pa, pb, mid) == 0
+
+
+class TestVSQueryEquivalence:
+    @given(segment_st(1), st.integers(-60, 60), st.integers(-60, 60),
+           st.integers(1, 50))
+    @settings(max_examples=300, deadline=None)
+    def test_vs_intersects_equals_plane_intersection(self, s, x0, ylo, dy):
+        """The VS predicate agrees with generic segment intersection on the
+        materialised vertical query segment (non-degenerate windows)."""
+        q = VerticalQuery.segment(x0, ylo, ylo + dy)
+        q_exact = query_as_segment(q, ybound=10**6)
+        assert vs_intersects(s, q) == segments_intersect(s, q_exact)
+
+    @given(segment_st(1), st.integers(-60, 60))
+    @settings(max_examples=200, deadline=None)
+    def test_line_query_equals_span_test(self, s, x0):
+        assert vs_intersects(s, VerticalQuery.line(x0)) == s.spans_x(x0)

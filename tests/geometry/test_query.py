@@ -1,0 +1,99 @@
+"""Unit tests for generalized vertical queries and the VS predicate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import Segment, VerticalQuery, vs_intersects
+
+
+def seg(x1, y1, x2, y2):
+    return Segment.from_coords(x1, y1, x2, y2)
+
+
+class TestQueryKinds:
+    def test_line(self):
+        q = VerticalQuery.line(3)
+        assert q.kind == "line"
+        assert q.is_stabbing
+        assert q.covers_y(-(10**12))
+
+    def test_ray_up(self):
+        q = VerticalQuery.ray_up(0, ylo=2)
+        assert q.kind == "ray"
+        assert q.covers_y(2)
+        assert q.covers_y(10**9)
+        assert not q.covers_y(1)
+
+    def test_ray_down(self):
+        q = VerticalQuery.ray_down(0, yhi=2)
+        assert q.kind == "ray"
+        assert q.covers_y(2)
+        assert not q.covers_y(3)
+
+    def test_segment(self):
+        q = VerticalQuery.segment(0, 1, 3)
+        assert q.kind == "segment"
+        assert not q.is_stabbing
+        assert q.covers_y(1) and q.covers_y(3)
+        assert not q.covers_y(Fraction(7, 2))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            VerticalQuery.segment(0, 3, 1)
+
+    def test_interval_overlap(self):
+        q = VerticalQuery.segment(0, 1, 3)
+        assert q.y_interval_overlaps(3, 5)  # touch at 3
+        assert q.y_interval_overlaps(0, 1)  # touch at 1
+        assert not q.y_interval_overlaps(4, 5)
+        assert not q.y_interval_overlaps(-2, 0)
+
+
+class TestVSIntersects:
+    def test_non_vertical_hit(self):
+        s = seg(0, 0, 4, 4)
+        assert vs_intersects(s, VerticalQuery.segment(2, 0, 3))
+
+    def test_non_vertical_miss_above(self):
+        s = seg(0, 0, 4, 4)
+        assert not vs_intersects(s, VerticalQuery.segment(2, 3, 5))
+
+    def test_non_vertical_miss_x_range(self):
+        s = seg(0, 0, 4, 4)
+        assert not vs_intersects(s, VerticalQuery.segment(5, 0, 10))
+
+    def test_touch_at_query_endpoint_counts(self):
+        s = seg(0, 0, 4, 4)
+        assert vs_intersects(s, VerticalQuery.segment(2, 2, 5))
+
+    def test_touch_at_segment_endpoint_counts(self):
+        s = seg(0, 0, 4, 4)
+        assert vs_intersects(s, VerticalQuery.segment(4, 4, 9))
+
+    def test_vertical_segment_overlap(self):
+        s = seg(1, 0, 1, 4)
+        assert vs_intersects(s, VerticalQuery.segment(1, 2, 3))
+        assert vs_intersects(s, VerticalQuery.segment(1, 4, 6))
+        assert not vs_intersects(s, VerticalQuery.segment(1, 5, 6))
+        assert not vs_intersects(s, VerticalQuery.segment(2, 0, 4))
+
+    def test_stabbing_query_reduces_to_x_span(self):
+        s = seg(0, 100, 4, -100)
+        assert vs_intersects(s, VerticalQuery.line(0))
+        assert vs_intersects(s, VerticalQuery.line(4))
+        assert not vs_intersects(s, VerticalQuery.line(5))
+
+    def test_ray_queries(self):
+        s = seg(0, 0, 4, 4)
+        assert vs_intersects(s, VerticalQuery.ray_up(2, ylo=1))
+        assert not vs_intersects(s, VerticalQuery.ray_up(2, ylo=3))
+        assert vs_intersects(s, VerticalQuery.ray_down(2, yhi=2))
+        assert not vs_intersects(s, VerticalQuery.ray_down(2, yhi=1))
+
+    def test_exact_fraction_intersection(self):
+        s = seg(0, 0, 3, 1)  # y at x=1 is exactly 1/3
+        assert vs_intersects(s, VerticalQuery.segment(1, Fraction(1, 3), 1))
+        assert not vs_intersects(
+            s, VerticalQuery.segment(1, Fraction(1, 3) + Fraction(1, 10**12), 1)
+        )

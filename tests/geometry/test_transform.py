@@ -1,0 +1,138 @@
+"""Unit tests for frame transformations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import (
+    FixedDirectionFrame,
+    Point,
+    Segment,
+    VerticalBaseFrame,
+    VerticalQuery,
+    lb_intersects,
+    segments_cross,
+    segments_intersect,
+    vs_intersects,
+)
+
+
+def seg(x1, y1, x2, y2, label=None):
+    return Segment.from_coords(x1, y1, x2, y2, label=label)
+
+
+class TestFixedDirectionFrame:
+    def test_roundtrip_point_nonzero_slope(self):
+        frame = FixedDirectionFrame(Fraction(2, 3))
+        p = Point(Fraction(5, 7), -3)
+        assert frame.inverse_point(frame.forward_point(p)) == p
+
+    def test_roundtrip_point_zero_slope(self):
+        frame = FixedDirectionFrame(0)
+        p = Point(4, -1)
+        assert frame.inverse_point(frame.forward_point(p)) == p
+
+    def test_direction_becomes_vertical(self):
+        m = Fraction(3, 2)
+        frame = FixedDirectionFrame(m)
+        a = frame.forward_point(Point(0, 0))
+        b = frame.forward_point(Point(2, 3))  # slope 3/2 from the origin
+        assert a.x == b.x
+
+    def test_forward_query_builds_vertical_segment(self):
+        m = Fraction(1, 2)
+        frame = FixedDirectionFrame(m)
+        q = frame.forward_query(Point(0, 0), Point(4, 2))
+        assert q.kind == "segment"
+
+    def test_forward_query_rejects_wrong_slope(self):
+        frame = FixedDirectionFrame(1)
+        with pytest.raises(ValueError):
+            frame.forward_query(Point(0, 0), Point(1, 2))
+
+    def test_forward_query_line_kind(self):
+        frame = FixedDirectionFrame(1)
+        q = frame.forward_query(Point(3, 0))
+        assert q.kind == "line"
+
+    def test_incidence_preserved(self):
+        # A slope-1 query through (1, 0)..(3, 2) against a few segments:
+        # answers in the original frame equal answers in the mapped frame.
+        m = 1
+        frame = FixedDirectionFrame(m)
+        query_plane = seg(1, 0, 3, 2, label="q")
+        data = [
+            seg(0, 2, 4, 0, label="hit"),
+            seg(0, 5, 4, 6, label="miss"),
+            seg(2, 1, 2, 3, label="touch"),  # touches query at (2, 1)
+        ]
+        q_vert = frame.forward_query(Point(1, 0), Point(3, 2))
+        for s in data:
+            plane_hit = segments_intersect(s, query_plane)
+            mapped_hit = vs_intersects(frame.forward_segment(s), q_vert)
+            assert plane_hit == mapped_hit, s.label
+
+    def test_crossing_preserved(self):
+        frame = FixedDirectionFrame(Fraction(-5, 3))
+        s1 = seg(0, 0, 2, 2, label=1)
+        s2 = seg(0, 2, 2, 0, label=2)
+        assert segments_cross(frame.forward_segment(s1), frame.forward_segment(s2))
+        s3 = seg(2, 2, 3, 0, label=3)
+        assert not segments_cross(frame.forward_segment(s1), frame.forward_segment(s3))
+
+
+class TestVerticalBaseFrame:
+    def test_side_validated(self):
+        with pytest.raises(ValueError):
+            VerticalBaseFrame(0, "up")
+
+    def test_left_side_mapping(self):
+        frame = VerticalBaseFrame(10, "left")
+        s = seg(4, 7, 10, 3)  # right endpoint on the base line
+        lb = frame.to_line_based(s)
+        assert lb.u0 == 3  # y where it meets the line
+        assert lb.u1 == 7
+        assert lb.h1 == 6  # 10 - 4
+        assert lb.payload is s
+
+    def test_right_side_mapping(self):
+        frame = VerticalBaseFrame(10, "right")
+        s = seg(10, 3, 14, -1)
+        lb = frame.to_line_based(s)
+        assert lb.u0 == 3
+        assert lb.u1 == -1
+        assert lb.h1 == 4
+
+    def test_segment_on_wrong_side_rejected(self):
+        frame = VerticalBaseFrame(10, "left")
+        with pytest.raises(ValueError):
+            frame.to_line_based(seg(10, 0, 14, 1))
+
+    def test_segment_not_touching_line_rejected(self):
+        frame = VerticalBaseFrame(10, "left")
+        with pytest.raises(ValueError):
+            frame.to_line_based(seg(0, 0, 5, 5))
+
+    def test_query_mapping(self):
+        frame = VerticalBaseFrame(10, "left")
+        q = frame.to_hquery(VerticalQuery.segment(7, -1, 4))
+        assert q.h == 3
+        assert (q.ulo, q.uhi) == (-1, 4)
+
+    def test_query_on_wrong_side_rejected(self):
+        frame = VerticalBaseFrame(10, "left")
+        with pytest.raises(ValueError):
+            frame.to_hquery(VerticalQuery.line(11))
+
+    def test_intersection_preserved_through_frame(self):
+        # End-to-end: VS query against a left part == HQuery against its image.
+        frame = VerticalBaseFrame(10, "left")
+        s = seg(4, 7, 10, 3)
+        lb = frame.to_line_based(s)
+        for x0, ylo, yhi in [(7, 0, 6), (7, 6, 9), (4, 7, 8), (2, 0, 9), (10, 3, 3)]:
+            q = VerticalQuery.segment(x0, ylo, yhi)
+            assert vs_intersects(s, q) == lb_intersects(lb, frame.to_hquery(q)), (
+                x0,
+                ylo,
+                yhi,
+            )

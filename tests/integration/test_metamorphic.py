@@ -1,0 +1,106 @@
+"""Metamorphic properties every engine must satisfy.
+
+These need no oracle: they relate an engine's answers to each other.
+
+* **containment** — a sub-segment's answer is a subset of its
+  super-segment's, and every segment query's answer is a subset of the
+  stabbing query at the same x;
+* **union** — two adjacent query segments together report exactly what
+  their union reports;
+* **insert monotonicity** — inserting can only add to any answer;
+* **duplicate-freeness** — no query ever reports a label twice;
+* **point decomposition** — a stabbing answer equals the union of answers
+  of a partition of the line into rays.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SegmentDatabase, VerticalQuery
+from repro.workloads import grid_segments_touching, mixed_queries
+
+ENGINES = ("solution1", "solution2", "stab-filter", "grid", "rtree", "scan")
+
+
+def labels(result):
+    return {s.label for s in result}
+
+
+def build(engine, seed=1, n=250):
+    segments = grid_segments_touching(n, seed=seed)
+    return segments, SegmentDatabase.bulk_load(segments, engine=engine,
+                                               block_capacity=16)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_subsegment_containment(engine):
+    segments, db = build(engine)
+    for x0 in (50, 333, 801):
+        narrow = labels(db.query(VerticalQuery.segment(x0, 200, 400)))
+        wide = labels(db.query(VerticalQuery.segment(x0, 100, 500)))
+        line = labels(db.query(VerticalQuery.line(x0)))
+        assert narrow <= wide <= line, (engine, x0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_adjacent_union(engine):
+    segments, db = build(engine)
+    for x0 in (75, 450):
+        low = labels(db.query(VerticalQuery.segment(x0, 0, 300)))
+        high = labels(db.query(VerticalQuery.segment(x0, 300, 700)))
+        union = labels(db.query(VerticalQuery.segment(x0, 0, 700)))
+        assert low | high == union, (engine, x0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_ray_decomposition_of_line(engine):
+    segments, db = build(engine)
+    for x0 in (120, 666):
+        up = labels(db.query(VerticalQuery.ray_up(x0, ylo=350)))
+        down = labels(db.query(VerticalQuery.ray_down(x0, yhi=350)))
+        line = labels(db.query(VerticalQuery.line(x0)))
+        assert up | down == line, (engine, x0)
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2", "stab-filter", "rtree"))
+def test_insert_monotonicity(engine):
+    segments, db = build(engine, seed=2)
+    queries = mixed_queries(segments, 6, seed=3)
+    before = [labels(db.query(q)) for q in queries]
+    extra = grid_segments_touching(40, seed=99)
+    offset = 10**6  # shift far away so the NCT invariant trivially holds
+    from repro.geometry import Segment
+
+    for s in extra:
+        db.insert(
+            Segment.from_coords(
+                s.start.x + offset, s.start.y, s.end.x + offset, s.end.y,
+                label=("far",) + (s.label if isinstance(s.label, tuple) else (s.label,)),
+            )
+        )
+    after = [labels(db.query(q)) for q in queries]
+    for b, a in zip(before, after):
+        assert b <= a, engine
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_no_duplicates_anywhere(engine):
+    segments, db = build(engine, seed=4)
+    for q in mixed_queries(segments, 20, seed=5):
+        got = [s.label for s in db.query(q)]
+        assert len(got) == len(set(got)), (engine, q)
+
+
+@given(st.integers(0, 10**6), st.integers(0, 1000), st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_window_shrinking_property(seed, ylo, height):
+    """Shrinking a window never adds answers (hypothesis-driven)."""
+    segments = grid_segments_touching(80, cell_size=30, seed=seed)
+    db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                   block_capacity=16)
+    x0 = 150
+    big = labels(db.query(VerticalQuery.segment(x0, ylo, ylo + height + 50)))
+    small = labels(db.query(VerticalQuery.segment(x0, ylo + 10,
+                                                  ylo + max(10, height))))
+    assert small <= big

@@ -1,0 +1,79 @@
+"""Unit tests for the optional LRU buffer pool."""
+
+import pytest
+
+from repro.iosim import BlockDevice, LRUBufferPool, Pager
+
+
+def make_pool(pool_pages=2, capacity=8):
+    dev = BlockDevice(block_capacity=capacity)
+    pool = LRUBufferPool(dev, capacity=pool_pages)
+    return dev, pool
+
+
+def test_capacity_validated():
+    dev = BlockDevice(block_capacity=8)
+    with pytest.raises(ValueError):
+        LRUBufferPool(dev, capacity=0)
+
+
+def test_repeated_reads_hit_the_pool():
+    dev, pool = make_pool()
+    page = pool.alloc()
+    pool.write(page)
+    dev.reset_counters()
+    pool.read(page.page_id)  # cached by the write
+    pool.read(page.page_id)
+    assert dev.reads == 0
+    assert pool.hits == 2
+
+
+def test_eviction_is_lru():
+    dev, pool = make_pool(pool_pages=2)
+    pages = [pool.alloc() for _ in range(3)]
+    for p in pages:
+        pool.write(p)  # p0 evicted after p2 cached
+    dev.reset_counters()
+    pool.read(pages[0].page_id)
+    assert dev.reads == 1  # miss
+    pool.read(pages[2].page_id)
+    assert dev.reads == 1  # hit: p2 still resident
+
+
+def test_writes_are_write_through():
+    dev, pool = make_pool()
+    page = pool.alloc()
+    pool.write(page)
+    pool.write(page)
+    assert dev.writes == 2
+
+
+def test_free_drops_cached_page():
+    dev, pool = make_pool()
+    page = pool.alloc()
+    pool.write(page)
+    pool.free(page.page_id)
+    assert dev.pages_in_use == 0
+
+
+def test_hit_rate():
+    dev, pool = make_pool()
+    page = pool.alloc()
+    pool.write(page)
+    pool.read(page.page_id)
+    pool.read(page.page_id)
+    assert pool.hit_rate == 1.0
+    pool.reset_counters()
+    assert pool.hit_rate == 0.0
+
+
+def test_pager_runs_on_top_of_pool():
+    dev, pool = make_pool()
+    pager = Pager(pool)
+    page = pager.alloc()
+    pager.write(page)
+    dev.reset_counters()
+    with pager.operation():
+        pager.fetch(page.page_id)
+        pager.fetch(page.page_id)
+    assert dev.reads == 0  # absorbed by the pool (page cached by the write)

@@ -1,0 +1,102 @@
+"""Unit tests for the block device and I/O statistics."""
+
+import pytest
+
+from repro.iosim import (
+    BlockDevice,
+    DanglingPageError,
+    DoubleFreeError,
+    IOStats,
+    Measurement,
+)
+
+
+def test_block_capacity_validated():
+    with pytest.raises(ValueError):
+        BlockDevice(block_capacity=1)
+
+
+def test_alloc_read_write_counters():
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    page.put_items([1, 2, 3])
+    dev.write(page)
+    fetched = dev.read(page.page_id)
+    assert fetched.items == [1, 2, 3]
+    assert dev.snapshot() == IOStats(reads=1, writes=1, allocs=1, frees=0)
+
+
+def test_read_unallocated_page_raises():
+    dev = BlockDevice(block_capacity=8)
+    with pytest.raises(DanglingPageError):
+        dev.read(99)
+
+
+def test_read_after_free_raises():
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    dev.free(page.page_id)
+    with pytest.raises(DanglingPageError):
+        dev.read(page.page_id)
+
+
+def test_double_free_raises():
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    dev.free(page.page_id)
+    with pytest.raises(DoubleFreeError):
+        dev.free(page.page_id)
+
+
+def test_write_validates_capacity():
+    dev = BlockDevice(block_capacity=2)
+    page = dev.alloc()
+    page.items.extend([1, 2, 3])
+    from repro.iosim import PageOverflowError
+
+    with pytest.raises(PageOverflowError):
+        dev.write(page)
+
+
+def test_pages_in_use_tracks_space():
+    dev = BlockDevice(block_capacity=8)
+    pages = [dev.alloc() for _ in range(5)]
+    assert dev.pages_in_use == 5
+    dev.free(pages[0].page_id)
+    assert dev.pages_in_use == 4
+
+
+def test_page_ids_never_reused():
+    dev = BlockDevice(block_capacity=8)
+    first = dev.alloc()
+    dev.free(first.page_id)
+    second = dev.alloc()
+    assert second.page_id != first.page_id
+
+
+def test_reset_counters_keeps_pages():
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    dev.write(page)
+    dev.reset_counters()
+    assert dev.snapshot() == IOStats()
+    assert dev.pages_in_use == 1
+
+
+def test_stats_arithmetic():
+    a = IOStats(reads=5, writes=2, allocs=1, frees=0)
+    b = IOStats(reads=3, writes=1, allocs=1, frees=0)
+    assert (a - b) == IOStats(reads=2, writes=1, allocs=0, frees=0)
+    assert (a + b).total == 11
+    assert a.total == 7
+
+
+def test_measurement_scopes_io():
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    dev.write(page)
+    with Measurement(dev) as m:
+        dev.read(page.page_id)
+        dev.read(page.page_id)
+    assert m.stats.reads == 2
+    assert m.stats.writes == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the fixed-capacity page."""
+
+import pytest
+
+from repro.iosim import HEADER_SLOTS, Page, PageOverflowError
+
+
+def test_put_items_within_capacity():
+    page = Page(page_id=0, capacity=4)
+    page.put_items([1, 2, 3, 4])
+    assert len(page) == 4
+    assert page.free_slots == 0
+
+
+def test_put_items_overflow_raises():
+    page = Page(page_id=7, capacity=4)
+    with pytest.raises(PageOverflowError) as exc:
+        page.put_items(range(5))
+    assert exc.value.page_id == 7
+    assert exc.value.size == 5
+    assert exc.value.capacity == 4
+
+
+def test_put_items_replaces_previous_payload():
+    page = Page(page_id=0, capacity=4)
+    page.put_items([1, 2, 3])
+    page.put_items(["a"])
+    assert page.items == ["a"]
+
+
+def test_append_item_respects_capacity():
+    page = Page(page_id=0, capacity=2)
+    page.append_item("x")
+    page.append_item("y")
+    with pytest.raises(PageOverflowError):
+        page.append_item("z")
+    assert page.items == ["x", "y"]
+
+
+def test_header_is_separate_from_payload():
+    page = Page(page_id=0, capacity=1)
+    page.put_items(["payload"])
+    page.set_header("child_left", 3)
+    page.set_header("child_right", 4)
+    assert page.get_header("child_left") == 3
+    assert page.get_header("missing") is None
+    assert page.get_header("missing", "dflt") == "dflt"
+    assert len(page) == 1
+
+
+def test_header_slot_bound_enforced():
+    page = Page(page_id=0, capacity=1)
+    with pytest.raises(PageOverflowError):
+        for i in range(HEADER_SLOTS + 1):
+            page.set_header(f"k{i}", i)
+
+
+def test_validate_catches_direct_mutation():
+    page = Page(page_id=0, capacity=2)
+    page.items.extend([1, 2, 3])  # bypass the guarded API
+    with pytest.raises(PageOverflowError):
+        page.validate()

@@ -1,0 +1,89 @@
+"""Unit tests for operation-scoped page access."""
+
+from repro.iosim import BlockDevice, Pager
+
+
+def make_pager(capacity=8):
+    dev = BlockDevice(block_capacity=capacity)
+    return dev, Pager(dev)
+
+
+def test_fetch_outside_operation_always_charges():
+    dev, pager = make_pager()
+    page = pager.alloc()
+    pager.write(page)
+    pager.fetch(page.page_id)
+    pager.fetch(page.page_id)
+    assert dev.reads == 2
+
+
+def test_fetch_inside_operation_charges_once_per_page():
+    dev, pager = make_pager()
+    p1 = pager.alloc()
+    p2 = pager.alloc()
+    pager.write(p1)
+    pager.write(p2)
+    dev.reset_counters()
+    with pager.operation():
+        pager.fetch(p1.page_id)
+        pager.fetch(p1.page_id)
+        pager.fetch(p2.page_id)
+        pager.fetch(p1.page_id)
+    assert dev.reads == 2
+
+
+def test_write_inside_operation_flushes_once_per_page():
+    dev, pager = make_pager()
+    page = pager.alloc()
+    dev.reset_counters()
+    with pager.operation():
+        pager.write(page)
+        pager.write(page)
+        pager.write(page)
+    assert dev.writes == 1
+
+
+def test_nested_operations_share_the_outer_pin_set():
+    dev, pager = make_pager()
+    page = pager.alloc()
+    pager.write(page)
+    dev.reset_counters()
+    with pager.operation():
+        pager.fetch(page.page_id)
+        with pager.operation():
+            pager.fetch(page.page_id)
+        pager.fetch(page.page_id)
+    assert dev.reads == 1
+
+
+def test_pin_set_cleared_between_operations():
+    dev, pager = make_pager()
+    page = pager.alloc()
+    pager.write(page)
+    dev.reset_counters()
+    with pager.operation():
+        pager.fetch(page.page_id)
+    with pager.operation():
+        pager.fetch(page.page_id)
+    assert dev.reads == 2
+
+
+def test_alloc_inside_operation_is_pinned():
+    dev, pager = make_pager()
+    with pager.operation():
+        page = pager.alloc()
+        pager.write(page)
+        pager.fetch(page.page_id)
+    assert dev.reads == 0
+    assert dev.writes == 1
+
+
+def test_free_inside_operation_unpins():
+    dev, pager = make_pager()
+    page = pager.alloc()
+    pager.write(page)
+    with pager.operation():
+        pager.fetch(page.page_id)
+        pager.free(page.page_id)
+        assert pager.in_operation
+    assert dev.frees == 1

@@ -1,0 +1,214 @@
+"""Tests for the external B+-tree."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.storage.bplus import BPlusTree
+
+
+def make_tree(capacity=8, pairs=None):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    if pairs is None:
+        tree = BPlusTree.create(pager)
+    else:
+        tree = BPlusTree.build(pager, pairs)
+    return dev, pager, tree
+
+
+class TestBuild:
+    def test_empty_tree(self):
+        _dev, _pager, tree = make_tree()
+        assert list(tree.items()) == []
+        assert tree.min_item() is None
+        assert tree.max_item() is None
+
+    def test_bulk_build_roundtrip(self):
+        pairs = [(i, f"v{i}") for i in range(100)]
+        _dev, _pager, tree = make_tree(pairs=pairs)
+        assert list(tree.items()) == pairs
+        tree.check_invariants()
+
+    def test_bulk_build_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            make_tree(pairs=[(2, "a"), (1, "b")])
+
+    def test_bulk_build_with_duplicates(self):
+        pairs = [(1, "a"), (1, "b"), (1, "c"), (2, "d")]
+        _dev, _pager, tree = make_tree(pairs=pairs)
+        assert sorted(tree.search(1)) == ["a", "b", "c"]
+        assert tree.search(2) == ["d"]
+
+    def test_height_is_logarithmic(self):
+        n_items = 4096
+        _dev, _pager, tree = make_tree(
+            capacity=16, pairs=[(i, i) for i in range(n_items)]
+        )
+        # fill factor >= 2/3 of 16 => height <= ceil(log_10(n)) + 1 or so.
+        assert tree.height() <= math.ceil(math.log(n_items, 10)) + 1
+
+
+class TestSearchAndScan:
+    def test_search_missing_key(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(10)])
+        assert tree.search(42) == []
+
+    def test_range_scan(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i * 10) for i in range(50)])
+        got = list(tree.range_scan(10, 13))
+        assert got == [(10, 100), (11, 110), (12, 120), (13, 130)]
+
+    def test_range_scan_empty_window(self):
+        _dev, _pager, tree = make_tree(pairs=[(i * 2, i) for i in range(10)])
+        assert list(tree.range_scan(19, 19)) == []
+
+    def test_scan_from_between_keys(self):
+        _dev, _pager, tree = make_tree(pairs=[(i * 2, i) for i in range(10)])
+        first = next(tree.scan_from(3))
+        assert first == (4, 2)
+
+    def test_min_max(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(17)])
+        assert tree.min_item() == (0, 0)
+        assert tree.max_item() == (16, 16)
+
+    def test_locate_and_scan_at(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(40)])
+        pid, idx = tree.locate(25)
+        got = [k for k, _v in tree.scan_at(pid, idx)]
+        assert got == list(range(25, 40))
+
+    def test_scan_at_reverse(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(40)])
+        pid, idx = tree.locate(5)
+        got = [k for k, _v in tree.scan_at_reverse(pid, idx)]
+        assert got == [5, 4, 3, 2, 1, 0]
+
+    def test_query_io_is_logarithmic(self):
+        dev, pager, tree = make_tree(capacity=16, pairs=[(i, i) for i in range(10000)])
+        with pager.operation():
+            with Measurement(dev) as m:
+                tree.search(5000)
+        assert m.stats.reads <= tree.height() + 1
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        _dev, _pager, tree = make_tree()
+        tree.insert(5, "x")
+        assert list(tree.items()) == [(5, "x")]
+
+    def test_insert_many_sorted(self):
+        _dev, _pager, tree = make_tree(capacity=4)
+        for i in range(200):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.items()] == list(range(200))
+        tree.check_invariants()
+
+    def test_insert_many_reversed(self):
+        _dev, _pager, tree = make_tree(capacity=4)
+        for i in reversed(range(200)):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.items()] == list(range(200))
+        tree.check_invariants()
+
+    def test_insert_duplicates(self):
+        _dev, _pager, tree = make_tree(capacity=4)
+        for i in range(30):
+            tree.insert(7, i)
+        assert len(tree.search(7)) == 30
+        tree.check_invariants()
+
+    def test_insert_io_is_logarithmic(self):
+        dev, pager, tree = make_tree(capacity=16, pairs=[(i, i) for i in range(10000)])
+        with pager.operation():
+            with Measurement(dev) as m:
+                tree.insert(5000, "new")
+        # Root-to-leaf reads plus at most one write per level on splits.
+        assert m.stats.total <= 2 * tree.height() + 3
+
+    def test_mixed_insert_build(self):
+        _dev, _pager, tree = make_tree(capacity=4, pairs=[(i * 2, i) for i in range(50)])
+        for i in range(50):
+            tree.insert(i * 2 + 1, -i)
+        assert [k for k, _ in tree.items()] == list(range(100))
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(10)])
+        assert tree.delete(4)
+        assert tree.search(4) == []
+        assert len(list(tree.items())) == 9
+
+    def test_delete_missing_returns_false(self):
+        _dev, _pager, tree = make_tree(pairs=[(i, i) for i in range(10)])
+        assert not tree.delete(99)
+
+    def test_delete_with_match(self):
+        _dev, _pager, tree = make_tree(pairs=[(1, "a"), (1, "b"), (2, "c")])
+        assert tree.delete(1, match=lambda v: v == "b")
+        assert tree.search(1) == ["a"]
+
+    def test_delete_everything(self):
+        _dev, _pager, tree = make_tree(capacity=4, pairs=[(i, i) for i in range(100)])
+        for i in range(100):
+            assert tree.delete(i), i
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_delete_releases_pages(self):
+        dev, _pager, tree = make_tree(capacity=4, pairs=[(i, i) for i in range(100)])
+        for i in range(100):
+            tree.delete(i)
+        assert dev.pages_in_use <= 2  # empty leaf (+ possibly root)
+
+
+class TestDestroy:
+    def test_destroy_frees_all_pages(self):
+        dev, _pager, tree = make_tree(capacity=4, pairs=[(i, i) for i in range(100)])
+        tree.destroy()
+        assert dev.pages_in_use == 0
+
+
+class TestSpace:
+    def test_linear_space(self):
+        n_items = 5000
+        capacity = 16
+        dev, _pager, tree = make_tree(
+            capacity=capacity, pairs=[(i, i) for i in range(n_items)]
+        )
+        n_blocks_optimal = n_items / capacity
+        assert dev.pages_in_use <= 3 * n_blocks_optimal
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-50, 50), st.booleans()),
+        min_size=0,
+        max_size=120,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_bplus_matches_sorted_list_model(ops):
+    """Random insert/delete interleavings match a sorted-list model."""
+    _dev, _pager, tree = make_tree(capacity=4)
+    model = []
+    for key, is_insert in ops:
+        if is_insert:
+            tree.insert(key, key * 2)
+            model.append((key, key * 2))
+        else:
+            removed = tree.delete(key)
+            present = any(k == key for k, _ in model)
+            assert removed == present
+            if present:
+                model.remove((key, key * 2))
+    model.sort(key=lambda kv: kv[0])
+    assert list(tree.items()) == model
+    tree.check_invariants()

@@ -1,0 +1,66 @@
+"""Tests for the append-only page chain."""
+
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.storage.chain import PageChain
+
+
+def make_chain(capacity=4, items=()):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    chain = PageChain.create(pager, items)
+    return dev, pager, chain
+
+
+def test_empty_chain():
+    _dev, _pager, chain = make_chain()
+    assert chain.to_list() == []
+    assert chain.count() == 0
+
+
+def test_roundtrip_preserves_order():
+    _dev, _pager, chain = make_chain(items=range(10))
+    assert chain.to_list() == list(range(10))
+    assert chain.count() == 10
+
+
+def test_append_spills_to_new_pages():
+    dev, _pager, chain = make_chain(capacity=4, items=range(9))
+    assert dev.pages_in_use == 3  # 4 + 4 + 1
+
+
+def test_head_pid_stable_under_append():
+    _dev, _pager, chain = make_chain(capacity=4)
+    head = chain.head_pid
+    for i in range(20):
+        chain.append(i)
+    assert chain.head_pid == head
+    assert chain.to_list() == list(range(20))
+
+
+def test_scan_io_is_linear_in_pages():
+    dev, pager, chain = make_chain(capacity=4, items=range(16))
+    with pager.operation():
+        with Measurement(dev) as m:
+            list(chain)
+    assert m.stats.reads == 4
+
+
+def test_append_io_is_constant():
+    dev, pager, chain = make_chain(capacity=8, items=range(64))
+    with pager.operation():
+        with Measurement(dev) as m:
+            chain.append("x")
+    # head + tail reads, tail + head writes at most (plus a possible alloc).
+    assert m.stats.total <= 5
+
+
+def test_destroy_frees_pages():
+    dev, _pager, chain = make_chain(capacity=4, items=range(9))
+    chain.destroy()
+    assert dev.pages_in_use == 0
+
+
+def test_reattach_by_head_pid():
+    _dev, pager, chain = make_chain(capacity=4, items=range(5))
+    again = PageChain(pager, chain.head_pid)
+    assert again.to_list() == list(range(5))

@@ -1,0 +1,147 @@
+"""Tests for the disjoint-interval index (the paper's C structures)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.storage.disjoint import DisjointIntervalIndex, IntervalOverlapError
+
+
+def make_index(intervals=None, capacity=4):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    if intervals is None:
+        index = DisjointIntervalIndex(pager)
+    else:
+        index = DisjointIntervalIndex.build(pager, intervals)
+    return dev, pager, index
+
+
+def ivs(*bounds):
+    """Intervals [a, b] with payload equal to their position."""
+    return [(a, b, i) for i, (a, b) in enumerate(bounds)]
+
+
+class TestBuild:
+    def test_build_accepts_touching(self):
+        _d, _p, index = make_index(ivs((0, 1), (1, 2), (2, 3)))
+        assert len(list(index.items())) == 3
+
+    def test_build_rejects_overlap(self):
+        with pytest.raises(IntervalOverlapError):
+            make_index(ivs((0, 2), (1, 3)))
+
+    def test_build_rejects_containment(self):
+        with pytest.raises(IntervalOverlapError):
+            make_index(ivs((0, 10), (2, 3)))
+
+    def test_empty_index(self):
+        _d, _p, index = make_index([])
+        assert index.is_empty()
+        assert index.stab(5) == []
+
+
+class TestQueries:
+    def test_stab_hits_interior(self):
+        _d, _p, index = make_index(ivs((0, 2), (4, 6)))
+        assert [p for _l, _h, p in index.stab(5)] == [1]
+
+    def test_stab_at_touch_point_returns_both(self):
+        _d, _p, index = make_index(ivs((0, 2), (2, 4)))
+        assert [p for _l, _h, p in index.stab(2)] == [0, 1]
+
+    def test_stab_miss_in_gap(self):
+        _d, _p, index = make_index(ivs((0, 2), (4, 6)))
+        assert index.stab(3) == []
+
+    def test_overlap_contiguous_run(self):
+        _d, _p, index = make_index(ivs((0, 1), (2, 3), (4, 5), (6, 7), (8, 9)))
+        got = [p for _l, _h, p in index.overlap(3, 6)]
+        assert got == [1, 2, 3]
+
+    def test_overlap_unbounded_below(self):
+        _d, _p, index = make_index(ivs((0, 1), (2, 3), (4, 5)))
+        got = [p for _l, _h, p in index.overlap(None, 2)]
+        assert got == [0, 1]
+
+    def test_overlap_unbounded_above(self):
+        _d, _p, index = make_index(ivs((0, 1), (2, 3), (4, 5)))
+        got = [p for _l, _h, p in index.overlap(3, None)]
+        assert got == [1, 2]
+
+    def test_overlap_full_line(self):
+        _d, _p, index = make_index(ivs((0, 1), (2, 3)))
+        assert len(list(index.overlap(None, None))) == 2
+
+    def test_predecessor_straddles_query_start(self):
+        # [0, 10] starts before a=5 but reaches it.
+        _d, _p, index = make_index(ivs((0, 10), (12, 13)))
+        got = [p for _l, _h, p in index.overlap(5, 6)]
+        assert got == [0]
+
+    def test_predecessor_in_previous_leaf(self):
+        # Force many intervals so the predecessor of the located key falls in
+        # the previous B+-tree leaf.
+        intervals = ivs(*[(10 * i, 10 * i + 9) for i in range(50)])
+        _d, _p, index = make_index(intervals, capacity=4)
+        got = [p for _l, _h, p in index.overlap(105, 107)]
+        assert got == [10]
+
+    def test_query_io_logarithmic(self):
+        intervals = ivs(*[(2 * i, 2 * i + 1) for i in range(5000)])
+        dev, pager, index = make_index(intervals, capacity=16)
+        with pager.operation():
+            with Measurement(dev) as m:
+                list(index.overlap(5000, 5010))
+        assert m.stats.reads <= 8
+
+
+class TestUpdates:
+    def test_insert_and_stab(self):
+        _d, _p, index = make_index([])
+        index.insert(0, 2, "a")
+        index.insert(4, 6, "b")
+        assert [p for _l, _h, p in index.stab(1)] == ["a"]
+
+    def test_insert_rejects_overlap(self):
+        _d, _p, index = make_index(ivs((0, 4)))
+        with pytest.raises(IntervalOverlapError):
+            index.insert(3, 5, "bad")
+
+    def test_insert_rejects_empty_interval(self):
+        _d, _p, index = make_index([])
+        with pytest.raises(ValueError):
+            index.insert(5, 4, "bad")
+
+    def test_insert_touching_allowed(self):
+        _d, _p, index = make_index(ivs((0, 4)))
+        index.insert(4, 6, "ok")
+        assert len(list(index.items())) == 2
+
+    def test_delete(self):
+        _d, _p, index = make_index(ivs((0, 1), (2, 3)))
+        assert index.delete(0, 1)
+        assert [p for _l, _h, p in index.items()] == [1]
+        assert not index.delete(0, 1)
+
+    def test_destroy_frees_pages(self):
+        dev, _p, index = make_index(ivs(*[(2 * i, 2 * i + 1) for i in range(100)]))
+        index.destroy()
+        assert dev.pages_in_use == 0
+
+
+@given(
+    st.lists(st.integers(0, 60), min_size=0, max_size=30, unique=True),
+    st.tuples(st.integers(-5, 65), st.integers(0, 20)),
+)
+@settings(max_examples=200, deadline=None)
+def test_overlap_matches_bruteforce(starts, query):
+    """Disjoint intervals [s, s+1) per start; overlap equals a filter."""
+    intervals = sorted((s, s + 1, s) for s in starts)
+    _d, _p, index = make_index(intervals, capacity=4)
+    a, width = query
+    b = a + width
+    got = sorted(p for _l, _h, p in index.overlap(a, b))
+    expected = sorted(s for s in starts if s + 1 >= a and s <= b)
+    assert got == expected

@@ -1,0 +1,171 @@
+"""Tests for the external interval tree (stabbing substrate, paper ref [3])."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.storage.interval_tree import ExternalIntervalTree, default_fanout
+
+
+def make_tree(intervals, capacity=16, fanout=None):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = ExternalIntervalTree.build(pager, intervals, fanout=fanout)
+    return dev, pager, tree
+
+
+def brute_stab(intervals, x):
+    return sorted(p for l, r, p in intervals if l <= x <= r)
+
+
+class TestDefaultFanout:
+    def test_routing_page_fits(self):
+        for capacity in (8, 16, 17, 18, 31, 64, 128, 256):
+            b = default_fanout(capacity)
+            assert 4 * b + 3 <= max(capacity, 11)  # b >= 2 floor for tiny B
+            assert b >= 2
+
+    def test_directory_page_fits(self):
+        for capacity in (16, 64, 256):
+            b = default_fanout(capacity)
+            assert (b - 1) * b // 2 <= capacity
+
+
+class TestStab:
+    def test_empty_tree(self):
+        _d, _p, tree = make_tree([])
+        assert tree.stab(0) == []
+
+    def test_single_leaf(self):
+        intervals = [(0, 5, "a"), (3, 8, "b"), (10, 12, "c")]
+        _d, _p, tree = make_tree(intervals)
+        assert sorted(p for _l, _r, p in tree.stab(4)) == ["a", "b"]
+        assert [p for _l, _r, p in tree.stab(11)] == ["c"]
+        assert tree.stab(9) == []
+
+    def test_endpoints_inclusive(self):
+        _d, _p, tree = make_tree([(2, 6, "a")])
+        assert tree.stab(2) and tree.stab(6)
+        assert not tree.stab(1) and not tree.stab(7)
+
+    def test_zero_length_intervals(self):
+        _d, _p, tree = make_tree([(5, 5, "pt")] * 3 + [(0, 10, "span")])
+        got = [p for _l, _r, p in tree.stab(5)]
+        assert sorted(got) == ["pt", "pt", "pt", "span"]
+        assert [p for _l, _r, p in tree.stab(4)] == ["span"]
+
+    def test_all_identical_points_chain_leaf(self):
+        intervals = [(7, 7, i) for i in range(200)]
+        _d, _p, tree = make_tree(intervals, capacity=16)
+        assert len(tree.stab(7)) == 200
+        assert tree.stab(8) == []
+
+    def test_large_build_correct(self):
+        rng = random.Random(42)
+        intervals = []
+        for i in range(2000):
+            l = rng.randrange(0, 10000)
+            r = l + rng.randrange(0, 500)
+            intervals.append((l, r, i))
+        _d, _p, tree = make_tree(intervals, capacity=16)
+        for x in [0, 777, 5000, 9999, 10300]:
+            got = sorted(p for _l, _r, p in tree.stab(x))
+            assert got == brute_stab(intervals, x), x
+
+    def test_stab_exactly_on_boundary(self):
+        # Build with a known fanout and probe every distinct endpoint.
+        intervals = [(i, i + 10, i) for i in range(0, 300, 3)]
+        _d, _p, tree = make_tree(intervals, capacity=16, fanout=3)
+        for x in range(0, 310, 5):
+            got = sorted(p for _l, _r, p in tree.stab(x))
+            assert got == brute_stab(intervals, x), x
+
+    def test_no_duplicates_reported(self):
+        intervals = [(0, 1000, i) for i in range(50)]  # all long spanners
+        _d, _p, tree = make_tree(intervals + [(i, i + 1, 100 + i) for i in range(500)])
+        got = [p for _l, _r, p in tree.stab(500)]
+        assert len(got) == len(set(got))
+
+
+class TestCosts:
+    def test_linear_space(self):
+        n = 5000
+        capacity = 32
+        intervals = [(i, i + 50, i) for i in range(n)]
+        dev, _p, tree = make_tree(intervals, capacity=capacity)
+        assert dev.pages_in_use <= 8 * math.ceil(n / capacity)
+
+    def test_query_io_logarithmic(self):
+        n = 20000
+        capacity = 64
+        rng = random.Random(7)
+        intervals = [(i, i + rng.randrange(1, 30), i) for i in range(n)]
+        dev, pager, tree = make_tree(intervals, capacity=capacity)
+        worst = 0
+        for x in range(0, n, 997):
+            with pager.operation():
+                with Measurement(dev) as m:
+                    result = tree.stab(x)
+            overhead = m.stats.reads - len(result) // capacity
+            worst = max(worst, overhead)
+        # height * (routing + directory + ~4 list heads) with log_B n ~ 3.
+        assert worst <= 40, worst
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        dev = BlockDevice(block_capacity=16)
+        pager = Pager(dev)
+        tree = ExternalIntervalTree(pager)
+        tree.insert(0, 10, "a")
+        assert [p for _l, _r, p in tree.stab(5)] == ["a"]
+
+    def test_insert_rejects_reversed(self):
+        dev = BlockDevice(block_capacity=16)
+        pager = Pager(dev)
+        tree = ExternalIntervalTree(pager)
+        try:
+            tree.insert(5, 4, "bad")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_insert_many_matches_bruteforce(self):
+        rng = random.Random(3)
+        intervals = [(i, i + 20, i) for i in range(0, 3000, 3)]
+        _d, _p, tree = make_tree(intervals, capacity=16)
+        inserted = []
+        for j in range(500):
+            l = rng.randrange(0, 3100)
+            r = l + rng.randrange(0, 40)
+            tree.insert(l, r, 10000 + j)
+            inserted.append((l, r, 10000 + j))
+        everything = intervals + inserted
+        for x in [0, 100, 1500, 2999, 3050]:
+            got = sorted(p for _l, _r, p in tree.stab(x))
+            assert got == brute_stab(everything, x), x
+
+    def test_len_tracks_inserts(self):
+        _d, _p, tree = make_tree([(0, 1, "a")])
+        assert len(tree) == 1
+        tree.insert(2, 3, "b")
+        assert len(tree) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 10)),
+        min_size=0,
+        max_size=60,
+    ),
+    st.integers(-2, 52),
+)
+@settings(max_examples=150, deadline=None)
+def test_stab_matches_bruteforce_property(raw, x):
+    intervals = [(l, l + w, i) for i, (l, w) in enumerate(raw)]
+    _d, _p, tree = make_tree(intervals, capacity=16)
+    got = sorted(p for _l, _r, p in tree.stab(x))
+    assert got == brute_stab(intervals, x)

@@ -1,0 +1,88 @@
+"""Additional interval-tree coverage: items(), mixed builds, edge regimes."""
+
+import random
+
+from repro.iosim import BlockDevice, Pager
+from repro.storage.interval_tree import ExternalIntervalTree
+
+
+def make_tree(intervals, capacity=16, fanout=None):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = ExternalIntervalTree.build(pager, intervals, fanout=fanout)
+    return dev, pager, tree
+
+
+class TestItems:
+    def test_items_roundtrip(self):
+        intervals = [(i, i + 7, i) for i in range(500)]
+        _d, _p, tree = make_tree(intervals)
+        got = sorted(p for _l, _r, p in tree.items())
+        assert got == list(range(500))
+
+    def test_items_exactly_once_with_multislabs(self):
+        # Long intervals live in L, R and M lists; items() must not repeat.
+        intervals = [(0, 10**6, i) for i in range(40)]
+        intervals += [(i * 3, i * 3 + 1, 100 + i) for i in range(400)]
+        _d, _p, tree = make_tree(intervals)
+        got = [p for _l, _r, p in tree.items()]
+        assert len(got) == len(set(got)) == 440
+
+    def test_items_after_inserts(self):
+        intervals = [(i, i + 3, i) for i in range(200)]
+        _d, _p, tree = make_tree(intervals)
+        for j in range(50):
+            tree.insert(j * 5, j * 5 + 2, 1000 + j)
+        got = sorted(p for _l, _r, p in tree.items())
+        assert got == sorted(list(range(200)) + [1000 + j for j in range(50)])
+
+    def test_items_empty(self):
+        _d, _p, tree = make_tree([])
+        assert list(tree.items()) == []
+
+
+class TestEdgeRegimes:
+    def test_nested_intervals(self):
+        # Fully nested intervals: every stab in the core hits them all.
+        intervals = [(i, 1000 - i, i) for i in range(300)]
+        _d, _p, tree = make_tree(intervals)
+        assert len(tree.stab(500)) == 300
+        assert len(tree.stab(250)) == 251  # i <= 250
+        assert tree.stab(1001) == []
+
+    def test_shifted_staircase(self):
+        intervals = [(i, i + 100, i) for i in range(1000)]
+        _d, _p, tree = make_tree(intervals)
+        got = sorted(p for _l, _r, p in tree.stab(500))
+        assert got == list(range(400, 501))
+
+    def test_negative_coordinates(self):
+        intervals = [(-1000 + i, -990 + i, i) for i in range(100)]
+        _d, _p, tree = make_tree(intervals)
+        expected = sorted(p for l, r, p in intervals if l <= -950 <= r)
+        assert sorted(p for _l, _r, p in tree.stab(-950)) == expected
+
+    def test_fraction_endpoints(self):
+        from fractions import Fraction
+
+        intervals = [
+            (Fraction(i, 3), Fraction(i + 5, 3), i) for i in range(90)
+        ]
+        _d, _p, tree = make_tree(intervals)
+        x = Fraction(10)
+        expected = sorted(p for l, r, p in intervals if l <= x <= r)
+        assert sorted(p for _l, _r, p in tree.stab(x)) == expected
+
+    def test_random_against_bruteforce_with_custom_fanout(self):
+        rng = random.Random(11)
+        intervals = []
+        for i in range(800):
+            l = rng.randrange(0, 2000)
+            intervals.append((l, l + rng.randrange(0, 300), i))
+        for fanout in (2, 3, 5):
+            _d, _p, tree = make_tree(intervals, capacity=32, fanout=fanout)
+            for x in (0, 555, 1111, 1999, 2299):
+                expected = sorted(p for l, r, p in intervals if l <= x <= r)
+                assert sorted(p for _l, _r, p in tree.stab(x)) == expected, (
+                    fanout, x,
+                )

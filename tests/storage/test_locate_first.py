@@ -1,0 +1,78 @@
+"""Tests for BPlusTree.locate_first (predicate-boundary descent).
+
+Solution 2's multislab lists depend on it: the search boundary is defined
+by evaluating fragments at the query line, not by comparing a fixed key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim import BlockDevice, Measurement, Pager
+from repro.storage.bplus import BPlusTree
+
+
+def make_tree(keys, capacity=4):
+    dev = BlockDevice(block_capacity=capacity)
+    pager = Pager(dev)
+    tree = BPlusTree.build(pager, [(k, f"v{k}") for k in sorted(keys)])
+    return dev, pager, tree
+
+
+def first_satisfying(tree, pred):
+    pos = tree.locate_first(pred)
+    for key, _value in tree.scan_at(*pos):
+        return key
+    return None
+
+
+class TestLocateFirst:
+    def test_boundary_in_middle(self):
+        _d, _p, tree = make_tree(range(100))
+        assert first_satisfying(tree, lambda k: k >= 37) == 37
+
+    def test_boundary_at_start(self):
+        _d, _p, tree = make_tree(range(10, 20))
+        assert first_satisfying(tree, lambda k: k >= 0) == 10
+
+    def test_boundary_past_end(self):
+        _d, _p, tree = make_tree(range(10))
+        assert first_satisfying(tree, lambda k: k >= 99) is None
+
+    def test_all_satisfy(self):
+        _d, _p, tree = make_tree(range(5))
+        assert first_satisfying(tree, lambda k: True) == 0
+
+    def test_none_satisfy(self):
+        _d, _p, tree = make_tree(range(5))
+        assert first_satisfying(tree, lambda k: False) is None
+
+    def test_empty_tree(self):
+        _d, _p, tree = make_tree([])
+        assert first_satisfying(tree, lambda k: True) is None
+
+    def test_derived_predicate(self):
+        # The Solution-2 use case: pred computed from the key's contents.
+        keys = [(i, 100 - i) for i in range(50)]
+        _d, _p, tree = make_tree(keys, capacity=8)
+        # First key whose second component is <= 70, i.e. i >= 30.
+        got = first_satisfying(tree, lambda k: k[1] <= 70)
+        assert got == (30, 70)
+
+    def test_io_cost_is_height(self):
+        dev, pager, tree = make_tree(range(4096), capacity=16)
+        with pager.operation():
+            with Measurement(dev) as m:
+                tree.locate_first(lambda k: k >= 2000)
+        assert m.stats.reads <= tree.height() + 1
+
+
+@given(
+    st.sets(st.integers(0, 300), min_size=1, max_size=80),
+    st.integers(-10, 310),
+)
+@settings(max_examples=150, deadline=None)
+def test_locate_first_matches_filter(keys, threshold):
+    _d, _p, tree = make_tree(keys)
+    got = first_satisfying(tree, lambda k: k >= threshold)
+    expected = min((k for k in keys if k >= threshold), default=None)
+    assert got == expected

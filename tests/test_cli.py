@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.workloads import grid_segments
+from repro.workloads.files import dump, dumps
+
+
+@pytest.fixture
+def segment_file(tmp_path):
+    path = str(tmp_path / "segments.tsv")
+    dump(grid_segments(25, seed=1), path)
+    return path
+
+
+def test_no_command_prints_usage(capsys):
+    assert main([]) == 2
+    assert "demo" in capsys.readouterr().out
+
+
+def test_unknown_command(capsys):
+    assert main(["frobnicate"]) == 2
+    assert "unknown command" in capsys.readouterr().err
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "VS query" in out
+    assert "river" in out
+
+
+def test_engines(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "solution1" in out and "solution2" in out
+
+
+def test_version(capsys):
+    assert main(["version"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_validate_ok(segment_file, capsys):
+    assert main(["validate", segment_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_crossing(tmp_path, capsys):
+    path = str(tmp_path / "bad.tsv")
+    with open(path, "w") as fh:
+        fh.write("0 0 2 2 a\n0 2 2 0 b\n")
+    assert main(["validate", path]) == 1
+    assert "NOT NCT" in capsys.readouterr().err
+
+
+def test_query_line(segment_file, capsys):
+    assert main(["query", segment_file, "150"]) == 0
+    err = capsys.readouterr().err
+    assert "block" in err
+
+
+def test_query_window(segment_file, capsys):
+    assert main(["query", segment_file, "150", "0", "500"]) == 0
+
+
+def test_query_bad_args(capsys):
+    assert main(["query", "only-one-arg"]) == 2
+
+
+def test_query_rational_coordinate(segment_file):
+    assert main(["query", segment_file, "301/2"]) == 0

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run clean and say what it says."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "line x=6 intersects" in out
+    assert "river" in out
+
+
+def test_gis_map_overlay():
+    out = run_example("gis_map_overlay.py")
+    assert "boundaries crossed" in out
+    assert "solution2" in out
+
+
+def test_temporal_versions():
+    out = run_example("temporal_versions.py")
+    assert "versions valid at t=" in out
+    assert "stab-and-filter" in out
+
+
+def test_constraint_selection():
+    out = run_example("constraint_selection.py")
+    assert "exact rationals" in out
+    assert "σ[x=2000]" in out
+
+
+def test_io_model_tour():
+    out = run_example("io_model_tour.py")
+    assert "Growth check" in out
+    assert "LRU" in out
+
+
+def test_figure_gallery():
+    out = run_example("figure_gallery.py")
+    assert "Figure 1" in out
+    assert "external PST" in out
+    assert "segment tree G" in out

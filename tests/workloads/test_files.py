@@ -1,0 +1,87 @@
+"""Tests for the segment text format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import CrossingError
+from repro.workloads.files import SegmentFormatError, dump, dumps, load, loads
+from repro.workloads import grid_segments
+
+
+class TestParsing:
+    def test_basic_line(self):
+        (s,) = loads("0\t1\t2\t3")
+        assert (s.start.x, s.start.y, s.end.x, s.end.y) == (0, 1, 2, 3)
+        assert s.label == 0
+
+    def test_spaces_accepted(self):
+        (s,) = loads("0 1 2 3 road")
+        assert s.label == "road"
+
+    def test_rational_coordinates(self):
+        (s,) = loads("1/3\t0\t2\t5/7")
+        assert s.start.x == Fraction(1, 3)
+        assert s.end.y == Fraction(5, 7)
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n0 0 1 1 a\n   \n# trailer\n2 2 3 3 b\n"
+        segments = loads(text)
+        assert [s.label for s in segments] == ["a", "b"]
+
+    def test_default_labels_are_positional(self):
+        segments = loads("0 0 1 1\n2 2 3 3\n")
+        assert [s.label for s in segments] == [0, 1]
+
+    def test_bad_field_count(self):
+        with pytest.raises(SegmentFormatError) as exc:
+            loads("0 0 1\n")
+        assert exc.value.lineno == 1
+
+    def test_bad_coordinate(self):
+        with pytest.raises(SegmentFormatError) as exc:
+            loads("0 0 1 banana\n")
+        assert exc.value.lineno == 1
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(SegmentFormatError):
+            loads("5 5 5 5\n")
+
+    def test_zero_denominator(self):
+        with pytest.raises(SegmentFormatError):
+            loads("1/0 0 1 1\n")
+
+    def test_validate_crossing(self):
+        text = "0 0 2 2 a\n0 2 2 0 b\n"
+        with pytest.raises(CrossingError):
+            loads(text, validate=True)
+        assert len(loads(text)) == 2  # without validation it parses
+
+
+class TestRoundtrip:
+    def test_dumps_loads_roundtrip(self):
+        segments = grid_segments(50, seed=1)
+        again = loads(dumps(segments))
+        assert [(s.start, s.end) for s in again] == [
+            (s.start, s.end) for s in segments
+        ]
+
+    def test_rational_roundtrip(self):
+        from repro.geometry import Segment
+
+        s = Segment.from_coords(Fraction(1, 3), 0, 2, Fraction(7, 5), label="r")
+        (back,) = loads(dumps([s]))
+        assert back.start.x == Fraction(1, 3)
+        assert back.end.y == Fraction(7, 5)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "segments.tsv")
+        segments = grid_segments(30, seed=2)
+        dump(segments, path)
+        again = load(path, validate=True)
+        assert len(again) == 30
+
+    def test_labels_stringified(self):
+        segments = grid_segments(3, seed=3)  # tuple labels
+        again = loads(dumps(segments))
+        assert all(isinstance(s.label, str) for s in again)

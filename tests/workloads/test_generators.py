@@ -1,0 +1,103 @@
+"""Workload generators must produce NCT sets and be deterministic."""
+
+import pytest
+
+from repro.geometry import (
+    find_crossing_bruteforce,
+    lb_cross,
+    validate_nct,
+)
+from repro.workloads import (
+    bounding_box,
+    delaunay_edges,
+    fan,
+    grid_segments,
+    grid_segments_touching,
+    monotone_polylines,
+    shared_base_fans,
+    verticals,
+    version_history,
+    with_on_line_segments,
+)
+
+
+def assert_linebased_nct(segments):
+    for i, s1 in enumerate(segments):
+        for s2 in segments[i + 1 :]:
+            assert not lb_cross(s1, s2), (s1, s2)
+
+
+class TestLineBasedGenerators:
+    def test_verticals_do_not_cross(self):
+        assert_linebased_nct(verticals(50, seed=1))
+
+    def test_fan_does_not_cross(self):
+        assert_linebased_nct(fan(80, seed=2))
+
+    def test_shared_base_fans_do_not_cross(self):
+        assert_linebased_nct(shared_base_fans(10, per_cluster=5, seed=3))
+
+    def test_shared_base_fans_touch(self):
+        segments = shared_base_fans(1, per_cluster=4, seed=4)
+        bases = {s.u0 for s in segments}
+        assert len(bases) == 1  # all four share the base point
+
+    def test_with_on_line_segments(self):
+        segments = with_on_line_segments(fan(20, seed=5), 10, seed=5)
+        assert sum(1 for s in segments if s.on_base_line) == 10
+        assert_linebased_nct(segments)
+
+    def test_deterministic_under_seed(self):
+        assert fan(30, seed=9) == fan(30, seed=9)
+        assert fan(30, seed=9) != fan(30, seed=10)
+
+    def test_counts(self):
+        assert len(verticals(17, seed=0)) == 17
+        assert len(fan(23, seed=0)) == 23
+        assert len(shared_base_fans(6, per_cluster=3, seed=0)) == 18
+
+
+class TestPlaneGenerators:
+    def test_grid_segments_disjoint(self):
+        segments = grid_segments(120, seed=1)
+        assert find_crossing_bruteforce(segments) is None
+        assert len(segments) == 120
+
+    def test_grid_segments_touching_is_nct(self):
+        segments = grid_segments_touching(150, seed=2)
+        validate_nct(segments, method="brute")
+
+    def test_grid_segments_touching_has_touches(self):
+        segments = grid_segments_touching(100, touch_fraction=1.0, seed=3)
+        endpoints = {}
+        shared = 0
+        for s in segments:
+            for p in (s.start, s.end):
+                endpoints[p] = endpoints.get(p, 0) + 1
+        shared = sum(1 for c in endpoints.values() if c > 1)
+        assert shared > 10
+
+    def test_monotone_polylines_nct(self):
+        segments = monotone_polylines(4, points_per_line=20, seed=4)
+        validate_nct(segments, method="brute")
+        assert len(segments) == 4 * 19
+
+    def test_version_history_nct(self):
+        segments = version_history(5, versions_per_key=10, seed=5)
+        validate_nct(segments, method="brute")
+        assert len(segments) == 50
+
+    def test_delaunay_edges_nct(self):
+        segments = delaunay_edges(60, seed=6)
+        validate_nct(segments, method="brute")
+        # A triangulation of n sites has ~3n edges.
+        assert len(segments) > 100
+
+    def test_bounding_box(self):
+        segments = grid_segments(10, seed=7)
+        xmin, ymin, xmax, ymax = bounding_box(segments)
+        assert xmin <= xmax and ymin <= ymax
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,67 @@
+"""Tests for query generators."""
+
+from repro.geometry import lb_intersects, vs_intersects
+from repro.workloads import (
+    fan,
+    grid_segments,
+    hqueries,
+    measured_output,
+    mixed_queries,
+    ray_queries,
+    segment_queries,
+    stabbing_queries,
+)
+
+
+class TestPlaneQueries:
+    def setup_method(self):
+        self.segments = grid_segments(200, seed=11)
+
+    def test_stabbing_queries_are_lines(self):
+        queries = stabbing_queries(self.segments, 10, seed=1)
+        assert len(queries) == 10
+        assert all(q.kind == "line" for q in queries)
+
+    def test_segment_queries_selectivity(self):
+        queries = segment_queries(self.segments, 20, selectivity=0.05, seed=2)
+        outputs = [measured_output(self.segments, q) for q in queries]
+        target = 0.05 * len(self.segments)
+        # The window is cut from actual stab results, so outputs should be
+        # in the right ballpark whenever the stab is rich enough.
+        assert max(outputs) <= 3 * target + 5
+        assert any(o > 0 for o in outputs)
+
+    def test_ray_queries_kinds(self):
+        queries = ray_queries(self.segments, 10, seed=3)
+        assert all(q.kind == "ray" for q in queries)
+
+    def test_mixed_queries_cover_kinds(self):
+        queries = mixed_queries(self.segments, 30, seed=4)
+        kinds = {q.kind for q in queries}
+        assert kinds == {"line", "ray", "segment"}
+
+    def test_measured_output_consistent(self):
+        q = segment_queries(self.segments, 1, seed=5)[0]
+        expected = sum(1 for s in self.segments if vs_intersects(s, q))
+        assert measured_output(self.segments, q) == expected
+
+    def test_deterministic(self):
+        a = segment_queries(self.segments, 5, seed=6)
+        b = segment_queries(self.segments, 5, seed=6)
+        assert a == b
+
+
+class TestHQueries:
+    def test_hqueries_hit_something(self):
+        segments = fan(100, seed=7)
+        queries = hqueries(segments, 10, selectivity=0.1, seed=8)
+        hits = [
+            sum(1 for s in segments if lb_intersects(s, q)) for q in queries
+        ]
+        assert any(h > 0 for h in hits)
+
+    def test_hqueries_respect_selectivity_roughly(self):
+        segments = fan(200, seed=9)
+        queries = hqueries(segments, 10, selectivity=0.05, seed=10)
+        hits = [sum(1 for s in segments if lb_intersects(s, q)) for q in queries]
+        assert max(hits) <= 3 * 0.05 * len(segments) + 5
