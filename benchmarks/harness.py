@@ -64,6 +64,31 @@ def measure_total(device, fn: Callable[[], None]):
     return m.stats
 
 
+def measure_anatomy(device, index, queries: Sequence[VerticalQuery], *,
+                    engine: str = "") -> Tuple[int, Dict[str, int]]:
+    """Traced top-level phase I/Os summed over a query batch.
+
+    Each query runs under :func:`repro.telemetry.trace_call`; every
+    report is asserted *balanced* (per-phase I/Os sum exactly to the
+    flat counter diff) before aggregating, so the returned split is an
+    accounting identity over the simulated I/Os, not a sampled share.
+    Returns ``(total_io, {phase: io})``.
+    """
+    from repro.telemetry import trace_call
+
+    total = 0
+    phases: Dict[str, int] = {}
+    for q in queries:
+        _result, report = trace_call(
+            device, lambda q=q: index.query(q), engine=engine, description=str(q)
+        )
+        assert report.balanced, f"unbalanced trace for {q}"
+        total += report.io.total
+        for name, amount in report.top_level().items():
+            phases[name] = phases.get(name, 0) + amount
+    return total, phases
+
+
 def archive(name: str, title: str, sections: Iterable[str]) -> str:
     """Write an experiment report to results/<name>.md and return it."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

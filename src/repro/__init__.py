@@ -34,6 +34,7 @@ from .geometry import (
     vs_intersects,
 )
 from .iosim import BlockDevice, IOStats, LRUBufferPool, Measurement, Pager
+from .telemetry import ExplainReport, MetricsRegistry, TraceContext
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,7 @@ __all__ = [
     "CrossingError",
     "DirectedSegmentDatabase",
     "ENGINES",
+    "ExplainReport",
     "ExternalPST",
     "HQuery",
     "IOStats",
@@ -51,7 +53,9 @@ __all__ = [
     "LineBasedIndex",
     "LineBasedSegment",
     "Measurement",
+    "MetricsRegistry",
     "Pager",
+    "TraceContext",
     "Point",
     "Segment",
     "SegmentDatabase",

@@ -7,8 +7,16 @@ Commands
 ``query FILE X [YLO YHI]``
                     load segments from a TSV file (see
                     ``repro.workloads.files``) and run one vertical query
+``explain FILE X [YLO YHI]``
+                    run one vertical query traced and print its cost
+                    anatomy (per-phase I/O breakdown; ``--json`` for the
+                    structured report)
 ``validate FILE``   check a segment file for NCT violations
 ``version``         print the library version
+
+``query`` and ``explain`` accept ``--engine NAME`` (default solution2),
+``--buffer N`` (put an N-page LRU buffer pool under the engine and report
+its hit rate) and ``--block B`` (block capacity, default 64).
 """
 
 from __future__ import annotations
@@ -31,6 +39,56 @@ def _coord(token: str):
         num, den = token.split("/", 1)
         return Fraction(int(num), int(den))
     return int(token)
+
+
+def _pop_flags(args):
+    """Split ``args`` into positional tokens and recognised ``--`` flags."""
+    positional = []
+    flags = {"engine": "solution2", "buffer": None, "block": 64, "json": False}
+    i = 0
+    while i < len(args):
+        token = args[i]
+        if token == "--json":
+            flags["json"] = True
+        elif token in ("--engine", "--buffer", "--block"):
+            if i + 1 >= len(args):
+                raise ValueError(f"{token} needs a value")
+            value = args[i + 1]
+            if token == "--engine":
+                flags["engine"] = value
+            elif token == "--buffer":
+                flags["buffer"] = int(value)
+            else:
+                flags["block"] = int(value)
+            i += 1
+        elif token.startswith("--"):
+            raise ValueError(f"unknown flag {token!r}")
+        else:
+            positional.append(token)
+        i += 1
+    return positional, flags
+
+
+def _load_db(path: str, flags):
+    from repro import SegmentDatabase
+    from repro.workloads.files import load
+
+    segments = load(path)
+    return SegmentDatabase.bulk_load(
+        segments,
+        engine=flags["engine"],
+        block_capacity=flags["block"],
+        buffer_pages=flags["buffer"],
+    )
+
+
+def _parse_query(positional):
+    from repro import VerticalQuery
+
+    x = _coord(positional[1])
+    if len(positional) == 4:
+        return VerticalQuery.segment(x, _coord(positional[2]), _coord(positional[3]))
+    return VerticalQuery.line(x)
 
 
 def cmd_demo() -> int:
@@ -60,24 +118,46 @@ def cmd_engines() -> int:
 
 
 def cmd_query(args) -> int:
-    if len(args) not in (2, 4):
-        print("usage: python -m repro query FILE X [YLO YHI]", file=sys.stderr)
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
-    from repro import SegmentDatabase, VerticalQuery
-    from repro.workloads.files import load
-
-    path, x = args[0], _coord(args[1])
-    segments = load(path)
-    db = SegmentDatabase.bulk_load(segments, block_capacity=64)
-    if len(args) == 4:
-        q = VerticalQuery.segment(x, _coord(args[2]), _coord(args[3]))
-    else:
-        q = VerticalQuery.line(x)
-    hits = db.query(q)
+    if len(positional) not in (2, 4):
+        print("usage: python -m repro query FILE X [YLO YHI] "
+              "[--engine NAME] [--buffer N] [--block B]", file=sys.stderr)
+        return 2
+    db = _load_db(positional[0], flags)
+    hits = db.query(_parse_query(positional))
     for s in sorted(hits, key=lambda s: str(s.label)):
         print(s.label)
-    print(f"# {len(hits)} of {len(db)} segments; {db.io_stats().reads} block "
-          f"reads", file=sys.stderr)
+    summary = (f"# {len(hits)} of {len(db)} segments; "
+               f"{db.io_stats().reads} block reads")
+    if db.buffer_hit_rate is not None:
+        summary += f"; buffer hit rate {db.buffer_hit_rate:.2%}"
+    print(summary, file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) not in (2, 4):
+        print("usage: python -m repro explain FILE X [YLO YHI] "
+              "[--engine NAME] [--buffer N] [--block B] [--json]",
+              file=sys.stderr)
+        return 2
+    db = _load_db(positional[0], flags)
+    report = db.explain(_parse_query(positional))
+    if flags["json"]:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        print(report.to_markdown())
     return 0
 
 
@@ -109,6 +189,8 @@ def main(argv=None) -> int:
         return cmd_engines()
     if command == "query":
         return cmd_query(args)
+    if command == "explain":
+        return cmd_explain(args)
     if command == "validate":
         return cmd_validate(args)
     if command == "version":

@@ -96,13 +96,14 @@ class GridIndex:
             return []
         out: Dict = {}
         with self.pager.operation():
-            for cell in self._cells_of(q.x, min(ylo, ymax), q.x, max(yhi, ymin)):
-                chain = self._chains.get(cell)
-                if chain is None:
-                    continue
-                for s in chain:
-                    if s.label not in out and vs_intersects(s, q):
-                        out[s.label] = s
+            with self.pager.device.tagged("cells"):
+                for cell in self._cells_of(q.x, min(ylo, ymax), q.x, max(yhi, ymin)):
+                    chain = self._chains.get(cell)
+                    if chain is None:
+                        continue
+                    for s in chain:
+                        if s.label not in out and vs_intersects(s, q):
+                            out[s.label] = s
         return list(out.values())
 
     # ------------------------------------------------------------------

@@ -32,7 +32,8 @@ class FullScanIndex:
 
     def query(self, q: VerticalQuery) -> List[Segment]:
         with self.pager.operation():
-            return [s for s in self.chain if vs_intersects(s, q)]
+            with self.pager.device.tagged("scan"):
+                return [s for s in self.chain if vs_intersects(s, q)]
 
     def insert(self, segment: Segment) -> None:
         with self.pager.operation():

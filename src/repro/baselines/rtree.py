@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..geometry import Segment, VerticalQuery, vs_intersects
 from ..iosim import Pager
+from ..telemetry import trace
 
 BBox = Tuple  # (xmin, ymin, xmax, ymax), exact coordinates
 
@@ -123,7 +124,14 @@ class RTreeIndex:
         with self.pager.operation():
             stack = [self.root_pid]
             while stack:
+                # Whether a page visit is routing or output is known only
+                # after the fetch: move its I/O delta to the right phase.
+                span = trace.current_span()
+                reads_before = span.reads if span is not None else 0
                 page = self.pager.fetch(stack.pop())
+                if span is not None:
+                    phase = "leaf" if page.get_header("leaf") else "descent"
+                    span.move(phase, reads=span.reads - reads_before)
                 if page.get_header("leaf"):
                     for bbox, segment in page.items:
                         if query_overlaps(bbox, q) and vs_intersects(segment, q):

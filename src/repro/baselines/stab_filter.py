@@ -34,7 +34,10 @@ class StabFilterIndex:
 
     def query(self, q: VerticalQuery) -> List[Segment]:
         with self.pager.operation():
-            stabbed = self.tree.stab(q.x)
+            with self.pager.device.tagged("stab"):
+                stabbed = self.tree.stab(q.x)
+        # The y filter is free in I/Os (in-memory), exactly the point of
+        # the baseline: it has already paid for every stabbed segment.
         return [s for _l, _r, s in stabbed if vs_intersects(s, q)]
 
     def stabbed_count(self, q: VerticalQuery) -> int:

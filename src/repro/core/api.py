@@ -41,6 +41,7 @@ from ..geometry import (
     validate_nct,
 )
 from ..iosim import BlockDevice, IOStats, LRUBufferPool, Pager
+from ..telemetry import ExplainReport, MetricsRegistry, trace_call
 from .solution1.index import TwoLevelBinaryIndex
 from .solution2.index import TwoLevelIntervalIndex
 
@@ -61,13 +62,14 @@ class SegmentDatabase:
             raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
         self.engine_name = engine
         self.device = BlockDevice(block_capacity)
-        backing = (
+        self.buffer_pool: Optional[LRUBufferPool] = (
             LRUBufferPool(self.device, buffer_pages)
             if buffer_pages is not None
-            else self.device
+            else None
         )
-        self.pager = Pager(backing)
+        self.pager = Pager(self.buffer_pool or self.device)
         self.validate = validate
+        self.metrics: Optional[MetricsRegistry] = None
         self._index = self._build_engine([])
 
     # ------------------------------------------------------------------
@@ -119,11 +121,36 @@ class SegmentDatabase:
     # ------------------------------------------------------------------
     def query(self, q: VerticalQuery) -> List[Segment]:
         """All stored segments intersecting a generalized vertical segment."""
-        return self._index.query(q)
+        if self.metrics is None:
+            return self._index.query(q)
+        before = self.device.snapshot()
+        out = self._index.query(q)
+        self._record_op("query", self.device.snapshot() - before, len(out))
+        return out
 
     def stab(self, x: Coordinate) -> List[Segment]:
         """Stabbing query: everything crossing the vertical line at ``x``."""
-        return self._index.query(VerticalQuery.line(x))
+        return self.query(VerticalQuery.line(x))
+
+    def explain(self, q: VerticalQuery) -> ExplainReport:
+        """Run ``q`` traced and return its cost anatomy.
+
+        The report's per-phase I/O counts sum exactly to the flat
+        :class:`~repro.iosim.stats.IOStats` diff of the query (it is an
+        accounting identity over the same simulated I/Os — see
+        DESIGN.md §7), and include buffer hit/miss movement when the
+        database was built with ``buffer_pages``.
+        """
+        out, report = trace_call(
+            self.device,
+            lambda: self._index.query(q),
+            engine=self.engine_name,
+            description=str(q),
+            buffer_pool=self.buffer_pool,
+        )
+        if self.metrics is not None:
+            self._record_op("query", report.io, len(out))
+        return report
 
     # ------------------------------------------------------------------
     # updates
@@ -140,23 +167,79 @@ class SegmentDatabase:
             for other in self.all_segments():
                 if segments_cross(segment, other):
                     raise ValueError(f"{segment!r} crosses stored {other!r}")
+        if self.metrics is None:
+            self._index.insert(segment)
+            return
+        before = self.device.snapshot()
         self._index.insert(segment)
+        self._record_op("insert", self.device.snapshot() - before, None)
 
     def delete(self, segment: Segment) -> bool:
         """Delete a stored segment (``solution1`` and baselines only)."""
         return self._index.delete(segment)
 
     # ------------------------------------------------------------------
-    # accounting
+    # accounting & observability
     # ------------------------------------------------------------------
     def io_stats(self) -> IOStats:
         return self.device.snapshot()
+
+    def io_report(self) -> dict:
+        """Counters plus cache effectiveness, JSON-ready.
+
+        Extends :meth:`io_stats` with the buffer pool's hit/miss counts
+        and :attr:`~repro.iosim.buffer.LRUBufferPool.hit_rate` (``None``
+        entries when the database runs without a pool).
+        """
+        out = self.io_stats().to_dict()
+        out["space_in_blocks"] = self.space_in_blocks()
+        pool = self.buffer_pool
+        out["buffer"] = (
+            {
+                "capacity": pool.capacity,
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "hit_rate": pool.hit_rate,
+            }
+            if pool is not None
+            else None
+        )
+        return out
+
+    @property
+    def buffer_hit_rate(self) -> Optional[float]:
+        """The pool's hit rate, or ``None`` without ``buffer_pages``."""
+        return self.buffer_pool.hit_rate if self.buffer_pool is not None else None
 
     def reset_io_stats(self) -> None:
         self.device.reset_counters()
 
     def space_in_blocks(self) -> int:
         return self.device.pages_in_use
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def enable_metrics(self) -> MetricsRegistry:
+        """Start recording per-operation metrics; returns the registry.
+
+        Each query/insert feeds I/O-per-operation and result-size
+        histograms; the buffer hit rate (when pooled) is kept as a
+        gauge.  Idempotent: re-enabling returns the same registry.
+        """
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        return self.metrics
+
+    def _record_op(self, op: str, diff: IOStats, results: Optional[int]) -> None:
+        metrics = self.metrics
+        metrics.counter(f"{op}.count").inc()
+        metrics.histogram(f"{op}.ios").observe(diff.total)
+        metrics.histogram(f"{op}.reads").observe(diff.reads)
+        if results is not None:
+            metrics.histogram(f"{op}.results").observe(results)
+        if self.buffer_pool is not None:
+            metrics.gauge("buffer.hit_rate").set(self.buffer_pool.hit_rate)
 
     def all_segments(self) -> List[Segment]:
         return self._index.all_segments()

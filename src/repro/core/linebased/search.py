@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ...geometry import HQuery, LineBasedSegment
+from ...telemetry import trace
 
 #: Classification of a stored segment against a query.
 BELOW = "below"  # does not reach the query height: no information
@@ -93,13 +94,27 @@ def pst_report(tree, query: HQuery) -> List[LineBasedSegment]:
 
 
 def _report_visit(tree, pid: int, query: HQuery, bounds: _Bounds, hits: List) -> None:
+    # Telemetry mirrors the paper's charging argument (Lemma 2): a node
+    # visit that reports at least one segment is charged to the output
+    # term ``t`` (phase "report"); the remaining visits are the search
+    # path (phase "descent", the ``log n`` term).  The phase is only
+    # known after classifying the node's items, so the visit's I/O delta
+    # is recorded on the current span and *moved* — sum-preserving — once
+    # the node's contribution is known.
+    span = trace.current_span()
+    reads_before = span.reads if span is not None else 0
     node = tree.read(pid)
+    reported = False
     for segment in node.items:
         side = classify(segment, query)
         if side == HIT:
             hits.append(segment)
+            reported = True
         else:
             bounds.absorb(segment, side)
+    if span is not None:
+        span.move("report" if reported else "descent",
+                  reads=span.reads - reads_before)
     # Routing copies are witnesses too — absorb them all before deciding
     # which children to enter, then re-check each child just before entry
     # (a left sibling's subtree may have tightened the bounds meanwhile).
@@ -146,7 +161,12 @@ def _improves(candidate_key: Tuple, best: Optional[FindResult], side: str) -> bo
 
 
 def _find_visit(tree, pid, query, bounds: _Bounds, best: List, side: str) -> None:
+    # ``Find`` never reports: every visit belongs to the descent term.
+    span = trace.current_span()
+    reads_before = span.reads if span is not None else 0
     node = tree.read(pid)
+    if span is not None:
+        span.move("descent", reads=span.reads - reads_before)
     for segment in node.items:
         kind = classify(segment, query)
         if kind == HIT:

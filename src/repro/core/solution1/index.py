@@ -238,6 +238,7 @@ class TwoLevelBinaryIndex:
     def insert(self, segment: Segment) -> None:
         """Insert an NCT-compatible segment (amortised ``O(log n)`` +
         second-level costs; BB[α]-style rebuilds restore balance)."""
+        tagged = self.pager.device.tagged
         with self.pager.operation():
             self.size += 1
             if self.root_pid is None:
@@ -248,22 +249,26 @@ class TwoLevelBinaryIndex:
             parent_pid: Optional[int] = None
             parent_side: Optional[str] = None
             while True:
-                page = self.pager.fetch(pid)
-                page.set_header("weight", page.get_header("weight") + 1)
-                self.pager.write(page)
+                with tagged("first-level"):
+                    page = self.pager.fetch(pid)
+                    page.set_header("weight", page.get_header("weight") + 1)
+                    self.pager.write(page)
                 if page.get_header("kind") == "leaf":
                     # Leaves are not on the rebalance path: an overflowing
                     # leaf is rebuilt (and freed) right here.
-                    self._insert_into_leaf(page, segment, parent_pid, parent_side)
+                    with tagged("leaf"):
+                        self._insert_into_leaf(page, segment, parent_pid, parent_side)
                     break
                 path.append((pid, parent_pid, parent_side))
                 c = page.get_header("x")
                 if segment.spans_x(c):
-                    self._insert_at_node(page, segment, c)
+                    with tagged("second-level"):
+                        self._insert_at_node(page, segment, c)
                     break
                 parent_pid, parent_side = pid, ("left" if segment.xmax < c else "right")
                 pid = page.get_header(parent_side)
-            self._rebalance_path(path)
+            with tagged("rebuild"):
+                self._rebalance_path(path)
 
     def _insert_at_node(self, page, segment: Segment, c) -> None:
         page.set_header("here", page.get_header("here") + 1)
@@ -310,6 +315,7 @@ class TwoLevelBinaryIndex:
         """Delete a stored segment (located by its x-extent and label)."""
         if self.root_pid is None:
             return False
+        tagged = self.pager.device.tagged
         with self.pager.operation():
             path = []
             pid = self.root_pid
@@ -317,27 +323,32 @@ class TwoLevelBinaryIndex:
             parent_side: Optional[str] = None
             removed = False
             while True:
-                page = self.pager.fetch(pid)
+                with tagged("first-level"):
+                    page = self.pager.fetch(pid)
                 if page.get_header("kind") == "leaf":
-                    removed = self._delete_from_leaf(page, segment)
-                    if removed:
-                        page.set_header("weight", page.get_header("weight") - 1)
-                        self.pager.write(page)
+                    with tagged("leaf"):
+                        removed = self._delete_from_leaf(page, segment)
+                        if removed:
+                            page.set_header("weight", page.get_header("weight") - 1)
+                            self.pager.write(page)
                     break
                 path.append((pid, parent_pid, parent_side))
                 c = page.get_header("x")
                 if segment.spans_x(c):
-                    removed = self._delete_at_node(page, segment, c)
+                    with tagged("second-level"):
+                        removed = self._delete_at_node(page, segment, c)
                     break
                 parent_pid, parent_side = pid, ("left" if segment.xmax < c else "right")
                 pid = page.get_header(parent_side)
             if removed:
                 self.size -= 1
-                for node_pid, _pp, _ps in path:
-                    node = self.pager.fetch(node_pid)
-                    node.set_header("weight", node.get_header("weight") - 1)
-                    self.pager.write(node)
-                self._rebalance_path(path)
+                with tagged("first-level"):
+                    for node_pid, _pp, _ps in path:
+                        node = self.pager.fetch(node_pid)
+                        node.set_header("weight", node.get_header("weight") - 1)
+                        self.pager.write(node)
+                with tagged("rebuild"):
+                    self._rebalance_path(path)
             return removed
 
     def _delete_from_leaf(self, page, segment: Segment) -> bool:

@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ...iosim import DanglingPageError, Pager
 from ...storage.bplus import BPlusTree
 from ...storage.chain import PageChain
+from ...telemetry import trace
 from .slabs import LongFragment
 
 #: The paper's d-property constant (``d >= 2``).  Any constant satisfies
@@ -294,8 +295,20 @@ class GTree:
     ) -> Optional[Position]:
         """Report this node's hits; return the bridge hint for the next son."""
         start = self._boundary_position(tree, x0, ylo, hint)
+        # The reporting scan is the output-charged part of the G search:
+        # every page it touches holds ~B reported fragments (phase
+        # "scan", the ``t`` term of Theorem 2).
+        with trace.span("scan"):
+            return self._scan_entries(
+                tree, start, x0, ylo, yhi, son_slot, results, None
+            )
+
+    def _scan_entries(
+        self, tree: BPlusTree, start: Position, x0, ylo, yhi,
+        son_slot: Optional[int], results: List[LongFragment],
+        last_entry_before: Optional[GEntry],
+    ) -> Optional[Position]:
         next_hint: Optional[Position] = None
-        last_entry_before: Optional[GEntry] = None
         for leaf_pid, idx, key, entry in self._iter_positions_from(tree, start):
             y = _key_y_at(key, x0)
             real = not entry.frag.augmented
@@ -319,17 +332,27 @@ class GTree:
     def _boundary_position(
         self, tree: BPlusTree, x0, ylo, hint: Optional[Position]
     ) -> Position:
-        """Position of the first *real* entry with ``y_at(x0) >= ylo``."""
+        """Position of the first *real* entry with ``y_at(x0) >= ylo``.
+
+        Phase anatomy: landing via a bridge hint and refining locally is
+        the fractional-cascading hop (phase "cascade-hop", O(1) amortised
+        pages, the ``log2 B`` term); the fallback B+-tree descent is a
+        fresh search (phase "search", ``O(log_B n)`` per level — what
+        cascading exists to avoid, and all the E6 ablation ever pays).
+        """
         if ylo is None:
-            head = self._head_leaf(tree)
+            with trace.span("search"):
+                head = self._head_leaf(tree)
             return (head, 0)
         pred = lambda key: _key_y_at(key, x0) >= ylo  # noqa: E731
         if hint is not None:
-            refined = self._exact_boundary(tree, hint, pred,
-                                           page_budget=MAX_HINT_PAGES)
+            with trace.span("cascade-hop"):
+                refined = self._exact_boundary(tree, hint, pred,
+                                               page_budget=MAX_HINT_PAGES)
             if refined is not None:
                 return refined
-        boundary = self._exact_boundary(tree, tree.locate_first(pred), pred)
+        with trace.span("search"):
+            boundary = self._exact_boundary(tree, tree.locate_first(pred), pred)
         assert boundary is not None  # no page budget: never gives up
         return boundary
 

@@ -289,6 +289,7 @@ class TwoLevelIntervalIndex:
     def insert(self, segment: Segment) -> None:
         """Insert an NCT-compatible segment, amortised
         ``O(log_B n + log2 B + (log_B n)/B)`` I/Os (Theorem 2 iii)."""
+        tagged = self.pager.device.tagged
         with self.pager.operation():
             self.size += 1
             if self.root_pid is None:
@@ -299,22 +300,27 @@ class TwoLevelIntervalIndex:
             parent_pid: Optional[int] = None
             parent_slot: Optional[int] = None
             while True:
-                head = self.pager.fetch(pid)
-                head.set_header("weight", head.get_header("weight") + 1)
-                self.pager.write(head)
+                with tagged("first-level"):
+                    head = self.pager.fetch(pid)
+                    head.set_header("weight", head.get_header("weight") + 1)
+                    self.pager.write(head)
                 if head.get_header("kind") == "leaf":
-                    self._insert_into_leaf(pid, segment, parent_pid, parent_slot)
+                    with tagged("leaf"):
+                        self._insert_into_leaf(pid, segment, parent_pid, parent_slot)
                     break
                 path.append((pid, parent_pid, parent_slot))
-                view = self._read_view(pid)
+                with tagged("first-level"):
+                    view = self._read_view(pid)
                 split = split_segment(view.boundaries, segment)
                 if split is not None:
-                    self._insert_at_node(view, split, segment)
+                    with tagged("second-level"):
+                        self._insert_at_node(view, split, segment)
                     break
                 k = slab_of(view.boundaries, segment.xmin)
                 parent_pid, parent_slot = pid, k
                 pid = view.children[k]
-            self._rebalance_path(path)
+            with tagged("rebuild"):
+                self._rebalance_path(path)
 
     def _insert_at_node(self, view: _NodeView, split, segment: Segment) -> None:
         changed = False

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..telemetry import trace as _trace
 from .disk import BlockDevice
 from .page import Page
 
@@ -48,9 +49,15 @@ class LRUBufferPool:
         if cached is not None:
             self._lru.move_to_end(page_id)
             self.hits += 1
+            ctx = _trace._ACTIVE
+            if ctx is not None:
+                ctx.record_hit()
             return cached
         page = self.device.read(page_id)
         self.misses += 1
+        ctx = _trace._ACTIVE
+        if ctx is not None:
+            ctx.record_miss()
         self._cache(page)
         return page
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
+from ..telemetry import trace as _trace
 from .errors import DanglingPageError, DoubleFreeError
 from .page import Page
 from .stats import IOStats
@@ -53,10 +54,20 @@ class BlockDevice:
     # ------------------------------------------------------------------
     @contextmanager
     def tagged(self, tag: str):
-        """Attribute I/O inside the scope to ``tag`` (innermost tag wins)."""
+        """Attribute I/O inside the scope to ``tag`` (innermost tag wins).
+
+        When a telemetry trace is active the scope also opens a span of
+        the same name, so every tagged call-site doubles as a trace
+        phase without further instrumentation.
+        """
         self._tags.append(tag)
+        ctx = _trace._ACTIVE
         try:
-            yield
+            if ctx is None:
+                yield
+            else:
+                with ctx.span(tag):
+                    yield
         finally:
             self._tags.pop()
 
@@ -110,6 +121,9 @@ class BlockDevice:
             raise DanglingPageError(page_id) from None
         self.reads += 1
         self._charge_tag(self.tag_reads)
+        ctx = _trace._ACTIVE
+        if ctx is not None:
+            ctx.record_read()
         return page
 
     def write(self, page: Page) -> None:
@@ -119,6 +133,9 @@ class BlockDevice:
         page.validate()
         self.writes += 1
         self._charge_tag(self.tag_writes)
+        ctx = _trace._ACTIVE
+        if ctx is not None:
+            ctx.record_write()
 
     # ------------------------------------------------------------------
     # inspection

@@ -18,6 +18,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Set
 
+from ..telemetry import trace as _trace
 from .disk import BlockDevice
 from .page import Page
 
@@ -61,6 +62,9 @@ class Pager:
         if self._pinned is not None:
             cached = self._pinned.get(page_id)
             if cached is not None:
+                ctx = _trace._ACTIVE
+                if ctx is not None:
+                    ctx.record_pin()
                 return cached
             page = self.device.read(page_id)
             self._pinned[page_id] = page

@@ -41,6 +41,28 @@ class IOStats:
             frees=self.frees + other.frees,
         )
 
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON exporters and benchmark archives."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "allocs": self.allocs,
+            "frees": self.frees,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IOStats":
+        """Inverse of :meth:`to_dict` (extra keys are rejected)."""
+        unknown = set(data) - {"reads", "writes", "allocs", "frees"}
+        if unknown:
+            raise ValueError(f"unknown IOStats fields: {sorted(unknown)}")
+        return cls(
+            reads=data.get("reads", 0),
+            writes=data.get("writes", 0),
+            allocs=data.get("allocs", 0),
+            frees=data.get("frees", 0),
+        )
+
     def __str__(self) -> str:
         return (
             f"reads={self.reads} writes={self.writes} "

@@ -1,0 +1,37 @@
+"""Observability for the simulated-I/O index stack.
+
+Three layers (see DESIGN.md §7):
+
+* :mod:`repro.telemetry.trace` — per-query span tracing; the I/O layer
+  charges every block transfer to the innermost open span, so a trace
+  is an exact decomposition of the flat counters.  Off by default,
+  near-zero cost when off.
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with JSON
+  and Markdown exporters, for benchmark archives and the facade.
+* :mod:`repro.telemetry.explain` — ``EXPLAIN`` reports: one traced
+  operation rendered as a cost anatomy whose phases sum exactly to the
+  measured :class:`~repro.iosim.stats.IOStats` diff.
+"""
+
+from . import trace
+from .explain import ExplainReport, PhaseStats, collect_phases, trace_call
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, TraceContext, attribute, current_span, span, tracing
+
+__all__ = [
+    "Counter",
+    "ExplainReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseStats",
+    "Span",
+    "TraceContext",
+    "attribute",
+    "collect_phases",
+    "current_span",
+    "span",
+    "trace",
+    "trace_call",
+    "tracing",
+]

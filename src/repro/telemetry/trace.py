@@ -1,0 +1,289 @@
+"""Per-query I/O tracing: spans, phases and the active trace context.
+
+The paper's cost claims are *decompositions*: a VS query costs
+``O(log_B n + IL*(B) + t)`` because the descent, the acceleration
+structure and the output each stay within their own budget.  A flat
+I/O counter can verify the sum but not the parts.  This module adds the
+parts: while a :class:`TraceContext` is installed, every simulated I/O
+(block read/write from :class:`~repro.iosim.disk.BlockDevice`, buffer
+hit/miss from :class:`~repro.iosim.buffer.LRUBufferPool`, pin re-use
+from :class:`~repro.iosim.pager.Pager`) is charged to the innermost
+open *span*, and spans nest into a tree of named phases.
+
+Cost model, not wall clock.  Spans deliberately record **no timestamps**:
+the unit of cost throughout the library is the simulated I/O, so traces
+are exactly reproducible run-to-run.
+
+Zero cost when disabled.  Tracing is off by default: the module-level
+``_ACTIVE`` slot is ``None``, and every hook is a single global-load +
+``None`` check.  Nothing is allocated, no context managers are entered
+on the I/O path, and the I/O *counts* of every operation are identical
+with tracing on or off (spans observe the device; they never touch it).
+
+Usage::
+
+    from repro.telemetry import trace
+
+    with trace.tracing() as ctx:
+        with trace.span("descent"):
+            index.query(q)
+    print(ctx.phases())   # {"descent": SpanStats(reads=7, ...)}
+
+Engines attribute finer costs either by opening nested spans
+(``with trace.span("cascade-hop"): ...``) or — when the destination
+phase is only known *after* the I/O happened, as in the PST search where
+a node visit is charged to the output only if it reported a hit — by
+moving already-recorded counts with :func:`attribute` /
+:meth:`Span.move`, which preserves the total by construction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Names of the event counters every span keeps.
+EVENT_FIELDS = ("reads", "writes", "hits", "misses", "pins")
+
+#: The module-level enabled flag: the installed context, or ``None``.
+#: I/O-layer hooks check this slot directly; when it is ``None`` tracing
+#: costs one global load per I/O and nothing else.
+_ACTIVE: Optional["TraceContext"] = None
+
+
+def active() -> Optional["TraceContext"]:
+    """The installed trace context, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+def is_tracing() -> bool:
+    return _ACTIVE is not None
+
+
+class Span:
+    """One named phase: exclusive event counters plus named children.
+
+    Counters are *self* counts — I/O recorded while this span was the
+    innermost open one.  Children with the same name are merged on
+    creation (:meth:`child` is find-or-create), so a phase that is
+    entered many times during one query accumulates into one node and
+    the span tree is already the aggregated cost anatomy.
+    """
+
+    __slots__ = ("name", "reads", "writes", "hits", "misses", "pins", "_children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reads = 0
+        self.writes = 0
+        self.hits = 0
+        self.misses = 0
+        self.pins = 0
+        self._children: Dict[str, "Span"] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def child(self, name: str) -> "Span":
+        """The child span of that name, created on first use."""
+        got = self._children.get(name)
+        if got is None:
+            got = Span(name)
+            self._children[name] = got
+        return got
+
+    @property
+    def children(self) -> List["Span"]:
+        return list(self._children.values())
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def io_total(self) -> int:
+        """Charged I/Os (reads + writes) recorded directly on this span."""
+        return self.reads + self.writes
+
+    def deep_total(self) -> int:
+        """Charged I/Os of this span and every descendant."""
+        return self.io_total + sum(c.deep_total() for c in self._children.values())
+
+    def move(self, name: str, *, reads: int = 0, writes: int = 0,
+             hits: int = 0, misses: int = 0, pins: int = 0) -> None:
+        """Re-attribute already-recorded counts to the child ``name``.
+
+        The sum over the tree is invariant: whatever is subtracted here
+        is added to the child.  Used when the right phase for an I/O is
+        only known after the fact (e.g. a PST node visit is charged to
+        the output phase only once it turned out to report a hit).
+        """
+        if not (reads or writes or hits or misses or pins):
+            return
+        child = self.child(name)
+        self.reads -= reads
+        child.reads += reads
+        self.writes -= writes
+        child.writes += writes
+        self.hits -= hits
+        child.hits += hits
+        self.misses -= misses
+        child.misses += misses
+        self.pins -= pins
+        child.pins += pins
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = {field: getattr(self, field) for field in EVENT_FIELDS}
+        out["name"] = self.name
+        if self._children:
+            out["children"] = [c.to_dict() for c in self._children.values()]
+        return out
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "Span"]]:
+        """Yield ``(path, span)`` pairs, paths ``/``-joined below the root."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        yield (path, self)
+        for c in self._children.values():
+            yield from c.walk(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, reads={self.reads}, writes={self.writes}, "
+            f"children={list(self._children)})"
+        )
+
+
+class TraceContext:
+    """A span tree plus the stack of currently open spans.
+
+    Installed with :func:`tracing`; the I/O layer records events against
+    ``self.current`` (the innermost open span, the root by default), so
+    **every** I/O inside the traced window lands somewhere in the tree
+    and the tree's total equals the flat counter diff exactly.
+    """
+
+    def __init__(self, root_name: str = "query"):
+        self.root = Span(root_name)
+        self._stack: List[Span] = [self.root]
+
+    # ------------------------------------------------------------------
+    # span scoping
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open (or re-enter) the child phase ``name`` of the current span."""
+        sp = self._stack[-1].child(name)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # event recording (called by the iosim layer)
+    # ------------------------------------------------------------------
+    def record_read(self) -> None:
+        self._stack[-1].reads += 1
+
+    def record_write(self) -> None:
+        self._stack[-1].writes += 1
+
+    def record_hit(self) -> None:
+        self._stack[-1].hits += 1
+
+    def record_miss(self) -> None:
+        self._stack[-1].misses += 1
+
+    def record_pin(self) -> None:
+        self._stack[-1].pins += 1
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def phases(self) -> "Dict[str, Span]":
+        """Flat ``path -> span`` view of the tree (self counts only).
+
+        The root's own path is its name; phases opened under it get
+        ``parent/child`` paths.  Summing ``io_total`` over the values
+        reproduces the device's read+write diff for the traced window.
+        """
+        return dict(self.root.walk())
+
+    def total(self) -> int:
+        """All charged I/Os recorded in this trace."""
+        return self.root.deep_total()
+
+    def to_dict(self) -> dict:
+        return self.root.to_dict()
+
+
+# ----------------------------------------------------------------------
+# module-level surface used by engines and the I/O layer
+# ----------------------------------------------------------------------
+@contextmanager
+def tracing(root_name: str = "query") -> Iterator[TraceContext]:
+    """Install a fresh :class:`TraceContext` for the scope.
+
+    Nested installations shadow the outer one (the outer context resumes
+    when the inner scope exits) so explain() can run inside an already
+    traced program without double counting.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    ctx = TraceContext(root_name)
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = previous
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str):
+    """Context manager opening phase ``name`` (no-op when tracing is off)."""
+    ctx = _ACTIVE
+    if ctx is None:
+        return _NOOP
+    return ctx.span(name)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or ``None`` when tracing is off.
+
+    Engines that need delta-based attribution snapshot counters off this
+    object around an I/O and then :meth:`Span.move` the delta.
+    """
+    ctx = _ACTIVE
+    return ctx._stack[-1] if ctx is not None else None
+
+
+def attribute(name: str, *, reads: int = 0, writes: int = 0,
+              hits: int = 0, misses: int = 0, pins: int = 0) -> None:
+    """Move counts from the current span into its child ``name``.
+
+    No-op when tracing is off; sum-preserving when on.
+    """
+    ctx = _ACTIVE
+    if ctx is not None:
+        ctx._stack[-1].move(name, reads=reads, writes=writes, hits=hits,
+                            misses=misses, pins=pins)

@@ -1,0 +1,87 @@
+"""Tests for IOStats arithmetic/serialisation and Measurement scoping."""
+
+import pytest
+
+from repro.iosim import BlockDevice, IOStats, Measurement, Pager
+
+
+def touch(device, pager, n_reads):
+    page = pager.alloc()
+    pager.write(page)
+    for _ in range(n_reads):
+        device.read(page.page_id)
+
+
+class TestIOStatsArithmetic:
+    def test_subtract_then_add_is_identity(self):
+        a = IOStats(reads=9, writes=4, allocs=2, frees=1)
+        b = IOStats(reads=3, writes=1, allocs=1, frees=0)
+        assert a - b + b == a
+        assert b + a - a == b
+
+    def test_zero_is_neutral(self):
+        a = IOStats(reads=5, writes=2)
+        zero = IOStats()
+        assert a + zero == a
+        assert a - zero == a
+        assert a - a == zero
+
+    def test_total(self):
+        assert IOStats(reads=3, writes=2, allocs=7, frees=1).total == 5
+
+    def test_str_mentions_every_counter(self):
+        text = str(IOStats(reads=1, writes=2, allocs=3, frees=4))
+        for part in ("reads=1", "writes=2", "allocs=3", "frees=4"):
+            assert part in text
+
+
+class TestIOStatsSerialisation:
+    def test_round_trip(self):
+        a = IOStats(reads=9, writes=4, allocs=2, frees=1)
+        assert IOStats.from_dict(a.to_dict()) == a
+
+    def test_from_dict_defaults_missing_fields(self):
+        assert IOStats.from_dict({"reads": 2}) == IOStats(reads=2)
+        assert IOStats.from_dict({}) == IOStats()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="hits"):
+            IOStats.from_dict({"reads": 1, "hits": 2})
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        assert json.loads(json.dumps(IOStats(reads=1).to_dict()))["reads"] == 1
+
+
+class TestMeasurement:
+    def test_measures_the_scope_only(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        touch(device, pager, 2)  # outside: not measured
+        with Measurement(device) as m:
+            touch(device, pager, 3)
+        assert m.stats.reads == 3
+        assert m.stats.writes == 1
+
+    def test_nesting(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        with Measurement(device) as outer:
+            touch(device, pager, 2)
+            with Measurement(device) as inner:
+                touch(device, pager, 3)
+        assert inner.stats.reads == 3
+        assert outer.stats.reads == 5
+        # The outer window contains the inner one exactly.
+        assert (outer.stats - inner.stats).reads == 2
+
+    def test_sequential_windows_sum_to_one_big_window(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        with Measurement(device) as whole:
+            with Measurement(device) as first:
+                touch(device, pager, 1)
+            with Measurement(device) as second:
+                touch(device, pager, 4)
+        assert first.stats + second.stats == whole.stats

@@ -1,0 +1,124 @@
+"""Tests for the cost-anatomy EXPLAIN surface.
+
+The acceptance property is the accounting identity: for every engine the
+per-phase I/O counts of ``db.explain(q)`` sum *exactly* to the flat
+:class:`~repro.iosim.stats.IOStats` diff of running the same query.
+"""
+
+import pytest
+
+from repro import (
+    ENGINES,
+    ExternalPST,
+    HQuery,
+    LineBasedSegment,
+    SegmentDatabase,
+    VerticalQuery,
+)
+from repro.iosim import BlockDevice, Pager
+from repro.telemetry import trace_call
+from repro.workloads import grid_segments, mixed_queries
+
+
+def built(engine, n=200, buffer_pages=None):
+    return SegmentDatabase.bulk_load(
+        grid_segments(n, seed=7),
+        engine=engine,
+        block_capacity=16,
+        buffer_pages=buffer_pages,
+    )
+
+
+class TestAccountingIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_phases_sum_to_flat_diff(self, engine):
+        db = built(engine)
+        queries = mixed_queries(grid_segments(200, seed=7), 8, seed=9)
+        for q in queries:
+            before = db.io_stats()
+            report = db.explain(q)
+            diff = db.io_stats() - before
+            assert report.io == diff, (engine, q)
+            assert report.balanced, (engine, q, report.to_dict())
+            assert report.phase_io_total == diff.total
+
+    def test_raw_pst_balances(self):
+        device = BlockDevice(8)
+        pager = Pager(device)
+        segments = [
+            LineBasedSegment(u0=3 * i, u1=3 * i + 2, h1=(i % 17) + 1)
+            for i in range(150)
+        ]
+        tree = ExternalPST.build(pager, segments)
+        device.reset_counters()
+        for q in (HQuery.line(4), HQuery.segment(9, 30, 220), HQuery.line(1)):
+            result, report = trace_call(
+                device, lambda q=q: tree.query(q), engine="pst"
+            )
+            assert report.balanced, report.to_dict()
+            assert report.results == len(result)
+
+    def test_explain_matches_untraced_io(self):
+        """Tracing observes the device; it must not change the I/O count."""
+        q = VerticalQuery.segment(150, 0, 500)
+        db = built("solution2")
+        before = db.io_stats()
+        db.query(q)
+        untraced = db.io_stats() - before
+        report = built("solution2").explain(q)
+        assert report.io == untraced
+
+
+class TestReportContents:
+    def test_phases_are_named_after_components(self):
+        report = built("solution2").explain(VerticalQuery.line(150))
+        tops = report.top_level()
+        assert "first-level" in tops
+        assert report.engine == "solution2"
+
+    def test_buffer_section(self):
+        db = built("solution1", buffer_pages=8)
+        report = db.explain(VerticalQuery.line(150))
+        assert report.buffer is not None
+        assert report.buffer["hits"] + report.buffer["misses"] > 0
+        assert built("solution1").explain(VerticalQuery.line(150)).buffer is None
+
+    def test_top_level_rolls_up_subphases(self):
+        report = built("solution1").explain(VerticalQuery.segment(150, 0, 900))
+        tops = report.top_level()
+        assert sum(tops.values()) == report.io.total
+        # PST/descent and PST/report fold into one "PST" component.
+        assert not any("/" in name for name in tops)
+
+    def test_to_dict_and_markdown(self):
+        report = built("solution2").explain(VerticalQuery.line(150))
+        data = report.to_dict()
+        assert data["balanced"] is True
+        assert data["io_total"] == report.io.total
+        md = report.to_markdown()
+        assert "EXPLAIN" in md and "| phase |" in md
+        assert str(report) == md
+
+    def test_results_counted(self):
+        db = built("scan")
+        q = VerticalQuery.line(150)
+        assert db.explain(q).results == len(db.query(q))
+
+
+class TestDisabledCost:
+    def test_no_trace_context_leaks_from_explain(self):
+        from repro.telemetry import trace
+
+        built("solution1").explain(VerticalQuery.line(150))
+        assert not trace.is_tracing()
+
+    def test_io_report_surface(self):
+        db = built("solution2", buffer_pages=4)
+        db.query(VerticalQuery.line(150))
+        out = db.io_report()
+        assert set(out) >= {"reads", "writes", "space_in_blocks", "buffer"}
+        assert out["buffer"]["capacity"] == 4
+        assert 0.0 <= out["buffer"]["hit_rate"] <= 1.0
+        assert db.buffer_hit_rate == out["buffer"]["hit_rate"]
+        assert built("scan").io_report()["buffer"] is None
+        assert built("scan").buffer_hit_rate is None

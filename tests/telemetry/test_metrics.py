@@ -1,0 +1,100 @@
+"""Tests for the metrics registry and its exporters."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import Counter, Histogram
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("queries")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("queries").inc(-1)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("ios")
+        for v in (4, 1, 3, 2, 5):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 15
+        assert h.mean == 3.0
+        assert (h.min, h.max) == (1, 5)
+        assert h.percentile(50) == 3
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 5
+
+    def test_empty(self):
+        h = Histogram("ios")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min is None and h.max is None
+        assert h.percentile(50) is None
+
+    def test_percentile_bounds(self):
+        h = Histogram("ios")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_find_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+        assert reg.gauge("c") is reg.gauge("c")
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("query.count").inc(2)
+        reg.gauge("buffer.hit_rate").set(Fraction(1, 2))
+        reg.histogram("query.ios").observe(7)
+        data = json.loads(reg.to_json())
+        assert data["query.count"] == {"type": "counter", "value": 2}
+        assert data["buffer.hit_rate"]["value"] == 0.5
+        assert data["query.ios"]["count"] == 1
+        assert data["query.ios"]["p50"] == 7.0
+
+    def test_markdown_has_one_table_per_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("query.count").inc()
+        reg.gauge("height").set(3)
+        reg.histogram("query.ios").observe(4)
+        md = reg.to_markdown()
+        assert "| counter | value |" in md
+        assert "| gauge | value |" in md
+        assert "| histogram | count |" in md
+
+    def test_markdown_empty(self):
+        assert "no metrics" in MetricsRegistry().to_markdown()
+
+
+class TestFacadeMetrics:
+    def test_query_and_insert_feed_the_registry(self):
+        from repro import Segment, SegmentDatabase, VerticalQuery
+        from repro.workloads import grid_segments
+
+        db = SegmentDatabase.bulk_load(
+            grid_segments(100, seed=5), block_capacity=16, buffer_pages=8
+        )
+        reg = db.enable_metrics()
+        assert db.enable_metrics() is reg  # idempotent
+        db.query(VerticalQuery.line(50))
+        db.query(VerticalQuery.segment(120, 0, 400))
+        db.insert(Segment.from_coords(1001, 1, 1009, 4, label="new"))
+        assert reg.counter("query.count").value == 2
+        assert reg.counter("insert.count").value == 1
+        assert reg.histogram("query.ios").count == 2
+        assert reg.gauge("buffer.hit_rate").value is not None

@@ -1,0 +1,157 @@
+"""Tests for the span/trace core: scoping, attribution, zero-cost off."""
+
+import pytest
+
+from repro.iosim import BlockDevice, LRUBufferPool, Pager
+from repro.telemetry import trace
+
+
+class TestSpanTree:
+    def test_child_is_find_or_create(self):
+        root = trace.Span("query")
+        a = root.child("descent")
+        assert root.child("descent") is a
+        assert [c.name for c in root.children] == ["descent"]
+
+    def test_move_preserves_the_total(self):
+        root = trace.Span("query")
+        root.reads = 5
+        root.move("report", reads=2)
+        assert root.reads == 3
+        assert root.child("report").reads == 2
+        assert root.deep_total() == 5
+
+    def test_move_of_nothing_creates_no_child(self):
+        root = trace.Span("query")
+        root.move("report")
+        assert root.children == []
+
+    def test_walk_paths(self):
+        root = trace.Span("query")
+        root.child("PST").child("descent")
+        paths = [path for path, _span in root.walk()]
+        assert paths == ["query", "query/PST", "query/PST/descent"]
+
+
+class TestTraceContext:
+    def test_events_land_on_the_innermost_span(self):
+        ctx = trace.TraceContext()
+        ctx.record_read()
+        with ctx.span("descent"):
+            ctx.record_read()
+            ctx.record_read()
+        assert ctx.root.reads == 1
+        assert ctx.root.child("descent").reads == 2
+        assert ctx.total() == 3
+
+    def test_reentered_phase_accumulates(self):
+        ctx = trace.TraceContext()
+        for _ in range(3):
+            with ctx.span("hop"):
+                ctx.record_read()
+        assert ctx.root.child("hop").reads == 3
+        assert len(ctx.root.children) == 1
+
+    def test_phases_view(self):
+        ctx = trace.TraceContext()
+        with ctx.span("G"):
+            with ctx.span("cascade-hop"):
+                ctx.record_read()
+        phases = ctx.phases()
+        assert phases["query/G/cascade-hop"].reads == 1
+
+
+class TestModuleSurface:
+    def test_off_by_default(self):
+        assert not trace.is_tracing()
+        assert trace.active() is None
+        assert trace.current_span() is None
+
+    def test_span_is_noop_when_off(self):
+        with trace.span("anything"):
+            pass
+        trace.attribute("anything", reads=5)  # must not raise
+
+    def test_tracing_installs_and_restores(self):
+        with trace.tracing() as ctx:
+            assert trace.active() is ctx
+            assert trace.current_span() is ctx.root
+        assert trace.active() is None
+
+    def test_nested_tracing_shadows_the_outer_context(self):
+        with trace.tracing() as outer:
+            outer.record_read()
+            with trace.tracing("inner") as inner:
+                assert trace.active() is inner
+                inner.record_read()
+            assert trace.active() is outer
+        assert outer.total() == 1
+        assert inner.total() == 1
+
+
+class TestIOLayerEmission:
+    def test_device_reads_and_writes_recorded(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        page = pager.alloc()
+        pager.write(page)
+        with trace.tracing() as ctx:
+            with trace.span("setup"):
+                device.read(page.page_id)
+            device.write(page)
+        assert ctx.root.child("setup").reads == 1
+        assert ctx.root.writes == 1
+
+    def test_tagged_bridges_to_a_span(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        page = pager.alloc()
+        pager.write(page)
+        with trace.tracing() as ctx:
+            with device.tagged("first-level"):
+                device.read(page.page_id)
+        assert ctx.root.child("first-level").reads == 1
+        # The tag side itself still works.
+        assert device.tag_snapshot().get("first-level") == 1
+
+    def test_buffer_hits_and_misses_recorded(self):
+        device = BlockDevice(4)
+        page = device.alloc()
+        device.write(page)
+        pool = LRUBufferPool(device, 2)  # built after, so the cache is cold
+        with trace.tracing() as ctx:
+            pool.read(page.page_id)  # miss
+            pool.read(page.page_id)  # hit
+        assert ctx.root.misses == 1
+        assert ctx.root.hits == 1
+        assert ctx.root.reads == 1  # only the miss touched the device
+
+    def test_pager_pins_recorded(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        page = pager.alloc()
+        pager.write(page)
+        with trace.tracing() as ctx:
+            with pager.operation():
+                pager.fetch(page.page_id)
+                pager.fetch(page.page_id)  # pinned: free, counted as a pin
+        assert ctx.root.reads == 1
+        assert ctx.root.pins >= 1
+
+    def test_tracing_does_not_change_io_counts(self):
+        device = BlockDevice(4)
+        pager = Pager(device)
+        pages = []
+        for _ in range(3):
+            page = pager.alloc()
+            pager.write(page)
+            pages.append(page.page_id)
+        device.reset_counters()
+        for pid in pages:
+            device.read(pid)
+        untraced = device.snapshot()
+        device.reset_counters()
+        with trace.tracing():
+            for pid in pages:
+                device.read(pid)
+        assert device.snapshot() == untraced

@@ -71,3 +71,44 @@ def test_query_bad_args(capsys):
 
 def test_query_rational_coordinate(segment_file):
     assert main(["query", segment_file, "301/2"]) == 0
+
+
+def test_query_with_buffer_reports_hit_rate(segment_file, capsys):
+    assert main(["query", segment_file, "150", "--buffer", "8"]) == 0
+    assert "buffer hit rate" in capsys.readouterr().err
+
+
+def test_query_unknown_flag(segment_file, capsys):
+    assert main(["query", segment_file, "150", "--frobnicate"]) == 2
+
+
+def test_explain_markdown(segment_file, capsys):
+    assert main(["explain", segment_file, "150", "0", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN" in out
+    assert "balanced" in out
+    assert "| phase |" in out
+
+
+def test_explain_json(segment_file, capsys):
+    import json
+
+    assert main(["explain", segment_file, "150", "--json",
+                 "--engine", "solution1", "--buffer", "4"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["engine"] == "solution1"
+    assert data["balanced"] is True
+    assert data["buffer"]["hits"] + data["buffer"]["misses"] >= 0
+    assert sum(p["total"] for p in data["phases"].values()) == data["io_total"]
+
+
+def test_explain_every_engine(segment_file, capsys):
+    from repro import ENGINES
+
+    for engine in ENGINES:
+        assert main(["explain", segment_file, "150", "--engine", engine]) == 0
+        assert "UNBALANCED" not in capsys.readouterr().out
+
+
+def test_explain_bad_args(capsys):
+    assert main(["explain", "only-one-arg"]) == 2
