@@ -1,0 +1,149 @@
+"""E15 — batched query throughput: shared-descent amortization measured.
+
+Not a paper claim but its production corollary: under a real query
+stream, consecutive queries share almost their whole root-side descent
+path.  ``query_batch`` sorts a batch by query ``x`` and routes it through
+the first level as groups, fetching every node on the union of paths
+once per batch — so the ``log`` descent term is paid once per group
+while the ``+t`` output term stays per-query (DESIGN.md §8).
+
+The sweep runs batch sizes {1, 4, 16, 64, 256} per engine and reports
+
+* I/Os per query **with the buffer pool off** — amortization here can
+  only come from shared descent, not caching (the headline: solution1
+  and solution2 drop markedly with batch size, ``scan`` stays flat);
+* wall-clock queries per second at each batch size (hot-path scoreboard:
+  ``__slots__`` objects, hoisted per-query allocations);
+* buffer hit rate from a separate pooled run at the largest batch size.
+
+The run also emits the machine-readable ``BENCH_perf.json`` at the repo
+root (the perf trajectory future PRs diff); ``E15_N`` / ``E15_QUERIES``
+shrink the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+from harness import (
+    archive,
+    build_engine,
+    measure_query_batches,
+    table_section,
+    write_perf_json,
+)
+from repro.workloads import grid_segments, segment_queries
+
+B = 32
+N = int(os.environ.get("E15_N", "4096"))
+QUERIES = int(os.environ.get("E15_QUERIES", "256"))
+BATCH_SIZES = (1, 4, 16, 64, 256)
+BUFFER_PAGES = 64
+ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+
+
+def _workload():
+    segments = grid_segments(N, seed=61)
+    queries = segment_queries(segments, QUERIES, selectivity=0.02, seed=62)
+    return segments, queries
+
+
+def _run_batches(index, queries, batch_size):
+    outputs = 0
+    for start in range(0, len(queries), batch_size):
+        for result in index.query_batch(queries[start:start + batch_size]):
+            outputs += len(result)
+    return outputs
+
+
+def sweep_engine(engine, segments, queries):
+    """{"ios_per_query": {bs: float}, "queries_per_sec": {bs: float},
+    "hit_rate": float} for one engine."""
+    ios_per_query = {}
+    queries_per_sec = {}
+    device, _pager, index = build_engine(engine, segments, B)
+    for bs in BATCH_SIZES:
+        device.reset_counters()
+        ios, _out = measure_query_batches(device, index, queries, bs)
+        ios_per_query[bs] = round(ios, 3)
+        t0 = time.perf_counter()
+        _run_batches(index, queries, bs)
+        elapsed = time.perf_counter() - t0
+        queries_per_sec[bs] = round(len(queries) / elapsed, 1) if elapsed else 0.0
+
+    pooled_device, pooled_pager, pooled_index = build_engine(
+        engine, segments, B, buffer_pages=BUFFER_PAGES
+    )
+    pool = pooled_pager.device
+    _run_batches(pooled_index, queries, max(BATCH_SIZES))
+    return {
+        "ios_per_query": ios_per_query,
+        "queries_per_sec": queries_per_sec,
+        "hit_rate": round(pool.hit_rate, 4),
+    }
+
+
+def test_e15_batched_throughput():
+    segments, queries = _workload()
+    engines = {}
+    for engine in ENGINES:
+        engines[engine] = sweep_engine(engine, segments, queries)
+
+    # The acceptance gate: with no buffer pool, batch-64 I/Os per query
+    # must be strictly below batch-1 on both paper engines — shared
+    # descent, not caching, is doing the amortizing.
+    for engine in ("solution1", "solution2"):
+        sweep = engines[engine]["ios_per_query"]
+        assert sweep[64] < sweep[1], (
+            f"{engine}: no amortization at batch 64 "
+            f"({sweep[64]} vs {sweep[1]} I/Os/query)"
+        )
+
+    payload = {
+        "experiment": "E15",
+        "n": N,
+        "block_capacity": B,
+        "queries": len(queries),
+        "batch_sizes": list(BATCH_SIZES),
+        "buffer_pages": BUFFER_PAGES,
+        "engines": {
+            name: {
+                "ios_per_query": {str(bs): v for bs, v in sweep["ios_per_query"].items()},
+                "queries_per_sec": {str(bs): v for bs, v in sweep["queries_per_sec"].items()},
+                "hit_rate": sweep["hit_rate"],
+            }
+            for name, sweep in engines.items()
+        },
+    }
+    path = write_perf_json(payload)
+
+    io_rows = []
+    qps_rows = []
+    for name, sweep in engines.items():
+        io_rows.append([name] + [sweep["ios_per_query"][bs] for bs in BATCH_SIZES]
+                       + [sweep["hit_rate"]])
+        qps_rows.append([name] + [sweep["queries_per_sec"][bs] for bs in BATCH_SIZES])
+    archive(
+        "e15_batched_throughput",
+        "E15 — Batched query throughput (shared-descent amortization)",
+        [
+            f"N={N}, B={B}, {len(queries)} segment queries (2% selectivity), "
+            f"batch sizes {list(BATCH_SIZES)}.  I/Os/query measured with the "
+            f"buffer pool *off*; hit rate from a separate {BUFFER_PAGES}-page "
+            f"pooled run at batch {max(BATCH_SIZES)}.",
+            table_section(
+                "I/Os per query by batch size (no pool — every drop is "
+                "shared descent):",
+                ["engine", *(f"bs={bs}" for bs in BATCH_SIZES), "hit rate (pooled)"],
+                io_rows,
+            ),
+            table_section(
+                "Wall-clock queries/second by batch size:",
+                ["engine", *(f"bs={bs}" for bs in BATCH_SIZES)],
+                qps_rows,
+            ),
+            "Reading: the paper engines pay their `log` descent once per "
+            "group, so I/Os/query falls toward the irreducible `+t` output "
+            "term as batches grow; `scan` and the loop-fallback baselines "
+            "stay flat.  Machine-readable copy: `" + os.path.basename(path) + "`.",
+        ],
+    )

@@ -15,17 +15,24 @@ wall-clock numbers; the I/O tables are the primary reproduction artifact
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis import best_model, il_star, render_fits, render_table
 from repro.baselines import FullScanIndex, GridIndex, RTreeIndex, StabFilterIndex
 from repro.core.solution1 import TwoLevelBinaryIndex
 from repro.core.solution2 import TwoLevelIntervalIndex
 from repro.geometry import VerticalQuery
-from repro.iosim import BlockDevice, Measurement, Pager
+from repro.iosim import BlockDevice, LRUBufferPool, Measurement, Pager
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: The perf-trajectory artifact lives at the repo root so successive PRs
+#: diff it directly.
+PERF_JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_perf.json",
+)
 
 ENGINE_BUILDERS: Dict[str, Callable] = {
     "solution1": TwoLevelBinaryIndex.build,
@@ -37,17 +44,29 @@ ENGINE_BUILDERS: Dict[str, Callable] = {
 }
 
 
-def build_engine(name: str, segments, block_capacity: int):
-    """(device, pager, index) for one engine over a fresh device."""
+def build_engine(name: str, segments, block_capacity: int,
+                 buffer_pages: Optional[int] = None):
+    """(device, pager, index) for one engine over a fresh device.
+
+    With ``buffer_pages`` an LRU pool sits between the pager and the
+    device (the device's counters then see only real block transfers);
+    the pool is reachable as ``pager.device``.
+    """
     device = BlockDevice(block_capacity)
-    pager = Pager(device)
+    pool = LRUBufferPool(device, buffer_pages) if buffer_pages else None
+    pager = Pager(pool or device)
     index = ENGINE_BUILDERS[name](pager, segments)
     device.reset_counters()
+    if pool is not None:
+        pool.hits = pool.misses = 0
     return device, pager, index
 
 
 def measure_queries(device, index, queries: Sequence[VerticalQuery], **query_kw):
     """Mean (reads, output) per query over a batch."""
+    queries = list(queries)
+    if not queries:
+        raise ValueError("measure_queries needs at least one query")
     reads = outputs = 0
     for q in queries:
         with Measurement(device) as m:
@@ -55,6 +74,38 @@ def measure_queries(device, index, queries: Sequence[VerticalQuery], **query_kw)
         reads += m.stats.reads
         outputs += len(result)
     return reads / len(queries), outputs / len(queries)
+
+
+def measure_query_batches(device, index, queries: Sequence[VerticalQuery],
+                          batch_size: int):
+    """Mean (I/Os, output) per query, running ``queries`` through
+    ``index.query_batch`` in chunks of ``batch_size``."""
+    queries = list(queries)
+    if not queries:
+        raise ValueError("measure_query_batches needs at least one query")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    ios = outputs = 0
+    for start in range(0, len(queries), batch_size):
+        chunk = queries[start:start + batch_size]
+        with Measurement(device) as m:
+            results = index.query_batch(chunk)
+        ios += m.stats.total
+        outputs += sum(len(r) for r in results)
+    return ios / len(queries), outputs / len(queries)
+
+
+def write_perf_json(payload: dict, path: str = PERF_JSON_PATH) -> str:
+    """Write the machine-readable perf-trajectory artifact.
+
+    The harness owns the writer so every benchmark emits the same shape;
+    the file lands at the repo root (``BENCH_perf.json``) where future
+    PRs diff it as the perf scoreboard.
+    """
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def measure_total(device, fn: Callable[[], None]):

@@ -11,12 +11,19 @@ Commands
                     run one vertical query traced and print its cost
                     anatomy (per-phase I/O breakdown; ``--json`` for the
                     structured report)
+``query-batch FILE``
+                    generate a query workload against FILE and run it
+                    through ``query_batch``, comparing batched I/Os per
+                    query with the sequential loop (``--count N`` queries,
+                    ``--batch-size K``, ``--seed S``; ``--json`` for the
+                    structured summary)
 ``validate FILE``   check a segment file for NCT violations
 ``version``         print the library version
 
-``query`` and ``explain`` accept ``--engine NAME`` (default solution2),
-``--buffer N`` (put an N-page LRU buffer pool under the engine and report
-its hit rate) and ``--block B`` (block capacity, default 64).
+``query``, ``query-batch`` and ``explain`` accept ``--engine NAME``
+(default solution2), ``--buffer N`` (put an N-page LRU buffer pool under
+the engine and report its hit rate) and ``--block B`` (block capacity,
+default 64).
 """
 
 from __future__ import annotations
@@ -44,22 +51,22 @@ def _coord(token: str):
 def _pop_flags(args):
     """Split ``args`` into positional tokens and recognised ``--`` flags."""
     positional = []
-    flags = {"engine": "solution2", "buffer": None, "block": 64, "json": False}
+    flags = {"engine": "solution2", "buffer": None, "block": 64, "json": False,
+             "batch-size": None, "count": 64, "seed": 0}
     i = 0
     while i < len(args):
         token = args[i]
         if token == "--json":
             flags["json"] = True
-        elif token in ("--engine", "--buffer", "--block"):
+        elif token in ("--engine", "--buffer", "--block",
+                       "--batch-size", "--count", "--seed"):
             if i + 1 >= len(args):
                 raise ValueError(f"{token} needs a value")
             value = args[i + 1]
             if token == "--engine":
                 flags["engine"] = value
-            elif token == "--buffer":
-                flags["buffer"] = int(value)
             else:
-                flags["block"] = int(value)
+                flags[token[2:]] = int(value)
             i += 1
         elif token.startswith("--"):
             raise ValueError(f"unknown flag {token!r}")
@@ -139,6 +146,73 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_query_batch(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) != 1:
+        print("usage: python -m repro query-batch FILE [--count N] "
+              "[--batch-size K] [--seed S] [--engine NAME] [--buffer N] "
+              "[--block B] [--json]", file=sys.stderr)
+        return 2
+    from repro import SegmentDatabase
+    from repro.workloads.files import load
+    from repro.workloads.queries import segment_queries
+
+    segments = load(positional[0])
+    db = SegmentDatabase.bulk_load(
+        segments,
+        engine=flags["engine"],
+        block_capacity=flags["block"],
+        buffer_pages=flags["buffer"],
+    )
+    queries = segment_queries(segments, flags["count"], seed=flags["seed"])
+    batch_size = flags["batch-size"] or len(queries)
+
+    db.reset_io_stats()
+    sequential = [db.query(q) for q in queries]
+    seq_io = db.io_stats().total
+    db.reset_io_stats()
+    batched: list = []
+    for start in range(0, len(queries), batch_size):
+        batched.extend(db.query_batch(queries[start:start + batch_size]))
+    bat_io = db.io_stats().total
+    assert len(batched) == len(sequential)
+
+    n = len(queries)
+    results = sum(len(r) for r in batched)
+    summary = {
+        "engine": flags["engine"],
+        "queries": n,
+        "batch_size": batch_size,
+        "results": results,
+        "sequential_ios": seq_io,
+        "batched_ios": bat_io,
+        "sequential_ios_per_query": seq_io / n if n else 0.0,
+        "batched_ios_per_query": bat_io / n if n else 0.0,
+        "io_speedup": (seq_io / bat_io) if bat_io else None,
+        "buffer_hit_rate": db.buffer_hit_rate,
+    }
+    if flags["json"]:
+        import json
+
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"# {n} queries, batch size {batch_size}, engine {flags['engine']}")
+    print(f"# sequential: {seq_io} I/Os "
+          f"({summary['sequential_ios_per_query']:.2f}/query)")
+    speedup = (f", amortization {summary['io_speedup']:.2f}x"
+               if summary["io_speedup"] else "")
+    print(f"# batched:    {bat_io} I/Os "
+          f"({summary['batched_ios_per_query']:.2f}/query){speedup}")
+    print(f"# results: {results} segments reported")
+    if db.buffer_hit_rate is not None:
+        print(f"# buffer hit rate {db.buffer_hit_rate:.2%}")
+    return 0
+
+
 def cmd_explain(args) -> int:
     try:
         positional, flags = _pop_flags(args)
@@ -189,6 +263,8 @@ def main(argv=None) -> int:
         return cmd_engines()
     if command == "query":
         return cmd_query(args)
+    if command == "query-batch":
+        return cmd_query_batch(args)
     if command == "explain":
         return cmd_explain(args)
     if command == "validate":

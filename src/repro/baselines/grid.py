@@ -106,6 +106,10 @@ class GridIndex:
                             out[s.label] = s
         return list(out.values())
 
+    def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
+        """Sequential loop fallback (uniform batch API, no shared descent)."""
+        return [self.query(q) for q in queries]
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------

@@ -35,6 +35,10 @@ class FullScanIndex:
             with self.pager.device.tagged("scan"):
                 return [s for s in self.chain if vs_intersects(s, q)]
 
+    def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
+        """Sequential loop fallback: a full scan has no descent to share."""
+        return [self.query(q) for q in queries]
+
     def insert(self, segment: Segment) -> None:
         with self.pager.operation():
             self.chain.append(segment)

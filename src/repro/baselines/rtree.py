@@ -142,6 +142,10 @@ class RTreeIndex:
                         stack.append(child)
         return out
 
+    def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
+        """Sequential loop fallback (uniform batch API, no shared descent)."""
+        return [self.query(q) for q in queries]
+
     # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------

@@ -40,6 +40,10 @@ class StabFilterIndex:
         # the baseline: it has already paid for every stabbed segment.
         return [s for _l, _r, s in stabbed if vs_intersects(s, q)]
 
+    def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
+        """Sequential loop fallback (uniform batch API, no shared descent)."""
+        return [self.query(q) for q in queries]
+
     def stabbed_count(self, q: VerticalQuery) -> int:
         """``T'``: how many segments the stab retrieves before filtering."""
         with self.pager.operation():

@@ -63,6 +63,8 @@ class ChildRef:
 class NodeView:
     """An in-memory view of one PST node (items + routing)."""
 
+    __slots__ = ("pid", "items", "children", "low", "routing_pid")
+
     def __init__(
         self,
         pid: int,

@@ -36,6 +36,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from ...geometry import HQuery, LineBasedSegment
 from ...iosim import Pager
 from .node import ChildRef, NodeView, free_node, read_node, write_node
+from .search import pst_find, pst_report
 
 
 def _key(segment: LineBasedSegment) -> Tuple:
@@ -168,19 +169,13 @@ class ExternalPST:
     # ------------------------------------------------------------------
     def query(self, query: HQuery) -> List[LineBasedSegment]:
         """All stored segments intersecting ``query`` (each exactly once)."""
-        from .search import pst_report
-
         return pst_report(self, query)
 
     def find_leftmost(self, query: HQuery):
         """The paper's ``Find``: deepest-leftmost intersected segment."""
-        from .search import pst_find
-
         return pst_find(self, query, side="left")
 
     def find_rightmost(self, query: HQuery):
-        from .search import pst_find
-
         return pst_find(self, query, side="right")
 
     # ------------------------------------------------------------------

@@ -217,6 +217,83 @@ class TwoLevelBinaryIndex:
                         out.extend(h.payload for h in hits)
                         pid = page.get_header("right")
 
+    def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
+        """Answer many VS queries with one shared descent of the tree.
+
+        The batch is sorted by query ``x`` and routed through the binary
+        tree as *groups*: every first-level node on the union of search
+        paths is fetched exactly once per batch, no matter how many
+        queries pass through it — the ``log`` descent term is paid once
+        per group.  The per-query second-level searches (C / L / R) and
+        the ``+t`` output term are irreducible and stay per-query, each
+        inside its own operation scope so the I/O accounting matches the
+        sequential cost model (no batch-wide dedupe masquerading as
+        amortization).  Results come back in input order and match
+        ``[self.query(q) for q in queries]`` exactly.
+        """
+        queries = list(queries)
+        out: List[List[Segment]] = [[] for _ in queries]
+        if self.root_pid is None or not queries:
+            return out
+        group = sorted(range(len(queries)), key=lambda i: queries[i].x)
+        self._query_group(self.root_pid, group, queries, out)
+        return out
+
+    def _query_group(
+        self,
+        pid: int,
+        group: List[int],
+        queries: List[VerticalQuery],
+        out: List[List[Segment]],
+    ) -> None:
+        """Route one x-sorted group of queries through the subtree at ``pid``."""
+        tagged = self.pager.device.tagged
+        with tagged("first-level"):
+            page = self.pager.fetch(pid)
+        with self.pager.pinning(pid):
+            if page.get_header("kind") == "leaf":
+                items = page.items
+                with tagged("leaf"):
+                    for i in group:
+                        q = queries[i]
+                        out[i].extend(s for s in items if vs_intersects(s, q))
+                return
+            c = page.get_header("x")
+            on_line: List[int] = []
+            lefts: List[int] = []
+            rights: List[int] = []
+            for i in group:
+                x = queries[i].x
+                if x == c:
+                    on_line.append(i)
+                elif x < c:
+                    lefts.append(i)
+                else:
+                    rights.append(i)
+            for i in on_line:
+                with self.pager.operation():
+                    self._report_on_line_node(page, queries[i], out[i])
+            if lefts:
+                l_index = self._lr_index(page, "l")
+                frame = VerticalBaseFrame(c, "left")
+                with tagged("PST"):
+                    for i in lefts:
+                        with self.pager.operation():
+                            hits = l_index.query(frame.to_hquery(queries[i]))
+                        out[i].extend(h.payload for h in hits)
+            if rights:
+                r_index = self._lr_index(page, "r")
+                frame = VerticalBaseFrame(c, "right")
+                with tagged("PST"):
+                    for i in rights:
+                        with self.pager.operation():
+                            hits = r_index.query(frame.to_hquery(queries[i]))
+                        out[i].extend(h.payload for h in hits)
+            if lefts:
+                self._query_group(page.get_header("left"), lefts, queries, out)
+            if rights:
+                self._query_group(page.get_header("right"), rights, queries, out)
+
     def _report_on_line_node(self, page, q: VerticalQuery, out: List[Segment]) -> None:
         """The query lies exactly on this node's base line (search stops)."""
         tagged = self.pager.device.tagged

@@ -38,6 +38,7 @@ list operations, with the same amortised bound (DESIGN.md §2).
 from __future__ import annotations
 
 import bisect
+from fractions import Fraction
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...iosim import DanglingPageError, Pager
@@ -80,8 +81,6 @@ def _entry_key(frag: LongFragment, s_mid) -> Tuple:
 
 def _key_y_at(key: Tuple, x):
     """Evaluate a key's fragment at ``x``, clamped to the fragment's span."""
-    from fractions import Fraction
-
     _y_mid, y_left, x_left, y_right, x_right = key
     if x <= x_left:
         return y_left
@@ -236,6 +235,23 @@ class GTree:
         nodes = self._read_nodes()
         if not nodes:
             return []
+        return self.query_cached(nodes, x0, ylo, yhi, use_bridges=use_bridges)
+
+    def read_directory(self) -> List[_GNode]:
+        """Decode the G-node directory once for reuse across a batch group.
+
+        The directory chain is routing metadata shared by every query that
+        reaches the owning first-level node; batched execution reads it a
+        single time per group and feeds it to :meth:`query_cached`.
+        """
+        return self._read_nodes()
+
+    def query_cached(
+        self, nodes: List[_GNode], x0, ylo, yhi, use_bridges: bool = True
+    ) -> List[LongFragment]:
+        """:meth:`query` against an already-decoded directory."""
+        if not nodes:
+            return []
         slabs = self._inner_slabs_of(x0)
         results: List[LongFragment] = []
         seen = set()
@@ -245,6 +261,21 @@ class GTree:
                     seen.add(frag.payload.label)
                     results.append(frag)
         return results
+
+    def query_group(
+        self, windows: Sequence[Tuple], use_bridges: bool = True
+    ) -> List[List[LongFragment]]:
+        """Answer many ``(x0, ylo, yhi)`` windows with one directory read.
+
+        The per-window path searches (B+-tree descents, cascade hops and
+        reporting scans) remain individual — only the directory decode is
+        amortized, mirroring the shared-descent argument at this level.
+        """
+        nodes = self._read_nodes()
+        return [
+            self.query_cached(nodes, x0, ylo, yhi, use_bridges=use_bridges)
+            for x0, ylo, yhi in windows
+        ]
 
     def _query_path(
         self, nodes, k: int, x0, ylo, yhi, use_bridges: bool

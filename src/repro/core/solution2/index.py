@@ -43,6 +43,9 @@ LEAF_PAGES = 2
 class _NodeView:
     """Decoded record chain of one internal node."""
 
+    __slots__ = ("pid", "boundaries", "children", "c_roots",
+                 "l_metas", "r_metas", "g_pid")
+
     def __init__(self, pid: int, records: List[Tuple]):
         self.pid = pid
         self.boundaries: List = []
@@ -267,6 +270,103 @@ class TwoLevelIntervalIndex:
                             out[hit.payload.label] = hit.payload
                 pid = view.children[k]
         return list(out.values())
+
+    def query_batch(
+        self, queries: Iterable[VerticalQuery], use_bridges: bool = True
+    ) -> List[List[Segment]]:
+        """Answer many VS queries with one shared descent of the tree.
+
+        The batch is sorted by query ``x`` and routed through the interval
+        tree as *groups*: each first-level node on the union of paths is
+        decoded exactly once per batch (head page, record chain and the
+        G-tree's directory — the routing metadata every query through the
+        node needs), so the ``log_B n`` descent term is paid once per
+        group.  Per-query work — the G path search, C_i / L_i / R_i
+        boundary structures and leaf filtering — stays individual, each
+        query inside its own operation scope exactly as the sequential
+        cost model charges it.  Results come back in input order and match
+        ``[self.query(q) for q in queries]`` exactly.
+        """
+        queries = list(queries)
+        outs: List[Dict] = [{} for _ in queries]
+        if self.root_pid is not None and queries:
+            group = sorted(range(len(queries)), key=lambda i: queries[i].x)
+            self._query_group(self.root_pid, group, queries, outs, use_bridges)
+        return [list(d.values()) for d in outs]
+
+    def _query_group(
+        self,
+        pid: int,
+        group: List[int],
+        queries: List[VerticalQuery],
+        outs: List[Dict],
+        use_bridges: bool,
+    ) -> None:
+        """Route one x-sorted group of queries through the subtree at ``pid``."""
+        tagged = self.pager.device.tagged
+        with self.pager.pinning(pid):
+            # One operation scope per node decode: the head fetch, the
+            # record chain and the G directory are charged once for the
+            # whole group, then the scope closes so per-query second-level
+            # searches are accounted exactly like sequential queries.
+            with self.pager.operation():
+                with tagged("first-level"):
+                    head = self.pager.fetch(pid)
+                is_leaf = head.get_header("kind") == "leaf"
+                if is_leaf:
+                    with tagged("leaf"):
+                        items = list(PageChain(self.pager, pid))
+                else:
+                    with tagged("first-level"):
+                        view = self._read_view(pid)
+                    g = self._g_tree(view)
+                    gnodes: List = []
+                    if g is not None:
+                        with tagged("G"):
+                            gnodes = g.read_directory()
+            if is_leaf:
+                for i in group:
+                    q = queries[i]
+                    out = outs[i]
+                    for s in items:
+                        if vs_intersects(s, q):
+                            out[s.label] = s
+                return
+            boundaries = view.boundaries
+            per_slab: Dict[int, List[int]] = {}
+            for i in group:
+                q = queries[i]
+                out = outs[i]
+                with self.pager.operation():
+                    if g is not None:
+                        with tagged("G"):
+                            for frag in g.query_cached(
+                                gnodes, q.x, q.ylo, q.yhi, use_bridges=use_bridges
+                            ):
+                                out[frag.payload.label] = frag.payload
+                    bi = boundary_index(boundaries, q.x)
+                    if bi is not None:
+                        self._report_on_boundary(view, bi, q, out)
+                        continue  # the search stops on a boundary line
+                    k = slab_of(boundaries, q.x)
+                    with tagged("short-PST"):
+                        if k >= 1:
+                            frame = VerticalBaseFrame(boundaries[k - 1], "right")
+                            for hit in self._r_index(view, k).query(
+                                frame.to_hquery(q)
+                            ):
+                                out[hit.payload.label] = hit.payload
+                        if k < len(boundaries):
+                            frame = VerticalBaseFrame(boundaries[k], "left")
+                            for hit in self._l_index(view, k + 1).query(
+                                frame.to_hquery(q)
+                            ):
+                                out[hit.payload.label] = hit.payload
+                per_slab.setdefault(k, []).append(i)
+            for k in sorted(per_slab):
+                self._query_group(
+                    view.children[k], per_slab[k], queries, outs, use_bridges
+                )
 
     def _report_on_boundary(self, view: _NodeView, i: int, q: VerticalQuery, out: Dict) -> None:
         """The query lies exactly on boundary ``s_i``: search C_i, L_i, R_i

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
 
 from ...geometry import Segment, VerticalBaseFrame
@@ -56,8 +57,6 @@ class LongFragment:
 
     def y_at(self, x):
         """Exact ordinate at ``x`` (requires ``x_left <= x <= x_right``)."""
-        from fractions import Fraction
-
         if not (self.x_left <= x <= self.x_right):
             raise ValueError(f"x={x} outside fragment [{self.x_left}, {self.x_right}]")
         if self.x_left == self.x_right:

@@ -1,15 +1,24 @@
-"""An optional LRU buffer pool.
+"""An optional LRU buffer pool with page pinning.
 
 The paper's bounds assume no cache: every block touch is an I/O.  Real
 systems keep an ``M``-page buffer pool, which mostly hides the top levels of
 any tree.  :class:`LRUBufferPool` lets benchmarks quantify that effect (it is
 *off* by default everywhere; engines take a :class:`Pager` and are agnostic
 to whether a pool sits underneath).
+
+Pinning.  Batched query execution (``query_batch``) holds the shared
+root-side descent pages *pinned* while a batch drains, so the per-query
+second-level searches — which can easily thrash an LRU of realistic size —
+never evict the prefix every query in the batch is about to re-touch.
+``pin``/``unpin`` are reference-counted; pinned pages are exempt from
+eviction (the pool temporarily overflows its capacity rather than drop a
+pinned page, mirroring how a real buffer manager treats fixed buffers).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Dict, Iterable
 
 from ..telemetry import trace as _trace
 from .disk import BlockDevice
@@ -34,6 +43,7 @@ class LRUBufferPool:
         self.device = device
         self.capacity = capacity
         self._lru: "OrderedDict[int, Page]" = OrderedDict()
+        self._pins: Dict[int, int] = {}  # page_id -> reference count
         self.hits = 0
         self.misses = 0
 
@@ -70,12 +80,14 @@ class LRUBufferPool:
 
     def free(self, page_id: int) -> None:
         self._lru.pop(page_id, None)
+        self._pins.pop(page_id, None)
         self.device.free(page_id)
 
     def snapshot(self):
         return self.device.snapshot()
 
     def reset_counters(self) -> None:
+        """Zero the hit/miss counters (cache contents and pins persist)."""
         self.device.reset_counters()
         self.hits = 0
         self.misses = 0
@@ -85,8 +97,83 @@ class LRUBufferPool:
         touched = self.hits + self.misses
         return self.hits / touched if touched else 0.0
 
+    # ------------------------------------------------------------------
+    # pinning
+    # ------------------------------------------------------------------
+    def pin(self, page_id: int) -> Page:
+        """Make a page resident and exempt from eviction until unpinned.
+
+        An uncached page is read first (charged as a miss).  Pins are
+        reference-counted, so nested pins of the same page are safe.
+        The pin is registered *before* the read so the page cannot be the
+        eviction victim of its own caching when the pool is full of pins.
+        """
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        try:
+            return self.read(page_id)
+        except Exception:
+            self.unpin(page_id)
+            raise
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the page becomes evictable at refcount zero."""
+        count = self._pins.get(page_id)
+        if count is None:
+            raise KeyError(f"page {page_id} is not pinned")
+        if count <= 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+        self._evict_overflow()
+
+    @property
+    def pinned_count(self) -> int:
+        """Number of distinct pages currently pinned."""
+        return len(self._pins)
+
+    def is_pinned(self, page_id: int) -> bool:
+        return page_id in self._pins
+
+    # ------------------------------------------------------------------
+    # prefetch
+    # ------------------------------------------------------------------
+    def prefetch(self, page_ids: Iterable[int]) -> int:
+        """Warm the cache with the given pages; returns how many were
+        actually fetched from the device.
+
+        Already-cached pages are only freshened in LRU order (no hit is
+        recorded — prefetching its own cache would inflate the hit rate).
+        """
+        fetched = 0
+        for page_id in page_ids:
+            if page_id in self._lru:
+                self._lru.move_to_end(page_id)
+                continue
+            page = self.device.read(page_id)
+            self.misses += 1
+            ctx = _trace._ACTIVE
+            if ctx is not None:
+                ctx.record_miss()
+            self._cache(page)
+            fetched += 1
+        return fetched
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
     def _cache(self, page: Page) -> None:
         self._lru[page.page_id] = page
         self._lru.move_to_end(page.page_id)
-        while len(self._lru) > self.capacity:
-            self._lru.popitem(last=False)
+        self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        if len(self._lru) <= self.capacity:
+            return
+        # Evict in LRU order, skipping pinned pages.  When everything is
+        # pinned the pool overflows rather than drop a fixed buffer.
+        for page_id in list(self._lru):
+            if page_id in self._pins:
+                continue
+            del self._lru[page_id]
+            if len(self._lru) <= self.capacity:
+                return

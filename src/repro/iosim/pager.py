@@ -95,3 +95,42 @@ class Pager:
             self._pinned.pop(page_id, None)
         if self._dirty is not None:
             self._dirty.discard(page_id)
+
+    # ------------------------------------------------------------------
+    # buffer-pool pinning (no-ops on a bare device)
+    # ------------------------------------------------------------------
+    def pin(self, page_id: int) -> bool:
+        """Pin a page in the underlying buffer pool, if there is one.
+
+        Returns ``True`` when a pool actually took the pin.  On a bare
+        :class:`BlockDevice` this is a no-op — the Pager's own
+        per-operation dedupe is the only "memory" the paper's model
+        grants — so callers can pin unconditionally.
+        """
+        pin = getattr(self.device, "pin", None)
+        if pin is None:
+            return False
+        pin(page_id)
+        return True
+
+    def unpin(self, page_id: int) -> None:
+        unpin = getattr(self.device, "unpin", None)
+        if unpin is not None:
+            unpin(page_id)
+
+    @contextmanager
+    def pinning(self, page_id: int) -> Iterator[None]:
+        """Hold a buffer-pool pin on ``page_id`` for the scope."""
+        took = self.pin(page_id)
+        try:
+            yield
+        finally:
+            if took:
+                self.unpin(page_id)
+
+    def prefetch(self, page_ids) -> int:
+        """Warm the buffer pool with ``page_ids``; 0 on a bare device."""
+        prefetch = getattr(self.device, "prefetch", None)
+        if prefetch is None:
+            return 0
+        return prefetch(page_ids)

@@ -1,0 +1,118 @@
+"""Integration: ``query_batch`` is the sequential loop, only cheaper.
+
+The contract of batched execution (DESIGN.md §8): for every engine,
+``db.query_batch(qs)`` returns — per query, in input order — the same
+result multiset as ``[db.query(q) for q in qs]``, with and without a
+buffer pool; and on the two paper engines the batched I/O never exceeds
+the sequential I/O (shared descent only ever removes node fetches).
+"""
+
+import pytest
+
+from repro import ENGINES, SegmentDatabase
+from repro.workloads import grid_segments, mixed_queries, version_history
+
+
+def _labels(result):
+    return sorted((s.label for s in result), key=str)
+
+
+def _build(engine, segments, block_capacity, buffer_pages=None):
+    return SegmentDatabase.bulk_load(
+        segments,
+        engine=engine,
+        block_capacity=block_capacity,
+        buffer_pages=buffer_pages,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed,block_capacity", [(201, 16), (202, 32), (203, 64)])
+def test_batch_equals_sequential(engine, seed, block_capacity):
+    segments = grid_segments(350, seed=seed)
+    queries = mixed_queries(segments, 24, selectivity=0.05, seed=seed + 1)
+    db = _build(engine, segments, block_capacity)
+    sequential = [db.query(q) for q in queries]
+    batched = db.query_batch(queries)
+    assert len(batched) == len(queries)
+    for q, seq, bat in zip(queries, sequential, batched):
+        assert _labels(bat) == _labels(seq), (engine, q)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_batch_equals_sequential_with_buffer_pool(engine):
+    segments = version_history(25, versions_per_key=15, seed=204)
+    queries = mixed_queries(segments, 20, selectivity=0.05, seed=205)
+    db = _build(engine, segments, 32, buffer_pages=8)
+    sequential = [db.query(q) for q in queries]
+    batched = db.query_batch(queries)
+    for q, seq, bat in zip(queries, sequential, batched):
+        assert _labels(bat) == _labels(seq), (engine, q)
+    # Every batch-held pin is released when the batch drains.
+    assert db.buffer_pool.pinned_count == 0
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+@pytest.mark.parametrize("block_capacity", (16, 32))
+def test_batched_io_not_worse_than_sequential(engine, block_capacity):
+    segments = grid_segments(400, seed=206)
+    queries = mixed_queries(segments, 32, selectivity=0.05, seed=207)
+    db = _build(engine, segments, block_capacity)
+    db.reset_io_stats()
+    for q in queries:
+        db.query(q)
+    sequential_io = db.io_stats().total
+    db.reset_io_stats()
+    db.query_batch(queries)
+    batched_io = db.io_stats().total
+    assert batched_io <= sequential_io, (engine, batched_io, sequential_io)
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+def test_batch_of_one_costs_like_one_query(engine):
+    """A degenerate batch must not be cheaper than the sequential query —
+    that would mean batch accounting dedupes what the per-query cost
+    model charges (caching masquerading as shared descent)."""
+    segments = grid_segments(300, seed=208)
+    queries = mixed_queries(segments, 10, selectivity=0.05, seed=209)
+    db = _build(engine, segments, 32)
+    for q in queries:
+        db.reset_io_stats()
+        db.query(q)
+        one = db.io_stats().total
+        db.reset_io_stats()
+        db.query_batch([q])
+        batched = db.io_stats().total
+        assert batched == one, (engine, q, batched, one)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_empty_batch(engine):
+    db = _build(engine, grid_segments(50, seed=210), 16)
+    assert db.query_batch([]) == []
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_explain_batch_is_balanced(engine):
+    segments = grid_segments(300, seed=211)
+    queries = mixed_queries(segments, 16, selectivity=0.05, seed=212)
+    db = _build(engine, segments, 32)
+    report = db.explain_batch(queries)
+    assert report.balanced, report.to_markdown()
+    assert report.results == sum(len(r) for r in db.query_batch(queries))
+    db.reset_io_stats()
+    db.query_batch(queries)
+    assert report.io.total == db.io_stats().total
+
+
+def test_batch_metrics_recorded():
+    segments = grid_segments(200, seed=213)
+    queries = mixed_queries(segments, 8, selectivity=0.05, seed=214)
+    db = _build("solution2", segments, 32, buffer_pages=8)
+    metrics = db.enable_metrics()
+    db.query_batch(queries)
+    snap = metrics.to_dict()
+    assert snap["query_batch.count"]["value"] == 1
+    assert snap["query_batch.size"]["count"] == 1
+    assert snap["query_batch.ios_per_query"]["count"] == 1
+    assert snap["buffer.pinned"]["value"] == 0

@@ -82,6 +82,37 @@ def test_query_unknown_flag(segment_file, capsys):
     assert main(["query", segment_file, "150", "--frobnicate"]) == 2
 
 
+def test_query_batch(segment_file, capsys):
+    assert main(["query-batch", segment_file, "--count", "16",
+                 "--batch-size", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "batch size 4" in out
+    assert "sequential:" in out and "batched:" in out
+
+
+def test_query_batch_json(segment_file, capsys):
+    import json
+
+    assert main(["query-batch", segment_file, "--count", "12", "--seed", "3",
+                 "--engine", "solution1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["engine"] == "solution1"
+    assert data["queries"] == 12
+    assert data["batch_size"] == 12  # defaults to the whole workload
+    assert data["batched_ios"] <= data["sequential_ios"]
+
+
+def test_query_batch_with_buffer_reports_hit_rate(segment_file, capsys):
+    assert main(["query-batch", segment_file, "--count", "8",
+                 "--buffer", "8"]) == 0
+    assert "buffer hit rate" in capsys.readouterr().out
+
+
+def test_query_batch_bad_args(capsys):
+    assert main(["query-batch"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
 def test_explain_markdown(segment_file, capsys):
     assert main(["explain", segment_file, "150", "0", "500"]) == 0
     out = capsys.readouterr().out

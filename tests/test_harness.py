@@ -1,0 +1,72 @@
+"""Tests for the benchmark harness helpers (empty-input guards, writers)."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks")
+)
+
+from harness import (  # noqa: E402
+    build_engine,
+    measure_queries,
+    measure_query_batches,
+    write_perf_json,
+)
+from repro.workloads import grid_segments, segment_queries  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def engine():
+    segments = grid_segments(60, seed=41)
+    device, _pager, index = build_engine("solution1", segments, 16)
+    return segments, device, index
+
+
+def test_measure_queries_rejects_empty_batch(engine):
+    _segments, device, index = engine
+    with pytest.raises(ValueError, match="at least one query"):
+        measure_queries(device, index, [])
+
+
+def test_measure_query_batches_rejects_empty_batch(engine):
+    _segments, device, index = engine
+    with pytest.raises(ValueError, match="at least one query"):
+        measure_query_batches(device, index, [], 4)
+
+
+def test_measure_query_batches_rejects_bad_batch_size(engine):
+    segments, device, index = engine
+    queries = segment_queries(segments, 4, seed=42)
+    with pytest.raises(ValueError, match="batch_size"):
+        measure_query_batches(device, index, queries, 0)
+
+
+def test_measure_query_batches_matches_sequential_outputs(engine):
+    segments, device, index = engine
+    queries = segment_queries(segments, 8, seed=43)
+    _seq_reads, seq_out = measure_queries(device, index, queries)
+    _bat_ios, bat_out = measure_query_batches(device, index, queries, 3)
+    assert bat_out == seq_out
+
+
+def test_build_engine_with_buffer_pages():
+    segments = grid_segments(60, seed=44)
+    device, pager, index = build_engine("solution2", segments, 16, buffer_pages=4)
+    assert pager.device is not device  # the pool sits in between
+    assert pager.device.hits == pager.device.misses == 0  # counters reset
+    queries = segment_queries(segments, 4, seed=45)
+    index.query_batch(queries)
+    assert pager.device.pinned_count == 0
+
+
+def test_write_perf_json(tmp_path):
+    path = str(tmp_path / "BENCH_perf.json")
+    payload = {"experiment": "E15", "engines": {"scan": {"hit_rate": 0.5}}}
+    written = write_perf_json(payload, path=path)
+    assert written == path
+    with open(path) as fh:
+        assert json.load(fh) == payload
