@@ -99,7 +99,6 @@ def test_e15_batched_throughput():
         )
 
     payload = {
-        "experiment": "E15",
         "n": N,
         "block_capacity": B,
         "queries": len(queries),
@@ -114,7 +113,7 @@ def test_e15_batched_throughput():
             for name, sweep in engines.items()
         },
     }
-    path = write_perf_json(payload)
+    path = write_perf_json("E15", payload)
 
     io_rows = []
     qps_rows = []

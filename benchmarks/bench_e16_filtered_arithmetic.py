@@ -1,0 +1,136 @@
+"""E16 — filtered arithmetic: the float fast path vs exact-only rationals.
+
+Not a paper claim but the cost model's blind spot made visible: the
+paper counts block transfers, yet an in-memory reproduction of it spends
+most of its wall-clock on exact ``Fraction`` comparisons.  The filtered
+kernel (DESIGN.md §9) evaluates each sign test in doubles with a
+certified error bound and falls back to rationals only on inconclusive
+signs — so results and I/O counts are bit-identical (verified by
+``tests/integration/test_filtered_equivalence.py``) while the hot path
+dodges big-integer arithmetic.
+
+The run measures, per engine, wall-clock queries/second with the filter
+on and in ``exact-only`` mode, plus the filter hit rate (certified signs
+/ all filtered decisions).  The headline: the paper engines — whose
+query cost is dominated by comparisons, not scans — speed up by >= 2x
+on the N=4096 integer workload.  ``E16_N`` / ``E16_QUERIES`` shrink the
+workload for CI smoke runs.
+"""
+
+import os
+import time
+
+from harness import archive, build_engine, table_section, write_perf_json
+from repro.geometry import filter_stats, reset_filter_stats, set_exact_only
+from repro.workloads import grid_segments, segment_queries
+
+B = 32
+N = int(os.environ.get("E16_N", "4096"))
+QUERIES = int(os.environ.get("E16_QUERIES", "256"))
+ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+#: The speedup gate only binds at the full workload; smoke runs (small
+#: E16_N) build too little structure for the comparison cost to dominate.
+GATE_MIN_N = 4096
+GATE_SPEEDUP = 2.0
+
+
+def _workload():
+    segments = grid_segments(N, seed=61)
+    queries = segment_queries(segments, QUERIES, selectivity=0.02, seed=62)
+    return segments, queries
+
+
+def _time_queries(index, queries) -> float:
+    t0 = time.perf_counter()
+    for q in queries:
+        index.query(q)
+    return time.perf_counter() - t0
+
+
+def run_engine(engine, segments, queries):
+    """{"filtered_qps", "exact_qps", "speedup", "hit_rate"} for one engine."""
+    _device, _pager, index = build_engine(engine, segments, B)
+    # Warm-up pass so first-touch costs don't land on either timing.
+    _time_queries(index, queries[: max(1, len(queries) // 8)])
+
+    set_exact_only(False)
+    reset_filter_stats()
+    filtered_elapsed = _time_queries(index, queries)
+    stats = filter_stats()
+
+    set_exact_only(True)
+    try:
+        exact_elapsed = _time_queries(index, queries)
+    finally:
+        set_exact_only(False)
+
+    filtered_qps = len(queries) / filtered_elapsed if filtered_elapsed else 0.0
+    exact_qps = len(queries) / exact_elapsed if exact_elapsed else 0.0
+    return {
+        "filtered_qps": round(filtered_qps, 1),
+        "exact_qps": round(exact_qps, 1),
+        "speedup": round(filtered_qps / exact_qps, 3) if exact_qps else None,
+        "hit_rate": round(stats["hit_rate"], 4) if stats["hit_rate"] is not None else None,
+        "fast_hits": stats["fast_hits"],
+        "exact_fallbacks": stats["exact_fallbacks"],
+    }
+
+
+def test_e16_filtered_arithmetic():
+    segments, queries = _workload()
+    engines = {}
+    for engine in ENGINES:
+        engines[engine] = run_engine(engine, segments, queries)
+
+    # Acceptance gates: the filter must actually fire (the residue of
+    # exact fallbacks is real: query bounds anchored on segment ordinates
+    # produce true sign-0 decisions, which must go exact), and on the
+    # paper engines — all comparisons, no scans — it must buy at least
+    # 2x wall-clock.
+    for engine in ("solution1", "solution2"):
+        row = engines[engine]
+        assert row["hit_rate"] is not None and row["hit_rate"] > 0.5, (
+            f"{engine}: filter hit rate {row['hit_rate']} — fast path not firing"
+        )
+        if N >= GATE_MIN_N:
+            assert row["speedup"] >= GATE_SPEEDUP, (
+                f"{engine}: filtered/exact speedup {row['speedup']} "
+                f"< {GATE_SPEEDUP}x at N={N}"
+            )
+
+    payload = {
+        "n": N,
+        "block_capacity": B,
+        "queries": len(queries),
+        "engines": engines,
+    }
+    path = write_perf_json("E16", payload)
+
+    rows = [
+        [name, row["filtered_qps"], row["exact_qps"], row["speedup"],
+         row["hit_rate"]]
+        for name, row in engines.items()
+    ]
+    archive(
+        "e16_filtered_arithmetic",
+        "E16 — Filtered exact arithmetic (float fast path vs exact-only)",
+        [
+            f"N={N}, B={B}, {len(queries)} segment queries (2% selectivity).  "
+            f"Same index, same queries; only the arithmetic mode changes.  "
+            f"Results and I/O counts are bit-identical by construction "
+            f"(certified signs only) — the integration suite asserts it.",
+            table_section(
+                "Wall-clock queries/second, filtered vs exact-only:",
+                ["engine", "filtered q/s", "exact-only q/s", "speedup",
+                 "filter hit rate"],
+                rows,
+            ),
+            "Reading: the paper engines answer queries almost entirely "
+            "through sign tests (directory descents, PST witness pruning, "
+            "cascade scans), so certifying those signs in doubles removes "
+            "nearly all rational arithmetic from their hot path.  The "
+            "baselines mix in bounding-box scans and report filtering, so "
+            "their gain is smaller but still visible.  Machine-readable "
+            "copy: `" + os.path.basename(path) + "` (key `E16`).",
+        ],
+    )

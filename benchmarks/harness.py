@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis import best_model, il_star, render_fits, render_table
@@ -95,15 +96,49 @@ def measure_query_batches(device, index, queries: Sequence[VerticalQuery],
     return ios / len(queries), outputs / len(queries)
 
 
-def write_perf_json(payload: dict, path: str = PERF_JSON_PATH) -> str:
-    """Write the machine-readable perf-trajectory artifact.
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def write_perf_json(experiment: str, payload: dict,
+                    path: str = PERF_JSON_PATH) -> str:
+    """Merge one experiment's results into the perf-trajectory artifact.
 
     The harness owns the writer so every benchmark emits the same shape;
     the file lands at the repo root (``BENCH_perf.json``) where future
-    PRs diff it as the perf scoreboard.
+    PRs diff it as the perf scoreboard.  Schema (version 2)::
+
+        {"schema_version": 2, "commit": "<short sha>",
+         "generated_by": "<last experiment written>",
+         "experiments": {"E15": {...}, "E16": {...}}}
+
+    Experiments merge instead of clobbering each other, so running E15
+    then E16 leaves both result sets in the file.  A version-1 file (one
+    flat payload with an ``experiment`` key) is migrated in place.
     """
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    if "experiments" not in data:
+        legacy_name = data.pop("experiment", None)
+        data = {"experiments": {legacy_name: data} if legacy_name else {}}
+    data["schema_version"] = 2
+    data["commit"] = _git_commit()
+    data["generated_by"] = experiment
+    data["experiments"][experiment] = payload
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
+        json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
 

@@ -24,6 +24,12 @@ Commands
 (default solution2), ``--buffer N`` (put an N-page LRU buffer pool under
 the engine and report its hit rate) and ``--block B`` (block capacity,
 default 64).
+
+Every command accepts ``--exact-only``: disable the floating-point
+fast path of the filtered arithmetic kernel and run every geometric
+comparison on exact rationals (equivalent to ``REPRO_EXACT_ONLY=1``;
+results are identical either way — the fast path only takes certified
+decisions).
 """
 
 from __future__ import annotations
@@ -253,6 +259,11 @@ def cmd_validate(args) -> int:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--exact-only" in argv:
+        from repro.geometry import set_exact_only
+
+        set_exact_only(True)
+        argv = [a for a in argv if a != "--exact-only"]
     if not argv:
         print(__doc__)
         return 2

@@ -40,6 +40,7 @@ from ..geometry import (
     VerticalQuery,
     validate_nct,
 )
+from ..geometry import filtered
 from ..iosim import BlockDevice, IOStats, LRUBufferPool, Pager
 from ..telemetry import ExplainReport, MetricsRegistry, trace_call
 from .solution1.index import TwoLevelBinaryIndex
@@ -70,6 +71,7 @@ class SegmentDatabase:
         self.pager = Pager(self.buffer_pool or self.device)
         self.validate = validate
         self.metrics: Optional[MetricsRegistry] = None
+        self._filter_snapshot = filtered.STATS.snapshot()
         self._index = self._build_engine([])
 
     # ------------------------------------------------------------------
@@ -158,6 +160,7 @@ class SegmentDatabase:
         if self.buffer_pool is not None:
             metrics.gauge("buffer.hit_rate").set(self.buffer_pool.hit_rate)
             metrics.gauge("buffer.pinned").set(self.buffer_pool.pinned_count)
+        self._sync_filter_metrics(metrics)
         return out
 
     def stab(self, x: Coordinate) -> List[Segment]:
@@ -258,6 +261,7 @@ class SegmentDatabase:
             if pool is not None
             else None
         )
+        out["filter"] = filtered.filter_stats()
         return out
 
     @property
@@ -294,6 +298,27 @@ class SegmentDatabase:
             metrics.histogram(f"{op}.results").observe(results)
         if self.buffer_pool is not None:
             metrics.gauge("buffer.hit_rate").set(self.buffer_pool.hit_rate)
+        self._sync_filter_metrics(metrics)
+
+    def _sync_filter_metrics(self, metrics: MetricsRegistry) -> None:
+        """Fold the filtered-arithmetic kernel's global counters into the
+        registry as deltas (the kernel counters are process-wide; counters
+        here stay monotone per database)."""
+        fast, exact = filtered.STATS.snapshot()
+        prev_fast, prev_exact = self._filter_snapshot
+        self._filter_snapshot = (fast, exact)
+        if fast > prev_fast:
+            metrics.counter("filter.fast_hits").inc(fast - prev_fast)
+        if exact > prev_exact:
+            metrics.counter("filter.exact_fallbacks").inc(exact - prev_exact)
+        total = (
+            metrics.counter("filter.fast_hits").value
+            + metrics.counter("filter.exact_fallbacks").value
+        )
+        if total:
+            metrics.gauge("filter.hit_rate").set(
+                metrics.counter("filter.fast_hits").value / total
+            )
 
     def all_segments(self) -> List[Segment]:
         return self._index.all_segments()

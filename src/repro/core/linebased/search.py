@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ...geometry import HQuery, LineBasedSegment
+from ...geometry.filtered import compare_u_at
 from ...telemetry import trace
 
 #: Classification of a stored segment against a query.
@@ -41,13 +42,18 @@ RIGHT = "right"
 
 
 def classify(segment: LineBasedSegment, query: HQuery) -> str:
-    """Exact classification of one proper segment against the query."""
+    """Exact classification of one proper segment against the query.
+
+    The two window tests run through the filtered comparison kernel
+    (certified float fast path, rational fallback) with the query's
+    cached float bounds — the hottest comparison in the PST search.
+    """
     if segment.h1 < query.h:
         return BELOW
-    u = segment.u_at(query.h)
-    if query.ulo is not None and u < query.ulo:
+    hb, lob, hib = query.balls()
+    if query.ulo is not None and compare_u_at(segment, query.h, query.ulo, hb, lob) < 0:
         return LEFT
-    if query.uhi is not None and u > query.uhi:
+    if query.uhi is not None and compare_u_at(segment, query.h, query.uhi, hb, hib) > 0:
         return RIGHT
     return HIT
 

@@ -56,7 +56,7 @@ def split_at_line(segment: Segment, c) -> Tuple[Optional[Tuple], Optional[object
         return ((segment.ymin, segment.ymax), None, None)
     if not segment.spans_x(c):
         raise ValueError(f"{segment!r} does not meet the line x={c}")
-    y_c = segment.y_at(c)
+    y_c = segment.y_at_unchecked(c)  # non-vertical, spans c: checks redundant
     left = right = None
     if segment.xmin < c:
         left = VerticalBaseFrame(c, "left").to_line_based(

@@ -41,6 +41,7 @@ import bisect
 from fractions import Fraction
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ...geometry.filtered import ball, compare_interp
 from ...iosim import DanglingPageError, Pager
 from ...storage.bplus import BPlusTree
 from ...storage.chain import PageChain
@@ -75,18 +76,43 @@ class GEntry:
 def _entry_key(frag: LongFragment, s_mid) -> Tuple:
     """B+-tree key: order by y at the node's middle boundary, with the full
     geometry embedded for predicate evaluation."""
-    y_mid = frag.y_at(s_mid)
+    y_mid = frag.y_at_unchecked(s_mid)  # cut to the multislab: always in span
     return (y_mid, frag.y_left, frag.x_left, frag.y_right, frag.x_right)
 
 
 def _key_y_at(key: Tuple, x):
-    """Evaluate a key's fragment at ``x``, clamped to the fragment's span."""
+    """Evaluate a key's fragment at ``x``, clamped to the fragment's span.
+
+    Used where a total-order *value* is needed (bridge merges, the
+    d-property check); query-time comparisons use :func:`_cmp_key_y`.
+    """
     _y_mid, y_left, x_left, y_right, x_right = key
     if x <= x_left:
         return y_left
     if x >= x_right:
         return y_right
     return y_left + Fraction(y_right - y_left) * Fraction(x - x_left, x_right - x_left)
+
+
+def _cmp_key_y(key: Tuple, x, bound, xb=None, bb=None) -> int:
+    """Sign of ``_key_y_at(key, x) - bound`` without building the Fraction.
+
+    The interpolating case runs through the filtered kernel; the clamped
+    cases are plain endpoint comparisons.  ``xb``/``bb`` are the cached
+    balls of ``x`` and ``bound`` (see :func:`repro.geometry.filtered.ball`).
+    """
+    _y_mid, y_left, x_left, y_right, x_right = key
+    if x <= x_left:
+        y = y_left
+    elif x >= x_right:
+        y = y_right
+    else:
+        return compare_interp(y_left, x_left, y_right, x_right, x, bound, xb, bb)
+    if y > bound:
+        return 1
+    if y < bound:
+        return -1
+    return 0
 
 
 class _GNode:
@@ -253,10 +279,16 @@ class GTree:
         if not nodes:
             return []
         slabs = self._inner_slabs_of(x0)
+        # Query balls for the filtered comparisons, built once per query.
+        qballs = (
+            ball(x0),
+            ball(ylo) if ylo is not None else None,
+            ball(yhi) if yhi is not None else None,
+        )
         results: List[LongFragment] = []
         seen = set()
         for k in slabs:
-            for frag in self._query_path(nodes, k, x0, ylo, yhi, use_bridges):
+            for frag in self._query_path(nodes, k, x0, ylo, yhi, use_bridges, qballs):
                 if frag.payload.label not in seen:
                     seen.add(frag.payload.label)
                     results.append(frag)
@@ -278,7 +310,7 @@ class GTree:
         ]
 
     def _query_path(
-        self, nodes, k: int, x0, ylo, yhi, use_bridges: bool
+        self, nodes, k: int, x0, ylo, yhi, use_bridges: bool, qballs: Tuple
     ) -> List[LongFragment]:
         results: List[LongFragment] = []
         idx: Optional[int] = 0
@@ -297,7 +329,8 @@ class GTree:
             else:
                 tree = BPlusTree(self.pager, node.root_pid)
                 hint = self._scan_node(
-                    tree, x0, ylo, yhi, hint if use_bridges else None, son_slot, results
+                    tree, x0, ylo, yhi, hint if use_bridges else None, son_slot,
+                    results, qballs,
                 )
             idx = next_idx
         return results
@@ -322,31 +355,31 @@ class GTree:
 
     def _scan_node(
         self, tree: BPlusTree, x0, ylo, yhi, hint: Optional[Position],
-        son_slot: Optional[int], results: List[LongFragment],
+        son_slot: Optional[int], results: List[LongFragment], qballs: Tuple,
     ) -> Optional[Position]:
         """Report this node's hits; return the bridge hint for the next son."""
-        start = self._boundary_position(tree, x0, ylo, hint)
+        start = self._boundary_position(tree, x0, ylo, hint, qballs)
         # The reporting scan is the output-charged part of the G search:
         # every page it touches holds ~B reported fragments (phase
         # "scan", the ``t`` term of Theorem 2).
         with trace.span("scan"):
             return self._scan_entries(
-                tree, start, x0, ylo, yhi, son_slot, results, None
+                tree, start, x0, ylo, yhi, son_slot, results, None, qballs
             )
 
     def _scan_entries(
         self, tree: BPlusTree, start: Position, x0, ylo, yhi,
         son_slot: Optional[int], results: List[LongFragment],
-        last_entry_before: Optional[GEntry],
+        last_entry_before: Optional[GEntry], qballs: Tuple,
     ) -> Optional[Position]:
+        xb, lob, hib = qballs
         next_hint: Optional[Position] = None
         for leaf_pid, idx, key, entry in self._iter_positions_from(tree, start):
-            y = _key_y_at(key, x0)
             real = not entry.frag.augmented
-            if ylo is not None and y < ylo:
+            if ylo is not None and _cmp_key_y(key, x0, ylo, xb, lob) < 0:
                 last_entry_before = entry
                 continue  # only augmented stragglers can appear here
-            if yhi is not None and y > yhi and real:
+            if yhi is not None and real and _cmp_key_y(key, x0, yhi, xb, hib) > 0:
                 if next_hint is None and son_slot is not None:
                     next_hint = entry.bridges.get(son_slot)
                 break
@@ -361,7 +394,7 @@ class GTree:
         return next_hint
 
     def _boundary_position(
-        self, tree: BPlusTree, x0, ylo, hint: Optional[Position]
+        self, tree: BPlusTree, x0, ylo, hint: Optional[Position], qballs: Tuple
     ) -> Position:
         """Position of the first *real* entry with ``y_at(x0) >= ylo``.
 
@@ -375,7 +408,8 @@ class GTree:
             with trace.span("search"):
                 head = self._head_leaf(tree)
             return (head, 0)
-        pred = lambda key: _key_y_at(key, x0) >= ylo  # noqa: E731
+        xb, lob = qballs[0], qballs[1]
+        pred = lambda key: _cmp_key_y(key, x0, ylo, xb, lob) >= 0  # noqa: E731
         if hint is not None:
             with trace.span("cascade-hop"):
                 refined = self._exact_boundary(tree, hint, pred,

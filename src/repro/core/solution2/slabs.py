@@ -59,6 +59,11 @@ class LongFragment:
         """Exact ordinate at ``x`` (requires ``x_left <= x <= x_right``)."""
         if not (self.x_left <= x <= self.x_right):
             raise ValueError(f"x={x} outside fragment [{self.x_left}, {self.x_right}]")
+        return self.y_at_unchecked(x)
+
+    def y_at_unchecked(self, x):
+        """:meth:`y_at` without the span validation (callers on the build
+        and query hot paths have already established ``x`` is in range)."""
         if self.x_left == self.x_right:
             return self.y_left
         return self.y_left + Fraction(self.y_right - self.y_left) * Fraction(
@@ -70,8 +75,8 @@ class LongFragment:
         return LongFragment(
             x_left,
             x_right,
-            self.y_at(x_left),
-            self.y_at(x_right),
+            self.y_at_unchecked(x_left),
+            self.y_at_unchecked(x_right),
             self.payload,
             augmented=self.augmented,
         )
@@ -123,13 +128,13 @@ def split_segment(boundaries: Sequence, segment: Segment) -> Optional[SplitResul
     s_j = boundaries[j - 1]
     if segment.xmin < s_i:
         part = Segment.from_coords(
-            segment.start.x, segment.start.y, s_i, segment.y_at(s_i),
+            segment.start.x, segment.start.y, s_i, segment.y_at_unchecked(s_i),
             label=segment.label,
         ).with_label(segment.label)
         result.left_short = (i, VerticalBaseFrame(s_i, "left").to_line_based(part))
     if segment.xmax > s_j:
         part = Segment.from_coords(
-            s_j, segment.y_at(s_j), segment.end.x, segment.end.y,
+            s_j, segment.y_at_unchecked(s_j), segment.end.x, segment.end.y,
             label=segment.label,
         ).with_label(segment.label)
         result.right_short = (j, VerticalBaseFrame(s_j, "right").to_line_based(part))
@@ -137,7 +142,11 @@ def split_segment(boundaries: Sequence, segment: Segment) -> Optional[SplitResul
         result.long = (
             i,
             j,
-            LongFragment(s_i, s_j, segment.y_at(s_i), segment.y_at(s_j), segment),
+            LongFragment(
+                s_i, s_j,
+                segment.y_at_unchecked(s_i), segment.y_at_unchecked(s_j),
+                segment,
+            ),
         )
     return result
 

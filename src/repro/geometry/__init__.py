@@ -1,10 +1,28 @@
 """Exact plane geometry for segment databases.
 
-Everything is exact rational arithmetic — no floats, no epsilons.  The
-package provides points, NCT segments, generalized vertical queries, the
-line-based frame of Section 2, frame transforms, and crossing detection.
+Every predicate is exact.  Hot sign tests run through the filtered
+arithmetic kernel (:mod:`repro.geometry.filtered`): a certified
+double-precision fast path with an exact rational fallback, so results
+are bit-identical to pure ``Fraction`` arithmetic.  The package provides
+points, NCT segments, generalized vertical queries, the line-based frame
+of Section 2, frame transforms, and crossing detection.
 """
 
+from .filtered import (
+    FilterStats,
+    STATS as FILTER_STATS,
+    ball,
+    compare_interp,
+    compare_slopes,
+    compare_u_at,
+    compare_y_at,
+    compare_y_at_pair,
+    exact_only_enabled,
+    filter_stats,
+    reset_filter_stats,
+    set_exact_only,
+    sign_orientation,
+)
 from .linebased import HQuery, LineBasedSegment, lb_cross, lb_intersects
 from .nct import (
     CrossingError,
@@ -27,6 +45,8 @@ from .transform import FixedDirectionFrame, VerticalBaseFrame
 __all__ = [
     "Coordinate",
     "CrossingError",
+    "FILTER_STATS",
+    "FilterStats",
     "FixedDirectionFrame",
     "HQuery",
     "LineBasedSegment",
@@ -34,7 +54,15 @@ __all__ = [
     "Segment",
     "VerticalBaseFrame",
     "VerticalQuery",
+    "ball",
     "check_coordinate",
+    "compare_interp",
+    "compare_slopes",
+    "compare_u_at",
+    "compare_y_at",
+    "compare_y_at_pair",
+    "exact_only_enabled",
+    "filter_stats",
     "find_crossing_bruteforce",
     "find_crossing_sweep",
     "lb_cross",
@@ -42,9 +70,12 @@ __all__ = [
     "on_segment",
     "orientation",
     "query_as_segment",
+    "reset_filter_stats",
     "segments_cross",
     "segments_intersect",
     "segments_touch",
+    "set_exact_only",
+    "sign_orientation",
     "validate_nct",
     "vs_intersects",
 ]

@@ -1,0 +1,461 @@
+"""Filtered exact arithmetic: a float fast path with a rational fallback.
+
+Every comparison an index makes during a query is a *sign test*: is the
+segment's ordinate at the query line above, below, or on a bound?  The
+exact rational arithmetic used everywhere else in this package decides
+these signs correctly but pays big-integer multiplications (and gcd
+normalisations) per comparison.  This module implements the standard
+remedy from computational geometry — a floating-point *filter*:
+
+1. evaluate the sign expression in double precision, carrying a running
+   *absolute error bound* alongside the value (forward error analysis);
+2. if ``|value| > bound``, the double-precision sign is **certified**
+   equal to the exact sign — return it (a *fast hit*);
+3. otherwise fall back to the exact ``Fraction``/``int`` evaluation of
+   the *same* polynomial (an *exact fallback*).
+
+Because a certified sign always equals the exact sign, every caller's
+control flow — and therefore every query result and every simulated
+block transfer — is bit-identical to the exact-only computation
+(DESIGN.md §9 derives the error bounds).
+
+All sign expressions are *division-free* cross-multiplied forms, so the
+fallback needs no rational division either:
+
+* ``sign(y_at(x) - b) = sign((sy - b)·dx + dy·(x - sx))`` for a
+  non-vertical segment (``dx > 0`` after normalisation);
+* ``sign(u_at(h) - b) = sign((u0 - b)·h1 + du·h)`` (``h1 > 0``);
+* the pairwise and interpolation forms multiply through analogously.
+
+The filter is process-global state: :data:`STATS` counts hits and
+fallbacks (surfaced through ``io_report()`` and the metrics registry),
+and ``REPRO_EXACT_ONLY=1`` / :func:`set_exact_only` disables the fast
+path entirely — the escape hatch used by the equivalence tests and the
+E16 benchmark's before/after measurement.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: Per-operation relative rounding bound.  The true bound for one IEEE-754
+#: double operation is the unit roundoff ``2**-53``; we use twice that so
+#: the (float-evaluated) error expressions' own rounding is swallowed.
+_EPS = 2.0 ** -52
+#: Final multiplicative headroom on the accumulated bound: covers the
+#: rounding of the error-bound arithmetic itself (dozens of operations at
+#: ``2**-53`` relative each — ``1e-7`` over-covers by ~40 orders).
+_SLOP = 1.0000001
+#: Additive floor on every certified bound: absolute rounding error in the
+#: subnormal range is not captured by relative terms.  Any sign expression
+#: whose true magnitude is below this is sent to the exact path instead.
+_TINY = 1e-300
+#: Largest int magnitude exactly representable as a double (2**53).
+_INT_EXACT = 9007199254740992
+
+#: A ball: a float value with an absolute error radius, or ``None`` when
+#: the quantity has no finite double approximation.
+Ball = Optional[Tuple[float, float]]
+
+
+class FilterStats:
+    """Process-wide filter telemetry: certified signs vs exact fallbacks."""
+
+    __slots__ = ("fast_hits", "exact_fallbacks")
+
+    def __init__(self):
+        self.fast_hits = 0
+        self.exact_fallbacks = 0
+
+    def reset(self) -> None:
+        self.fast_hits = 0
+        self.exact_fallbacks = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.fast_hits, self.exact_fallbacks)
+
+    @property
+    def total(self) -> int:
+        return self.fast_hits + self.exact_fallbacks
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        total = self.total
+        return self.fast_hits / total if total else None
+
+
+STATS = FilterStats()
+
+
+def reset_filter_stats() -> None:
+    STATS.reset()
+
+
+def filter_stats() -> dict:
+    """JSON-ready snapshot of the filter counters (for ``io_report()``)."""
+    return {
+        "fast_hits": STATS.fast_hits,
+        "exact_fallbacks": STATS.exact_fallbacks,
+        "hit_rate": STATS.hit_rate,
+        "exact_only": _exact_only,
+    }
+
+
+def _env_exact_only() -> bool:
+    return os.environ.get("REPRO_EXACT_ONLY", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+_exact_only = _env_exact_only()
+
+
+def set_exact_only(flag: bool) -> None:
+    """Globally disable (``True``) or re-enable (``False``) the fast path."""
+    global _exact_only
+    _exact_only = bool(flag)
+
+
+def exact_only_enabled() -> bool:
+    return _exact_only
+
+
+# ----------------------------------------------------------------------
+# balls: float value + certified absolute error radius
+# ----------------------------------------------------------------------
+def ball(value) -> Ball:
+    """``(float(value), error_radius)`` or ``None`` when not finite.
+
+    Conversion of an ``int`` or ``Fraction`` to ``float`` is correctly
+    rounded, so the radius is at most half an ulp — bounded here by
+    ``|v|·_EPS + _TINY``.  Small ints convert exactly (radius 0).
+    """
+    try:
+        v = float(value)
+    except (OverflowError, ValueError):
+        return None
+    if v - v != 0.0:  # inf (inf - inf = nan) or nan: no finite approximation
+        return None
+    if type(value) is int and -_INT_EXACT <= value <= _INT_EXACT:
+        return (v, 0.0)
+    return (v, abs(v) * _EPS + _TINY)
+
+
+def segment_fp(sx, sy, ex, ey) -> Optional[Tuple]:
+    """Cached float coefficients for a plane segment ``(sx,sy)->(ex,ey)``.
+
+    Layout: ``(sx, esx, sy, esy, dx, edx, dy, edy)`` — start point plus
+    the endpoint deltas, each with its error radius.  ``None`` when any
+    coordinate has no finite double approximation (fast path disabled for
+    that segment; the exact path still works).
+    """
+    bsx = ball(sx)
+    bsy = ball(sy)
+    bex = ball(ex)
+    bey = ball(ey)
+    if bsx is None or bsy is None or bex is None or bey is None:
+        return None
+    fsx, esx = bsx
+    fsy, esy = bsy
+    fex, eex = bex
+    fey, eey = bey
+    dx = fex - fsx
+    edx = eex + esx + abs(dx) * _EPS
+    dy = fey - fsy
+    edy = eey + esy + abs(dy) * _EPS
+    return (fsx, esx, fsy, esy, dx, edx, dy, edy)
+
+
+def lb_fp(u0, u1, h1) -> Optional[Tuple]:
+    """Cached float coefficients for a line-based segment.
+
+    Layout: ``(u0, eu0, du, edu, h1, eh1)`` with ``du = u1 - u0``.
+    """
+    b0 = ball(u0)
+    b1 = ball(u1)
+    bh = ball(h1)
+    if b0 is None or b1 is None or bh is None:
+        return None
+    fu0, eu0 = b0
+    fu1, eu1 = b1
+    fh1, eh1 = bh
+    du = fu1 - fu0
+    edu = eu1 + eu0 + abs(du) * _EPS
+    return (fu0, eu0, du, edu, fh1, eh1)
+
+
+def _sign(value) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sign kernels
+# ----------------------------------------------------------------------
+def sign_orientation(ax, ay, bx, by, cx, cy) -> int:
+    """Sign of the cross product ``(b - a) x (c - a)``: 1 ccw, -1 cw, 0."""
+    if not _exact_only:
+        ba = ball(ax)
+        if ba is not None:
+            bb_ = ball(ay)
+            bc = ball(bx)
+            bd = ball(by)
+            be = ball(cx)
+            bf = ball(cy)
+            if (bb_ is not None and bc is not None and bd is not None
+                    and be is not None and bf is not None):
+                fax, eax = ba
+                fay, eay = bb_
+                fbx, ebx = bc
+                fby, eby = bd
+                fcx, ecx = be
+                fcy, ecy = bf
+                u = fbx - fax
+                eu = ebx + eax + abs(u) * _EPS
+                w = fcy - fay
+                ew = ecy + eay + abs(w) * _EPS
+                p = u * w
+                ep = abs(u) * ew + abs(w) * eu + eu * ew + abs(p) * _EPS
+                r = fby - fay
+                er = eby + eay + abs(r) * _EPS
+                z = fcx - fax
+                ez = ecx + eax + abs(z) * _EPS
+                q = r * z
+                eq = abs(r) * ez + abs(z) * er + er * ez + abs(q) * _EPS
+                v = p - q
+                err = (ep + eq + abs(v) * _EPS) * _SLOP + _TINY
+                if v > err:
+                    STATS.fast_hits += 1
+                    return 1
+                if -v > err:
+                    STATS.fast_hits += 1
+                    return -1
+    STATS.exact_fallbacks += 1
+    return _sign((bx - ax) * (cy - ay) - (by - ay) * (cx - ax))
+
+
+def compare_y_at(segment, x, bound, xb: Ball = None, bb: Ball = None) -> int:
+    """Sign of ``segment.y_at(x) - bound`` for a non-vertical segment.
+
+    ``xb``/``bb`` are optional precomputed :func:`ball`\\ s of ``x`` and
+    ``bound`` (hot callers cache them per query).  The division-free form
+    is ``sign((sy - b)·dx + dy·(x - sx))``, valid because ``dx > 0``.
+    """
+    if not _exact_only:
+        fp = segment._fp
+        if fp is not None:
+            if xb is None:
+                xb = ball(x)
+            if xb is not None:
+                if bb is None:
+                    bb = ball(bound)
+                if bb is not None:
+                    fsx, esx, fsy, esy, dx, edx, dy, edy = fp
+                    fx, ex = xb
+                    fb, eb = bb
+                    d1 = fsy - fb
+                    e1 = esy + eb + abs(d1) * _EPS
+                    t1 = d1 * dx
+                    et1 = abs(d1) * edx + abs(dx) * e1 + e1 * edx + abs(t1) * _EPS
+                    d2 = fx - fsx
+                    e2 = ex + esx + abs(d2) * _EPS
+                    t2 = dy * d2
+                    et2 = abs(dy) * e2 + abs(d2) * edy + e2 * edy + abs(t2) * _EPS
+                    v = t1 + t2
+                    err = (et1 + et2 + abs(v) * _EPS) * _SLOP + _TINY
+                    if v > err:
+                        STATS.fast_hits += 1
+                        return 1
+                    if -v > err:
+                        STATS.fast_hits += 1
+                        return -1
+    STATS.exact_fallbacks += 1
+    start = segment.start
+    end = segment.end
+    return _sign(
+        (start.y - bound) * (end.x - start.x)
+        + (end.y - start.y) * (x - start.x)
+    )
+
+
+def compare_y_at_pair(s1, s2, x, xb: Ball = None) -> int:
+    """Sign of ``s1.y_at(x) - s2.y_at(x)`` for two non-vertical segments.
+
+    Cross-multiplied through both (positive) run lengths:
+    ``sign((sy1 - sy2)·dx1·dx2 + dy1·(x - sx1)·dx2 - dy2·(x - sx2)·dx1)``.
+    """
+    if not _exact_only:
+        fp1 = s1._fp
+        fp2 = s2._fp
+        if fp1 is not None and fp2 is not None:
+            if xb is None:
+                xb = ball(x)
+            if xb is not None:
+                sx1, esx1, sy1, esy1, dx1, edx1, dy1, edy1 = fp1
+                sx2, esx2, sy2, esy2, dx2, edx2, dy2, edy2 = fp2
+                fx, ex = xb
+                d0 = sy1 - sy2
+                e0 = esy1 + esy2 + abs(d0) * _EPS
+                m = dx1 * dx2
+                em = abs(dx1) * edx2 + abs(dx2) * edx1 + edx1 * edx2 + abs(m) * _EPS
+                t0 = d0 * m
+                et0 = abs(d0) * em + abs(m) * e0 + e0 * em + abs(t0) * _EPS
+                a1 = fx - sx1
+                ea1 = ex + esx1 + abs(a1) * _EPS
+                p1 = dy1 * a1
+                ep1 = abs(dy1) * ea1 + abs(a1) * edy1 + ea1 * edy1 + abs(p1) * _EPS
+                t1 = p1 * dx2
+                et1 = abs(p1) * edx2 + abs(dx2) * ep1 + ep1 * edx2 + abs(t1) * _EPS
+                a2 = fx - sx2
+                ea2 = ex + esx2 + abs(a2) * _EPS
+                p2 = dy2 * a2
+                ep2 = abs(dy2) * ea2 + abs(a2) * edy2 + ea2 * edy2 + abs(p2) * _EPS
+                t2 = p2 * dx1
+                et2 = abs(p2) * edx1 + abs(dx1) * ep2 + ep2 * edx1 + abs(t2) * _EPS
+                s = t0 + t1
+                es = et0 + et1 + abs(s) * _EPS
+                v = s - t2
+                err = (es + et2 + abs(v) * _EPS) * _SLOP + _TINY
+                if v > err:
+                    STATS.fast_hits += 1
+                    return 1
+                if -v > err:
+                    STATS.fast_hits += 1
+                    return -1
+    STATS.exact_fallbacks += 1
+    a_start = s1.start
+    a_end = s1.end
+    b_start = s2.start
+    b_end = s2.end
+    adx = a_end.x - a_start.x
+    bdx = b_end.x - b_start.x
+    return _sign(
+        (a_start.y - b_start.y) * adx * bdx
+        + (a_end.y - a_start.y) * (x - a_start.x) * bdx
+        - (b_end.y - b_start.y) * (x - b_start.x) * adx
+    )
+
+
+def compare_u_at(segment, h, bound, hb: Ball = None, bb: Ball = None) -> int:
+    """Sign of ``segment.u_at(h) - bound`` for a proper line-based segment.
+
+    Division-free via the (positive) apex height:
+    ``sign((u0 - b)·h1 + du·h)``.
+    """
+    if not _exact_only:
+        fp = segment._fp
+        if fp is not None:
+            if hb is None:
+                hb = ball(h)
+            if hb is not None:
+                if bb is None:
+                    bb = ball(bound)
+                if bb is not None:
+                    fu0, eu0, du, edu, fh1, eh1 = fp
+                    fh, eh = hb
+                    fb, eb = bb
+                    d = fu0 - fb
+                    ed = eu0 + eb + abs(d) * _EPS
+                    t1 = d * fh1
+                    et1 = abs(d) * eh1 + abs(fh1) * ed + ed * eh1 + abs(t1) * _EPS
+                    t2 = du * fh
+                    et2 = abs(du) * eh + abs(fh) * edu + edu * eh + abs(t2) * _EPS
+                    v = t1 + t2
+                    err = (et1 + et2 + abs(v) * _EPS) * _SLOP + _TINY
+                    if v > err:
+                        STATS.fast_hits += 1
+                        return 1
+                    if -v > err:
+                        STATS.fast_hits += 1
+                        return -1
+    STATS.exact_fallbacks += 1
+    return _sign(
+        (segment.u0 - bound) * segment.h1 + (segment.u1 - segment.u0) * h
+    )
+
+
+def compare_interp(y_left, x_left, y_right, x_right, x, bound,
+                   xb: Ball = None, bb: Ball = None) -> int:
+    """Sign of the linear interpolation through ``(x_left, y_left)`` and
+    ``(x_right, y_right)`` at ``x``, minus ``bound``.
+
+    Requires ``x_right > x_left``; cross-multiplied:
+    ``sign((y_left - b)·(x_right - x_left) + (y_right - y_left)·(x - x_left))``.
+    Used for G-tree entry keys, whose geometry lives in key tuples rather
+    than on segment objects (no per-key coefficient cache).
+    """
+    if not _exact_only:
+        byl = ball(y_left)
+        if byl is not None:
+            bxl = ball(x_left)
+            byr = ball(y_right)
+            bxr = ball(x_right)
+            if bxl is not None and byr is not None and bxr is not None:
+                if xb is None:
+                    xb = ball(x)
+                if xb is not None:
+                    if bb is None:
+                        bb = ball(bound)
+                    if bb is not None:
+                        fyl, eyl = byl
+                        fxl, exl = bxl
+                        fyr, eyr = byr
+                        fxr, exr = bxr
+                        fx, ex = xb
+                        fb, eb = bb
+                        d1 = fyl - fb
+                        e1 = eyl + eb + abs(d1) * _EPS
+                        w = fxr - fxl
+                        ew = exr + exl + abs(w) * _EPS
+                        t1 = d1 * w
+                        et1 = abs(d1) * ew + abs(w) * e1 + e1 * ew + abs(t1) * _EPS
+                        d2 = fyr - fyl
+                        e2 = eyr + eyl + abs(d2) * _EPS
+                        a = fx - fxl
+                        ea = ex + exl + abs(a) * _EPS
+                        t2 = d2 * a
+                        et2 = abs(d2) * ea + abs(a) * e2 + e2 * ea + abs(t2) * _EPS
+                        v = t1 + t2
+                        err = (et1 + et2 + abs(v) * _EPS) * _SLOP + _TINY
+                        if v > err:
+                            STATS.fast_hits += 1
+                            return 1
+                        if -v > err:
+                            STATS.fast_hits += 1
+                            return -1
+    STATS.exact_fallbacks += 1
+    return _sign(
+        (y_left - bound) * (x_right - x_left) + (y_right - y_left) * (x - x_left)
+    )
+
+
+def compare_slopes(s1, s2) -> int:
+    """Sign of ``slope(s1) - slope(s2)`` for two non-vertical segments:
+    ``sign(dy1·dx2 - dy2·dx1)`` (both runs positive)."""
+    if not _exact_only:
+        fp1 = s1._fp
+        fp2 = s2._fp
+        if fp1 is not None and fp2 is not None:
+            dx1, edx1, dy1, edy1 = fp1[4], fp1[5], fp1[6], fp1[7]
+            dx2, edx2, dy2, edy2 = fp2[4], fp2[5], fp2[6], fp2[7]
+            t1 = dy1 * dx2
+            et1 = abs(dy1) * edx2 + abs(dx2) * edy1 + edy1 * edx2 + abs(t1) * _EPS
+            t2 = dy2 * dx1
+            et2 = abs(dy2) * edx1 + abs(dx1) * edy2 + edy2 * edx1 + abs(t2) * _EPS
+            v = t1 - t2
+            err = (et1 + et2 + abs(v) * _EPS) * _SLOP + _TINY
+            if v > err:
+                STATS.fast_hits += 1
+                return 1
+            if -v > err:
+                STATS.fast_hits += 1
+                return -1
+    STATS.exact_fallbacks += 1
+    return _sign(
+        (s1.end.y - s1.start.y) * (s2.end.x - s2.start.x)
+        - (s2.end.y - s2.start.y) * (s1.end.x - s1.start.x)
+    )

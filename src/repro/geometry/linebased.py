@@ -21,6 +21,7 @@ import math
 from fractions import Fraction
 from typing import Hashable, Optional, Tuple
 
+from .filtered import ball, compare_u_at, lb_fp
 from .point import Coordinate, check_coordinate
 
 
@@ -36,7 +37,7 @@ class LineBasedSegment:
     not frame images.
     """
 
-    __slots__ = ("u0", "u1", "h1", "payload", "label")
+    __slots__ = ("u0", "u1", "h1", "payload", "label", "_fp", "_bkey")
 
     def __init__(
         self,
@@ -55,6 +56,10 @@ class LineBasedSegment:
             raise ValueError("degenerate line-based segment (a point)")
         self.payload = payload
         self.label = label if label is not None else (self.u0, self.u1, self.h1)
+        # Float coefficients for the filtered fast path and the lazily
+        # computed base-order key (hot in PST sorts and witness pruning).
+        self._fp = lb_fp(self.u0, self.u1, self.h1)
+        self._bkey: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # geometry
@@ -73,6 +78,10 @@ class LineBasedSegment:
             raise ValueError("u_at is undefined for a segment on the base line")
         if not (0 <= h <= self.h1):
             raise ValueError(f"height {h} outside [0, {self.h1}]")
+        return self.u_at_unchecked(h)
+
+    def u_at_unchecked(self, h: Coordinate) -> Fraction:
+        """:meth:`u_at` without the base-line/range validation (inner loops)."""
         return self.u0 + Fraction(self.u1 - self.u0) * Fraction(h, self.h1)
 
     def base_order_key(self) -> Tuple:
@@ -81,12 +90,18 @@ class LineBasedSegment:
         Segments in a PST node are "ordered with respect to their
         intersections with the base line"; segments sharing a base point are
         tie-broken by their direction (touching is allowed, crossing is not,
-        so the angular order is consistent at every height).
+        so the angular order is consistent at every height).  Computed once
+        and cached (the PST consults it on every witness-pruning step).
         """
-        if self.on_base_line:
-            direction = math.inf if self.u1 > self.u0 else -math.inf
-            return (min(self.u0, self.u1), direction)
-        return (self.u0, Fraction(self.u1 - self.u0, self.h1))
+        key = self._bkey
+        if key is None:
+            if self.on_base_line:
+                direction = math.inf if self.u1 > self.u0 else -math.inf
+                key = (min(self.u0, self.u1), direction)
+            else:
+                key = (self.u0, Fraction(self.u1 - self.u0, self.h1))
+            self._bkey = key
+        return key
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, LineBasedSegment):
@@ -115,7 +130,7 @@ class HQuery:
     means unbounded (ray or full line).
     """
 
-    __slots__ = ("h", "ulo", "uhi")
+    __slots__ = ("h", "ulo", "uhi", "_balls")
 
     def __init__(
         self,
@@ -132,6 +147,20 @@ class HQuery:
         self.uhi = check_coordinate(uhi) if uhi is not None else None
         if self.ulo is not None and self.uhi is not None and self.ulo > self.uhi:
             raise ValueError(f"empty query: ulo={ulo} > uhi={uhi}")
+        self._balls = None
+
+    def balls(self) -> Tuple:
+        """Cached ``(h, ulo, uhi)`` :func:`~repro.geometry.filtered.ball`\\ s
+        for the filtered classification kernels (``None`` for absent ends)."""
+        cached = self._balls
+        if cached is None:
+            cached = (
+                ball(self.h),
+                ball(self.ulo) if self.ulo is not None else None,
+                ball(self.uhi) if self.uhi is not None else None,
+            )
+            self._balls = cached
+        return cached
 
     @classmethod
     def line(cls, h: Coordinate) -> "HQuery":
@@ -169,7 +198,12 @@ def lb_intersects(segment: LineBasedSegment, query: HQuery) -> bool:
         )
     if query.h > segment.h1:
         return False
-    return query.covers_u(segment.u_at(query.h))
+    hb, lob, hib = query.balls()
+    if query.ulo is not None and compare_u_at(segment, query.h, query.ulo, hb, lob) < 0:
+        return False
+    if query.uhi is not None and compare_u_at(segment, query.h, query.uhi, hb, hib) > 0:
+        return False
+    return True
 
 
 def lb_cross(s1: LineBasedSegment, s2: LineBasedSegment) -> bool:

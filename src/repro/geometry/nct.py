@@ -20,6 +20,7 @@ import bisect
 from fractions import Fraction
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from .filtered import ball, compare_slopes, compare_y_at, compare_y_at_pair
 from .predicates import segments_cross
 from .segment import Segment
 
@@ -102,37 +103,70 @@ class _SweepStatus:
     """Status list for the non-vertical sweep, ordered by y at the sweep x.
 
     Ties (segments through the event point) are broken by slope, which is the
-    order the segments assume immediately to the right of the event.
+    order the segments assume immediately to the right of the event.  The
+    order is decided by sign comparisons through the filtered kernels of
+    :mod:`repro.geometry.filtered` — exact, but skipping the per-probe
+    ``Fraction`` slope/ordinate construction away from degeneracies.
     """
 
     def __init__(self):
         self._items: List[Segment] = []
         self._x: Fraction = Fraction(0)
+        self._xb = None  # ball of the sweep x, shared by every comparison
 
     def set_x(self, x) -> None:
         self._x = x
+        self._xb = ball(x)
 
-    def _key(self, s: Segment) -> Tuple:
-        x = self._x
+    def _clamped_x(self, s: Segment):
         # Clamp: a segment in the status always spans the sweep line, but the
         # event point may sit exactly on its endpoint.
-        x = min(max(x, s.xmin), s.xmax)
-        slope = Fraction(s.end.y - s.start.y, s.end.x - s.start.x)
-        return (s.y_at(x), slope)
+        x = self._x
+        if x < s.xmin:
+            return s.xmin
+        if x > s.xmax:
+            return s.xmax
+        return x
+
+    def _cmp(self, a: Segment, b: Segment) -> int:
+        """Sign of key(a) - key(b): ordinate at the sweep line, then slope."""
+        if a is b:
+            return 0
+        xa = self._clamped_x(a)
+        xb = self._clamped_x(b)
+        if xa == xb:
+            c = compare_y_at_pair(a, b, xa, self._xb if xa is self._x else None)
+        else:  # pragma: no cover - status members always span the sweep line
+            ya = a.y_at_unchecked(xa)
+            yb = b.y_at_unchecked(xb)
+            c = (ya > yb) - (ya < yb)
+        if c:
+            return c
+        return compare_slopes(a, b)
+
+    def _search_left(self, s: Segment) -> int:
+        """First position whose item does not order strictly before ``s``.
+
+        ``_cmp(item, s)`` is monotone along the status, so bisecting the
+        sign sequence against 0 finds the boundary (the ``key=`` form
+        needs Python 3.10+).
+        """
+        return bisect.bisect_left(self._items, 0, key=lambda item: self._cmp(item, s))
 
     def insert(self, s: Segment) -> int:
-        pos = bisect.bisect_left(self._items, self._key(s), key=self._key)
+        pos = self._search_left(s)
         self._items.insert(pos, s)
         return pos
 
     def remove(self, s: Segment) -> int:
-        pos = bisect.bisect_left(self._items, self._key(s), key=self._key)
+        pos = self._search_left(s)
         # Scan the tie run for the exact object (labels may repeat keys).
         for i in range(pos, len(self._items)):
-            if self._items[i] is s:
+            item = self._items[i]
+            if item is s:
                 del self._items[i]
                 return i
-            if self._key(self._items[i]) > self._key(s):
+            if self._cmp(item, s) > 0:
                 break
         # Fallback: linear scan (defensive; keys should always match).
         for i, item in enumerate(self._items):  # pragma: no cover
@@ -149,10 +183,17 @@ class _SweepStatus:
 
     def run_through_y(self, y) -> List[Segment]:
         """All status segments whose y at the sweep x equals ``y``."""
-        lo = bisect.bisect_left(self._items, (y,), key=lambda s: (self._key(s)[0],))
+        yb = ball(y)
+
+        def cmp_y(s: Segment) -> int:
+            x = self._clamped_x(s)
+            return compare_y_at(s, x, y, self._xb if x is self._x else None, yb)
+
+        items = self._items
+        lo = bisect.bisect_left(items, 0, key=cmp_y)
         run = []
-        for s in self._items[lo:]:
-            if self._key(s)[0] != y:
+        for s in items[lo:]:
+            if cmp_y(s) != 0:
                 break
             run.append(s)
         return run

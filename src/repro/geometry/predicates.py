@@ -1,7 +1,8 @@
 """Exact geometric predicates.
 
-All predicates are exact: coordinates are rationals, so every sign test is
-decided correctly.  The central distinction in this library is between
+All predicates are exact: every sign test is decided correctly (via the
+filtered kernel of :mod:`repro.geometry.filtered` — a certified float
+fast path with an exact rational fallback).  The central distinction in this library is between
 *touching* (allowed in an NCT set) and *crossing* (forbidden):
 
 * two segments **touch** when their intersection is a single point that is
@@ -14,6 +15,7 @@ decided correctly.  The central distinction in this library is between
 
 from __future__ import annotations
 
+from .filtered import sign_orientation
 from .point import Point
 from .segment import Segment
 
@@ -24,12 +26,7 @@ def orientation(a: Point, b: Point, c: Point) -> int:
     Returns ``1`` for a counter-clockwise turn, ``-1`` for clockwise, and
     ``0`` for collinear points.
     """
-    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
-    if cross > 0:
-        return 1
-    if cross < 0:
-        return -1
-    return 0
+    return sign_orientation(a.x, a.y, b.x, b.y, c.x, c.y)
 
 
 def on_segment(p: Point, s: Segment) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
+from .filtered import ball, compare_y_at
 from .point import Coordinate, check_coordinate
 from .segment import Segment
 
@@ -23,7 +24,7 @@ class VerticalQuery:
     A full line has both ends unbounded; a ray exactly one.
     """
 
-    __slots__ = ("x", "ylo", "yhi")
+    __slots__ = ("x", "ylo", "yhi", "_balls")
 
     def __init__(
         self,
@@ -36,6 +37,20 @@ class VerticalQuery:
         self.yhi = check_coordinate(yhi) if yhi is not None else None
         if self.ylo is not None and self.yhi is not None and self.ylo > self.yhi:
             raise ValueError(f"empty query: ylo={ylo} > yhi={yhi}")
+        self._balls = None
+
+    def balls(self):
+        """Cached ``(x, ylo, yhi)`` :func:`~repro.geometry.filtered.ball`\\ s
+        for the filtered comparison kernels (``None`` for absent ends)."""
+        cached = self._balls
+        if cached is None:
+            cached = (
+                ball(self.x),
+                ball(self.ylo) if self.ylo is not None else None,
+                ball(self.yhi) if self.yhi is not None else None,
+            )
+            self._balls = cached
+        return cached
 
     # ------------------------------------------------------------------
     # constructors for the three query kinds
@@ -119,8 +134,12 @@ def vs_intersects(segment: Segment, query: VerticalQuery) -> bool:
         return False
     if segment.is_vertical:
         return query.y_interval_overlaps(segment.ymin, segment.ymax)
-    y = segment.y_at(x0)
-    return query.covers_y(y)
+    xb, lob, hib = query.balls()
+    if query.ylo is not None and compare_y_at(segment, x0, query.ylo, xb, lob) < 0:
+        return False
+    if query.yhi is not None and compare_y_at(segment, x0, query.yhi, xb, hib) > 0:
+        return False
+    return True
 
 
 def query_as_segment(query: VerticalQuery, ybound: Coordinate) -> Segment:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Hashable, Optional
 
+from .filtered import segment_fp
 from .point import Coordinate, Point
 
 
@@ -28,7 +29,7 @@ class Segment:
         distinct.
     """
 
-    __slots__ = ("start", "end", "label")
+    __slots__ = ("start", "end", "label", "_fp")
 
     def __init__(self, p: Point, q: Point, label: Optional[Hashable] = None):
         if p == q:
@@ -38,6 +39,9 @@ class Segment:
         self.start = p
         self.end = q
         self.label = label if label is not None else (p.as_tuple(), q.as_tuple())
+        # Float coefficients (+ error radii) for the filtered-arithmetic
+        # fast path; None disables it for this segment (exact still works).
+        self._fp = segment_fp(p.x, p.y, q.x, q.y)
 
     # ------------------------------------------------------------------
     # constructors
@@ -88,6 +92,14 @@ class Segment:
             raise ValueError("y_at is undefined for a vertical segment")
         if not (self.xmin <= x <= self.xmax):
             raise ValueError(f"x={x} outside segment x-range [{self.xmin}, {self.xmax}]")
+        return self.y_at_unchecked(x)
+
+    def y_at_unchecked(self, x: Coordinate) -> Fraction:
+        """:meth:`y_at` without the vertical/range validation.
+
+        For index inner loops whose invariants already guarantee a
+        non-vertical segment spanning ``x``.
+        """
         dx = self.end.x - self.start.x
         return self.start.y + Fraction(self.end.y - self.start.y) * Fraction(
             x - self.start.x, dx

@@ -1,0 +1,280 @@
+"""The filtered arithmetic kernel vs the exact ``Fraction`` oracle.
+
+Every kernel must return the exact sign on every input — the float fast
+path is only allowed to *certify* signs, never to change them.  The
+hypothesis strategies deliberately include adversarial inputs: collinear
+triples, shared endpoints, huge numerators, and denominators near 2**53
+where double rounding actually flips naive float comparisons.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import LineBasedSegment, Segment
+from repro.geometry.filtered import (
+    STATS,
+    ball,
+    compare_interp,
+    compare_slopes,
+    compare_u_at,
+    compare_y_at,
+    compare_y_at_pair,
+    exact_only_enabled,
+    filter_stats,
+    reset_filter_stats,
+    set_exact_only,
+    sign_orientation,
+)
+
+
+def exact_sign(value) -> int:
+    return (value > 0) - (value < 0)
+
+
+@pytest.fixture(autouse=True)
+def _filter_on():
+    # These tests exercise the fast path deliberately; pin the mode so a
+    # REPRO_EXACT_ONLY=1 environment (the exact-only CI job) doesn't
+    # invalidate the stats assertions, and restore it afterwards.
+    prev = exact_only_enabled()
+    set_exact_only(False)
+    yield
+    set_exact_only(prev)
+
+
+# Coordinates that stress the filter: small ints (fast path trivially
+# certifies), huge ints (beyond 2**53: float conversion is lossy), and
+# fractions whose denominators sit near the double mantissa limit.
+small = st.integers(-100, 100)
+huge = st.integers(-(2 ** 70), 2 ** 70)
+near_mantissa = st.builds(
+    Fraction,
+    st.integers(-(2 ** 60), 2 ** 60),
+    st.integers(2 ** 52, 2 ** 53 + 3),
+)
+coords = st.one_of(small, huge, near_mantissa)
+
+
+@st.composite
+def plane_segment(draw):
+    x1 = draw(coords)
+    x2 = draw(coords)
+    if x1 == x2:
+        x2 = x1 + 1
+    return Segment.from_coords(x1, draw(coords), x2, draw(coords))
+
+
+@st.composite
+def lb_segment(draw):
+    h1 = draw(coords)
+    if h1 <= 0:
+        h1 = 1 - h1
+    return LineBasedSegment(draw(coords), draw(coords), h1)
+
+
+def x_inside(draw, segment):
+    """A query abscissa within the segment's x-span (mix of endpoints,
+    midpoint, and arbitrary rationals clamped into range)."""
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return segment.xmin
+    if choice == 1:
+        return segment.xmax
+    if choice == 2:
+        return (segment.xmin + segment.xmax) / Fraction(2)
+    t = Fraction(draw(st.integers(0, 1000)), 1000)
+    return segment.xmin + (segment.xmax - segment.xmin) * t
+
+
+class TestSignOrientation:
+    @given(st.tuples(coords, coords, coords, coords, coords, coords))
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, pts):
+        ax, ay, bx, by, cx, cy = pts
+        expected = exact_sign((bx - ax) * (cy - ay) - (by - ay) * (cx - ax))
+        assert sign_orientation(ax, ay, bx, by, cx, cy) == expected
+
+    @given(coords, coords, coords, coords, st.integers(-5, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_collinear_triples_give_zero(self, ax, ay, dx, dy, k):
+        # c = a + k * (b - a): exactly collinear, the hardest case for a
+        # float filter (the true value is 0, so it must always fall back).
+        bx, by = ax + dx, ay + dy
+        cx, cy = ax + k * dx, ay + k * dy
+        assert sign_orientation(ax, ay, bx, by, cx, cy) == 0
+
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=200, deadline=None)
+    def test_shared_endpoint_antisymmetry(self, ax, ay, bx, by, cx, cy):
+        assert sign_orientation(ax, ay, bx, by, cx, cy) == -sign_orientation(
+            ax, ay, cx, cy, bx, by
+        )
+
+
+class TestCompareYAt:
+    @given(st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, data):
+        s = data.draw(plane_segment())
+        x = x_inside(data.draw, s)
+        bound = data.draw(coords)
+        assert compare_y_at(s, x, bound) == exact_sign(s.y_at(x) - bound)
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_bound_on_segment_gives_zero(self, data):
+        # Forced sign-0: the bound IS the exact ordinate.
+        s = data.draw(plane_segment())
+        x = x_inside(data.draw, s)
+        assert compare_y_at(s, x, s.y_at(x)) == 0
+
+
+class TestCompareYAtPair:
+    @given(st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, data):
+        s1 = data.draw(plane_segment())
+        s2 = data.draw(plane_segment())
+        lo = max(s1.xmin, s2.xmin)
+        hi = min(s1.xmax, s2.xmax)
+        if lo > hi:
+            # Force an overlap by re-rooting s2 at s1's span.
+            s2 = Segment.from_coords(s1.xmin, s2.start.y, s1.xmax, s2.end.y)
+            lo, hi = s1.xmin, s1.xmax
+        t = Fraction(data.draw(st.integers(0, 1000)), 1000)
+        x = lo + (hi - lo) * t
+        expected = exact_sign(s1.y_at(x) - s2.y_at(x))
+        assert compare_y_at_pair(s1, s2, x) == expected
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_shared_endpoint_gives_zero(self, data):
+        # Two segments fanning out of one point: equal ordinates there.
+        px, py = data.draw(coords), data.draw(coords)
+        d1, d2 = data.draw(st.integers(1, 50)), data.draw(st.integers(1, 50))
+        s1 = Segment.from_coords(px, py, px + d1, data.draw(coords))
+        s2 = Segment.from_coords(px, py, px + d2, data.draw(coords))
+        assert compare_y_at_pair(s1, s2, px) == 0
+
+
+class TestCompareUAt:
+    @given(st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, data):
+        s = data.draw(lb_segment())
+        t = Fraction(data.draw(st.integers(0, 1000)), 1000)
+        h = s.h1 * t
+        bound = data.draw(coords)
+        assert compare_u_at(s, h, bound) == exact_sign(s.u_at(h) - bound)
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_bound_on_segment_gives_zero(self, data):
+        s = data.draw(lb_segment())
+        t = Fraction(data.draw(st.integers(0, 1000)), 1000)
+        h = s.h1 * t
+        assert compare_u_at(s, h, s.u_at(h)) == 0
+
+
+class TestCompareInterp:
+    @given(st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, data):
+        xl = data.draw(coords)
+        xr = data.draw(coords)
+        if xl == xr:
+            xr = xl + 1
+        if xl > xr:
+            xl, xr = xr, xl
+        yl, yr = data.draw(coords), data.draw(coords)
+        t = Fraction(data.draw(st.integers(0, 1000)), 1000)
+        x = xl + (xr - xl) * t
+        bound = data.draw(coords)
+        y = yl + Fraction(yr - yl) * Fraction(x - xl, xr - xl)
+        assert compare_interp(yl, xl, yr, xr, x, bound) == exact_sign(y - bound)
+
+
+class TestCompareSlopes:
+    @given(st.data())
+    @settings(max_examples=400, deadline=None)
+    def test_matches_oracle(self, data):
+        s1 = data.draw(plane_segment())
+        s2 = data.draw(plane_segment())
+        slope1 = Fraction(s1.end.y - s1.start.y, s1.end.x - s1.start.x)
+        slope2 = Fraction(s2.end.y - s2.start.y, s2.end.x - s2.start.x)
+        assert compare_slopes(s1, s2) == exact_sign(slope1 - slope2)
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_parallel_gives_zero(self, data):
+        s1 = data.draw(plane_segment())
+        shift = data.draw(coords)
+        s2 = Segment.from_coords(
+            s1.start.x, s1.start.y + shift, s1.end.x, s1.end.y + shift
+        )
+        assert compare_slopes(s1, s2) == 0
+
+
+class TestBall:
+    @given(coords)
+    @settings(max_examples=500, deadline=None)
+    def test_radius_bounds_conversion_error(self, value):
+        got = ball(value)
+        if got is None:
+            return  # no finite double approximation: fast path disabled
+        v, radius = got
+        assert abs(Fraction(v) - Fraction(value)) <= Fraction(radius)
+
+    @given(st.integers(-(2 ** 53), 2 ** 53))
+    @settings(max_examples=200, deadline=None)
+    def test_small_ints_are_exact(self, value):
+        v, radius = ball(value)
+        assert radius == 0.0
+        assert Fraction(v) == value
+
+    def test_overflow_returns_none(self):
+        assert ball(10 ** 400) is None
+        assert ball(Fraction(10 ** 400, 3)) is None
+
+
+class TestModeAndStats:
+    def test_exact_only_same_signs(self):
+        cases = [
+            (Segment.from_coords(0, 0, 7, 13), Fraction(22, 7), Fraction(5, 3)),
+            (Segment.from_coords(-(2 ** 60), 1, 2 ** 60, 2), 12345, 1),
+        ]
+        assert not exact_only_enabled()
+        fast = [compare_y_at(s, x, b) for s, x, b in cases]
+        set_exact_only(True)
+        try:
+            assert exact_only_enabled()
+            assert [compare_y_at(s, x, b) for s, x, b in cases] == fast
+        finally:
+            set_exact_only(False)
+
+    def test_stats_count_decisions(self):
+        reset_filter_stats()
+        s = Segment.from_coords(0, 0, 10, 10)
+        assert compare_y_at(s, 5, 3) == 1  # clear separation: fast hit
+        assert compare_y_at(s, 5, 5) == 0  # exact tie: must fall back
+        assert STATS.fast_hits == 1
+        assert STATS.exact_fallbacks == 1
+        assert STATS.hit_rate == pytest.approx(0.5)
+        snap = filter_stats()
+        assert snap["fast_hits"] == 1
+        assert snap["exact_fallbacks"] == 1
+        assert snap["exact_only"] is False
+
+    def test_exact_only_counts_everything_as_fallback(self):
+        reset_filter_stats()
+        s = Segment.from_coords(0, 0, 10, 10)
+        set_exact_only(True)
+        try:
+            assert compare_y_at(s, 5, 3) == 1
+        finally:
+            set_exact_only(False)
+        assert STATS.fast_hits == 0
+        assert STATS.exact_fallbacks == 1

@@ -1,0 +1,101 @@
+"""Filtered vs exact-only arithmetic: bit-identical behaviour everywhere.
+
+The float fast path only returns *certified* signs, so switching it off
+must not change a single comparison outcome — which means every engine
+must report the same segments AND touch exactly the same simulated
+blocks in the same order.  This is the acceptance criterion of the
+filter design (DESIGN.md §9): any divergence here means an error bound
+is wrong.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import SegmentDatabase, Segment
+from repro.geometry import exact_only_enabled, reset_filter_stats, set_exact_only
+from repro.geometry.filtered import STATS
+from repro.workloads import grid_segments, grid_segments_touching, mixed_queries
+
+ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+
+
+@pytest.fixture(autouse=True)
+def _restore_filter_mode():
+    prev = exact_only_enabled()
+    yield
+    set_exact_only(prev)
+
+
+def run_workload(segments, queries, engine, exact_only):
+    set_exact_only(exact_only)
+    db = SegmentDatabase.bulk_load(segments, engine=engine, block_capacity=16)
+    outcomes = []
+    for q in queries:
+        before = db.io_stats()
+        hits = db.query(q)
+        diff = db.io_stats() - before
+        outcomes.append(
+            (sorted((s.label for s in hits), key=str), diff.reads, diff.writes)
+        )
+    batch = db.query_batch(queries)
+    outcomes.append(
+        [sorted((s.label for s in r), key=str) for r in batch]
+    )
+    outcomes.append(db.io_stats().to_dict())
+    return outcomes
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_identical_results_and_ios(engine):
+    segments = grid_segments(350, seed=201)
+    queries = mixed_queries(segments, 20, selectivity=0.05, seed=202)
+    filtered = run_workload(segments, queries, engine, exact_only=False)
+    exact = run_workload(segments, queries, engine, exact_only=True)
+    assert filtered == exact
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+def test_identical_on_touching_degeneracies(engine):
+    # Shared endpoints and T-junctions force exact sign-0 decisions: the
+    # dangerous regime for a filter.
+    segments = grid_segments_touching(350, seed=203)
+    queries = mixed_queries(segments, 20, selectivity=0.05, seed=204)
+    filtered = run_workload(segments, queries, engine, exact_only=False)
+    exact = run_workload(segments, queries, engine, exact_only=True)
+    assert filtered == exact
+
+
+def test_identical_with_fractional_coordinates():
+    # Denominators near 2**53: double conversion is lossy, so only the
+    # certified subset of comparisons may take the fast path.
+    base = grid_segments(200, seed=205)
+    segments = [
+        Segment.from_coords(
+            s.start.x + Fraction(1, 2 ** 53 - 1),
+            s.start.y,
+            s.end.x + Fraction(1, 2 ** 53 - 1),
+            s.end.y + Fraction(1, 3),
+            label=s.label,
+        )
+        for s in base
+    ]
+    queries = mixed_queries(segments, 15, selectivity=0.05, seed=206)
+    for engine in ("solution1", "solution2"):
+        filtered = run_workload(segments, queries, engine, exact_only=False)
+        exact = run_workload(segments, queries, engine, exact_only=True)
+        assert filtered == exact, engine
+
+
+def test_fast_path_actually_used():
+    # Guard against a silently disabled filter: an integer workload must
+    # certify the overwhelming majority of its comparisons.
+    segments = grid_segments(350, seed=207)
+    queries = mixed_queries(segments, 20, selectivity=0.05, seed=208)
+    set_exact_only(False)
+    reset_filter_stats()
+    db = SegmentDatabase.bulk_load(segments, engine="solution2", block_capacity=16)
+    for q in queries:
+        db.query(q)
+    assert STATS.total > 0
+    assert STATS.hit_rate > 0.5

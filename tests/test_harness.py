@@ -65,8 +65,35 @@ def test_build_engine_with_buffer_pages():
 
 def test_write_perf_json(tmp_path):
     path = str(tmp_path / "BENCH_perf.json")
-    payload = {"experiment": "E15", "engines": {"scan": {"hit_rate": 0.5}}}
-    written = write_perf_json(payload, path=path)
+    payload = {"engines": {"scan": {"hit_rate": 0.5}}}
+    written = write_perf_json("E15", payload, path=path)
     assert written == path
     with open(path) as fh:
-        assert json.load(fh) == payload
+        data = json.load(fh)
+    assert data["schema_version"] == 2
+    assert data["generated_by"] == "E15"
+    assert data["commit"]
+    assert data["experiments"]["E15"] == payload
+
+
+def test_write_perf_json_merges_experiments(tmp_path):
+    path = str(tmp_path / "BENCH_perf.json")
+    write_perf_json("E15", {"n": 1024}, path=path)
+    write_perf_json("E16", {"n": 4096}, path=path)
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["experiments"] == {"E15": {"n": 1024}, "E16": {"n": 4096}}
+    assert data["generated_by"] == "E16"
+
+
+def test_write_perf_json_migrates_legacy_schema(tmp_path):
+    path = str(tmp_path / "BENCH_perf.json")
+    legacy = {"experiment": "E15", "n": 512, "engines": {"scan": {}}}
+    with open(path, "w") as fh:
+        json.dump(legacy, fh)
+    write_perf_json("E16", {"n": 4096}, path=path)
+    with open(path) as fh:
+        data = json.load(fh)
+    assert data["schema_version"] == 2
+    assert data["experiments"]["E15"] == {"n": 512, "engines": {"scan": {}}}
+    assert data["experiments"]["E16"] == {"n": 4096}
