@@ -25,7 +25,13 @@ from repro.baselines import FullScanIndex, GridIndex, RTreeIndex, StabFilterInde
 from repro.core.solution1 import TwoLevelBinaryIndex
 from repro.core.solution2 import TwoLevelIntervalIndex
 from repro.geometry import VerticalQuery
-from repro.iosim import BlockDevice, LRUBufferPool, Measurement, Pager
+from repro.iosim import (
+    BlockDevice,
+    FaultyBlockDevice,
+    LRUBufferPool,
+    Measurement,
+    Pager,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: The perf-trajectory artifact lives at the repo root so successive PRs
@@ -46,17 +52,31 @@ ENGINE_BUILDERS: Dict[str, Callable] = {
 
 
 def build_engine(name: str, segments, block_capacity: int,
-                 buffer_pages: Optional[int] = None):
+                 buffer_pages: Optional[int] = None,
+                 faults=None, retry=None):
     """(device, pager, index) for one engine over a fresh device.
 
     With ``buffer_pages`` an LRU pool sits between the pager and the
     device (the device's counters then see only real block transfers);
     the pool is reachable as ``pager.device``.
+
+    A ``faults`` schedule (and optional ``retry`` policy) swaps in a
+    checksumming :class:`~repro.iosim.faults.FaultyBlockDevice`, so any
+    benchmark can be re-run under fault injection; the schedule is
+    disarmed during the build so faults target the measured workload.
     """
-    device = BlockDevice(block_capacity)
+    if faults is not None or retry is not None:
+        device = FaultyBlockDevice(block_capacity, schedule=faults, retry=retry)
+    else:
+        device = BlockDevice(block_capacity)
     pool = LRUBufferPool(device, buffer_pages) if buffer_pages else None
     pager = Pager(pool or device)
-    index = ENGINE_BUILDERS[name](pager, segments)
+    disarm = faults.disarmed() if faults is not None else None
+    if disarm is not None:
+        with disarm:
+            index = ENGINE_BUILDERS[name](pager, segments)
+    else:
+        index = ENGINE_BUILDERS[name](pager, segments)
     device.reset_counters()
     if pool is not None:
         pool.hits = pool.misses = 0

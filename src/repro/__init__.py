@@ -21,6 +21,7 @@ reproduction of every complexity claim.
 from .core.api import DirectedSegmentDatabase, ENGINES, SegmentDatabase
 from .core.extensions import ArbitraryQueryIndex, TombstoneDeletions
 from .core.linebased import BlockedPST, ExternalPST, LineBasedIndex
+from .core.recovery import DegradedResult, FsckReport
 from .core.solution1 import TwoLevelBinaryIndex
 from .core.solution2 import TwoLevelIntervalIndex
 from .geometry import (
@@ -33,7 +34,20 @@ from .geometry import (
     validate_nct,
     vs_intersects,
 )
-from .iosim import BlockDevice, IOStats, LRUBufferPool, Measurement, Pager
+from .iosim import (
+    BlockDevice,
+    ChecksumError,
+    FaultSchedule,
+    FaultyBlockDevice,
+    IOStats,
+    LRUBufferPool,
+    Measurement,
+    Pager,
+    RecoveryPendingError,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientIOError,
+)
 from .telemetry import ExplainReport, MetricsRegistry, TraceContext
 
 __version__ = "1.0.0"
@@ -42,11 +56,16 @@ __all__ = [
     "ArbitraryQueryIndex",
     "BlockDevice",
     "BlockedPST",
+    "ChecksumError",
     "CrossingError",
+    "DegradedResult",
     "DirectedSegmentDatabase",
     "ENGINES",
     "ExplainReport",
     "ExternalPST",
+    "FaultSchedule",
+    "FaultyBlockDevice",
+    "FsckReport",
     "HQuery",
     "IOStats",
     "LRUBufferPool",
@@ -55,7 +74,11 @@ __all__ = [
     "Measurement",
     "MetricsRegistry",
     "Pager",
+    "RecoveryPendingError",
+    "RetryPolicy",
+    "SimulatedCrash",
     "TraceContext",
+    "TransientIOError",
     "Point",
     "Segment",
     "SegmentDatabase",

@@ -18,6 +18,19 @@ Commands
                     ``--batch-size K``, ``--seed S``; ``--json`` for the
                     structured summary)
 ``validate FILE``   check a segment file for NCT violations
+``chaos [FILE]``    run a fault-injection suite: for each seed, replay a
+                    query/insert workload on a faulty device next to a
+                    clean twin and fail on any silently wrong answer
+                    (``--seeds N``, ``--seed S``, ``--count N`` queries,
+                    ``--updates N`` inserts, ``--read-err R``,
+                    ``--corrupt-rate R``, ``--torn R``, ``--retries K``,
+                    ``--dump-schedule PATH`` to save the injected-fault
+                    log, ``--json``); without FILE a generated workload
+                    is used
+``fsck [FILE]``     build an index, optionally apply ``--updates N``
+                    random inserts and corrupt ``--corrupt-pages K``
+                    pages, then run the integrity checker (checksum scan
+                    + deep structural verify); exits nonzero on damage
 ``version``         print the library version
 
 ``query``, ``query-batch`` and ``explain`` accept ``--engine NAME``
@@ -54,23 +67,33 @@ def _coord(token: str):
     return int(token)
 
 
+_INT_FLAGS = ("--buffer", "--block", "--batch-size", "--count", "--seed",
+              "--seeds", "--updates", "--corrupt-pages", "--retries")
+_FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn")
+_STR_FLAGS = ("--engine", "--dump-schedule")
+
+
 def _pop_flags(args):
     """Split ``args`` into positional tokens and recognised ``--`` flags."""
     positional = []
     flags = {"engine": "solution2", "buffer": None, "block": 64, "json": False,
-             "batch-size": None, "count": 64, "seed": 0}
+             "batch-size": None, "count": 64, "seed": 0,
+             "seeds": 5, "updates": 0, "corrupt-pages": 0, "retries": 3,
+             "read-err": 0.0, "corrupt-rate": 0.0, "torn": 0.0,
+             "dump-schedule": None}
     i = 0
     while i < len(args):
         token = args[i]
         if token == "--json":
             flags["json"] = True
-        elif token in ("--engine", "--buffer", "--block",
-                       "--batch-size", "--count", "--seed"):
+        elif token in _INT_FLAGS + _FLOAT_FLAGS + _STR_FLAGS:
             if i + 1 >= len(args):
                 raise ValueError(f"{token} needs a value")
             value = args[i + 1]
-            if token == "--engine":
-                flags["engine"] = value
+            if token in _STR_FLAGS:
+                flags[token[2:]] = value
+            elif token in _FLOAT_FLAGS:
+                flags[token[2:]] = float(value)
             else:
                 flags[token[2:]] = int(value)
             i += 1
@@ -241,6 +264,187 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _workload_segments(positional, flags):
+    """Segments for the robustness commands: FILE if given, else generated."""
+    if positional:
+        from repro.workloads.files import load
+
+        return load(positional[0])
+    from repro.workloads.nct_random import grid_segments
+
+    return grid_segments(300, seed=flags["seed"])
+
+
+def _fresh_segments(n: int, seed: int):
+    """Disjoint insert fodder placed away from the generated base grid."""
+    from repro.workloads.nct_random import grid_segments
+    from repro import Segment
+
+    out = []
+    for i, s in enumerate(grid_segments(n, seed=seed)):
+        out.append(Segment.from_coords(
+            s.start.x + 1_000_000, s.start.y,
+            s.end.x + 1_000_000, s.end.y,
+            label=("chaos", seed, i),
+        ))
+    return out
+
+
+def _run_chaos_seed(segments, seed, flags):
+    """One chaos round: faulty device vs clean twin, same workload."""
+    from repro import SegmentDatabase, SimulatedCrash
+    from repro.iosim import FaultSchedule, RetryPolicy, StorageError
+    from repro.workloads.queries import segment_queries
+
+    schedule = FaultSchedule(
+        seed=seed,
+        read_error_rate=flags["read-err"],
+        corrupt_read_rate=flags["corrupt-rate"],
+        torn_write_rate=flags["torn"],
+    )
+    db = SegmentDatabase.bulk_load(
+        segments, engine=flags["engine"], block_capacity=flags["block"],
+        faults=schedule, retry=RetryPolicy(max_retries=flags["retries"]),
+    )
+    twin = SegmentDatabase.bulk_load(
+        segments, engine=flags["engine"], block_capacity=flags["block"],
+    )
+    queries = segment_queries(segments, flags["count"],
+                              selectivity=0.05, seed=seed)
+    inserts = list(_fresh_segments(flags["updates"], seed))
+    every = max(1, len(queries) // max(1, len(inserts))) if inserts else None
+
+    stats = {"seed": seed, "queries": len(queries), "exact": 0, "degraded": 0,
+             "typed_errors": 0, "wrong": 0, "updates_applied": 0,
+             "updates_failed": 0, "crashes_recovered": 0}
+    wrong_queries = []
+    for i, q in enumerate(queries):
+        if every and inserts and i % every == 0:
+            seg = inserts.pop()
+            try:
+                db.insert(seg)
+                twin.insert(seg)
+                stats["updates_applied"] += 1
+            except SimulatedCrash:
+                db.recover()  # index rolls back; the twin never inserted
+                stats["crashes_recovered"] += 1
+            except StorageError:
+                stats["updates_failed"] += 1
+        expected = sorted(str(s.label) for s in twin.query(q))
+        try:
+            result = db.query(q)
+        except StorageError:
+            stats["typed_errors"] += 1  # loud failure: acceptable
+            continue
+        got = sorted(str(s.label) for s in result)
+        if got != expected:
+            stats["wrong"] += 1
+            wrong_queries.append(str(q))
+        elif getattr(result, "degraded", False):
+            stats["degraded"] += 1
+        else:
+            stats["exact"] += 1
+    fsck = db.fsck()
+    stats["fsck_ok"] = fsck.ok
+    stats["fsck_problems"] = len(fsck.problems)
+    stats["faults"] = db.io_report()["faults"]
+    return stats, schedule, wrong_queries
+
+
+def cmd_chaos(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro chaos [FILE] [--seeds N] [--seed S] "
+              "[--count N] [--updates N] [--engine NAME] [--block B] "
+              "[--read-err R] [--corrupt-rate R] [--torn R] [--retries K] "
+              "[--dump-schedule PATH] [--json]", file=sys.stderr)
+        return 2
+    if not (flags["read-err"] or flags["corrupt-rate"] or flags["torn"]):
+        flags["read-err"], flags["corrupt-rate"], flags["torn"] = 0.02, 0.01, 0.02
+    if flags["updates"] == 0:
+        flags["updates"] = 8
+    segments = _workload_segments(positional, flags)
+
+    rounds = []
+    schedules = {}
+    silent_wrong = 0
+    for seed in range(flags["seed"], flags["seed"] + flags["seeds"]):
+        stats, schedule, wrong_queries = _run_chaos_seed(segments, seed, flags)
+        rounds.append(stats)
+        silent_wrong += stats["wrong"]
+        schedules[seed] = {
+            "schedule": schedule.to_dict(),
+            "wrong_queries": wrong_queries,
+            "verdict": "FAIL" if stats["wrong"] else "ok",
+        }
+    if flags["dump-schedule"]:
+        import json
+
+        with open(flags["dump-schedule"], "w") as fh:
+            json.dump({"engine": flags["engine"], "rounds": schedules}, fh,
+                      indent=2, default=str)
+    if flags["json"]:
+        import json
+
+        print(json.dumps({"rounds": rounds, "silent_wrong": silent_wrong},
+                         indent=2))
+    else:
+        for r in rounds:
+            verdict = "FAIL" if r["wrong"] else "ok"
+            print(f"seed {r['seed']:>4}: {verdict}  "
+                  f"{r['exact']} exact, {r['degraded']} degraded, "
+                  f"{r['typed_errors']} typed errors, {r['wrong']} wrong; "
+                  f"{r['updates_applied']} inserts, "
+                  f"{r['crashes_recovered']} crashes recovered, "
+                  f"{r['faults']['faults_injected']} faults injected"
+                  + ("" if r["fsck_ok"]
+                     else f"; fsck: {r['fsck_problems']} problem(s)"))
+        print(f"# never-silently-wrong: "
+              f"{'FAIL' if silent_wrong else 'PASS'} over {len(rounds)} seeds")
+    return 1 if silent_wrong else 0
+
+
+def cmd_fsck(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro fsck [FILE] [--engine NAME] [--block B] "
+              "[--updates N] [--corrupt-pages K] [--seed S] [--json]",
+              file=sys.stderr)
+        return 2
+    import random as _random
+
+    from repro import SegmentDatabase
+    from repro.iosim import FaultSchedule
+
+    segments = _workload_segments(positional, flags)
+    db = SegmentDatabase.bulk_load(
+        segments, engine=flags["engine"], block_capacity=flags["block"],
+        faults=FaultSchedule(seed=flags["seed"]),
+    )
+    for seg in _fresh_segments(flags["updates"], flags["seed"]):
+        db.insert(seg)
+    rng = _random.Random(flags["seed"])
+    live = sorted(p.page_id for p in db.device.iter_pages())
+    for page_id in rng.sample(live, min(flags["corrupt-pages"], len(live))):
+        db.device.corrupt_page(page_id)
+    report = db.fsck()
+    if flags["json"]:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report)
+    return 0 if report.ok else 1
+
+
 def cmd_validate(args) -> int:
     if len(args) != 1:
         print("usage: python -m repro validate FILE", file=sys.stderr)
@@ -280,6 +484,10 @@ def main(argv=None) -> int:
         return cmd_explain(args)
     if command == "validate":
         return cmd_validate(args)
+    if command == "chaos":
+        return cmd_chaos(args)
+    if command == "fsck":
+        return cmd_fsck(args)
     if command == "version":
         from repro import __version__
 

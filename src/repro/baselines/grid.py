@@ -18,7 +18,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..geometry import Segment, VerticalQuery, vs_intersects
-from ..iosim import Pager
+from ..iosim import Pager, StorageError
 from ..storage.chain import PageChain
 
 
@@ -161,6 +161,46 @@ class GridIndex:
 
     def __len__(self) -> int:
         return self.size
+
+    # ------------------------------------------------------------------
+    # verification & recovery support
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Bounds cover every segment; replication and size are consistent."""
+        if self.bounds is None:
+            assert self.size == 0 and not self._chains
+            return
+        stored = 0
+        seen: Dict = {}
+        for cell, chain in self._chains.items():
+            assert 0 <= cell[0] < self.cells and 0 <= cell[1] < self.cells
+            for s in chain:
+                assert self._inside_bounds(s), f"{s!r} escapes grid bounds"
+                assert cell in set(
+                    self._cells_of(s.xmin, s.ymin, s.xmax, s.ymax)
+                ), f"{s!r} stored in wrong cell {cell}"
+                seen[s.label] = s
+                stored += 1
+        assert stored == self.replication, (
+            f"replication stale: {stored} != {self.replication}"
+        )
+        assert len(seen) == self.size, f"size mismatch: {len(seen)} != {self.size}"
+
+    def verify(self) -> List[str]:
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            return [f"grid: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"grid: {type(exc).__name__}: {exc}"]
+        return []
+
+    def snapshot_state(self) -> tuple:
+        return (self.bounds, dict(self._chains), self.size, self.replication)
+
+    def restore_state(self, state: tuple) -> None:
+        self.bounds, chains, self.size, self.replication = state
+        self._chains = dict(chains)
 
     @property
     def replication_factor(self) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..geometry import Segment, VerticalQuery, vs_intersects
-from ..iosim import Pager
+from ..iosim import Pager, StorageError
 from ..storage.chain import PageChain
 
 
@@ -58,3 +58,28 @@ class FullScanIndex:
 
     def __len__(self) -> int:
         return self.size
+
+    # ------------------------------------------------------------------
+    # verification & recovery support
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """The chain's stored count and the index size must agree."""
+        stored = self.chain.count()
+        actual = sum(1 for _ in self.chain)
+        assert stored == actual, f"chain count stale: {stored} != {actual}"
+        assert actual == self.size, f"size mismatch: {actual} != {self.size}"
+
+    def verify(self) -> List[str]:
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            return [f"scan: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"scan: {type(exc).__name__}: {exc}"]
+        return []
+
+    def snapshot_state(self) -> tuple:
+        return (self.size,)
+
+    def restore_state(self, state: tuple) -> None:
+        (self.size,) = state

@@ -261,6 +261,23 @@ class RTreeIndex:
         count = self._check(self.root_pid, None)
         assert count == self.size, f"size mismatch: {count} != {self.size}"
 
+    def verify(self) -> List[str]:
+        from ..iosim import StorageError
+
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            return [f"rtree: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"rtree: {type(exc).__name__}: {exc}"]
+        return []
+
+    def snapshot_state(self) -> tuple:
+        return (self.root_pid, self.size)
+
+    def restore_state(self, state: tuple) -> None:
+        self.root_pid, self.size = state
+
     def _check(self, pid: int, outer: Optional[BBox]) -> int:
         page = self.pager.fetch(pid)
         bbox = self._page_bbox(page)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..geometry import Segment, VerticalQuery, vs_intersects
-from ..iosim import Pager
+from ..iosim import Pager, StorageError
 from ..storage.interval_tree import ExternalIntervalTree
 
 
@@ -64,3 +64,34 @@ class StabFilterIndex:
 
     def __len__(self) -> int:
         return len(self.tree)
+
+    # ------------------------------------------------------------------
+    # verification & recovery support
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Every stored interval is its segment's x-projection; counts agree."""
+        count = 0
+        for lo, hi, s in self.tree.items():
+            assert lo <= hi, f"empty x-projection [{lo}, {hi}]"
+            assert lo == s.xmin and hi == s.xmax, (
+                f"interval [{lo}, {hi}] is not the x-projection of {s!r}"
+            )
+            count += 1
+        assert count == len(self.tree), (
+            f"size mismatch: {count} != {len(self.tree)}"
+        )
+
+    def verify(self) -> List[str]:
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            return [f"stab-filter: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"stab-filter: {type(exc).__name__}: {exc}"]
+        return []
+
+    def snapshot_state(self) -> tuple:
+        return (self.tree.root_pid, self.tree._size)
+
+    def restore_state(self, state: tuple) -> None:
+        self.tree.root_pid, self.tree._size = state

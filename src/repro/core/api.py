@@ -26,6 +26,7 @@ Non-vertical fixed query directions reduce to the vertical case with
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterable, List, Optional, Sequence
 
 from ..baselines.grid import GridIndex
@@ -39,10 +40,25 @@ from ..geometry import (
     Segment,
     VerticalQuery,
     validate_nct,
+    vs_intersects,
 )
 from ..geometry import filtered
-from ..iosim import BlockDevice, IOStats, LRUBufferPool, Pager
+from ..iosim import (
+    BlockDevice,
+    ChecksumError,
+    FaultSchedule,
+    FaultyBlockDevice,
+    IOStats,
+    LRUBufferPool,
+    Pager,
+    RecoveryPendingError,
+    RetryPolicy,
+    SimulatedCrash,
+    StorageError,
+    TransientIOError,
+)
 from ..telemetry import ExplainReport, MetricsRegistry, trace_call
+from .recovery import DegradedResult, FsckReport
 from .solution1.index import TwoLevelBinaryIndex
 from .solution2.index import TwoLevelIntervalIndex
 
@@ -58,11 +74,18 @@ class SegmentDatabase:
         block_capacity: int = 64,
         buffer_pages: Optional[int] = None,
         validate: bool = False,
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+        degrade: bool = True,
     ):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
         self.engine_name = engine
-        self.device = BlockDevice(block_capacity)
+        self.device = (
+            FaultyBlockDevice(block_capacity, schedule=faults, retry=retry)
+            if faults is not None or retry is not None
+            else BlockDevice(block_capacity)
+        )
         self.buffer_pool: Optional[LRUBufferPool] = (
             LRUBufferPool(self.device, buffer_pages)
             if buffer_pages is not None
@@ -70,8 +93,20 @@ class SegmentDatabase:
         )
         self.pager = Pager(self.buffer_pool or self.device)
         self.validate = validate
+        self.degrade = degrade
         self.metrics: Optional[MetricsRegistry] = None
         self._filter_snapshot = filtered.STATS.snapshot()
+        # Under a faulty device (with degradation on) the database keeps an
+        # authoritative in-memory copy of the segment set — standing in for
+        # the base data a production system holds outside the index — so it
+        # can serve exact answers after quarantining a corrupt index.
+        self._fallback: Optional[List[Segment]] = (
+            [] if isinstance(self.device, FaultyBlockDevice) and degrade else None
+        )
+        self._quarantined = False
+        self._quarantine_reason: Optional[str] = None
+        self._degraded_queries = 0
+        self._pre_op_state: Optional[tuple] = None
         self._index = self._build_engine([])
 
     # ------------------------------------------------------------------
@@ -85,23 +120,38 @@ class SegmentDatabase:
         block_capacity: int = 64,
         buffer_pages: Optional[int] = None,
         validate: bool = False,
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+        degrade: bool = True,
     ) -> "SegmentDatabase":
         """Build a database from a full NCT segment set.
 
         With ``validate=True`` the set is checked for crossings first
         (O(N log N) via the plane sweep; raises
         :class:`~repro.geometry.nct.CrossingError`).
+
+        A ``faults`` schedule (and optional ``retry`` policy) puts a
+        :class:`~repro.iosim.faults.FaultyBlockDevice` under the engine;
+        the schedule is disarmed during the build itself so faults
+        target the workload, not the loader.
         """
         db = cls(
             engine=engine,
             block_capacity=block_capacity,
             buffer_pages=buffer_pages,
             validate=validate,
+            faults=faults,
+            retry=retry,
+            degrade=degrade,
         )
         segments = list(segments)
         if validate:
             validate_nct(segments)
-        db._index = db._build_engine(segments)
+        disarm = faults.disarmed() if faults is not None else nullcontext()
+        with disarm:
+            db._index = db._build_engine(segments)
+        if db._fallback is not None:
+            db._fallback = list(segments)
         db.device.reset_counters()
         return db
 
@@ -122,13 +172,27 @@ class SegmentDatabase:
     # queries
     # ------------------------------------------------------------------
     def query(self, q: VerticalQuery) -> List[Segment]:
-        """All stored segments intersecting a generalized vertical segment."""
-        if self.metrics is None:
-            return self._index.query(q)
-        before = self.device.snapshot()
-        out = self._index.query(q)
-        self._record_op("query", self.device.snapshot() - before, len(out))
-        return out
+        """All stored segments intersecting a generalized vertical segment.
+
+        Under a fault schedule the answer is *never silently wrong*: the
+        index either answers exactly (retries absorb transient faults),
+        or the error surfaces, or — with ``degrade=True`` — the query is
+        served exactly from the fallback copy as a typed
+        :class:`~repro.core.recovery.DegradedResult`.
+        """
+        self._check_recovered()
+        if self._quarantined:
+            return self._fallback_query(q, self._quarantine_reason)
+        try:
+            if self.metrics is None:
+                return self._index.query(q)
+            before = self.device.snapshot()
+            out = self._index.query(q)
+            self._record_op("query", self.device.snapshot() - before, len(out))
+            return out
+        except (ChecksumError, TransientIOError) as exc:
+            reason = self._note_query_fault(exc)
+            return self._fallback_query(q, reason)
 
     def query_batch(self, queries: Sequence[VerticalQuery]) -> List[List[Segment]]:
         """Answer many queries at once, amortizing the shared descent.
@@ -141,6 +205,19 @@ class SegmentDatabase:
         ``self.query(q)`` would have returned for that query.
         """
         queries = list(queries)
+        self._check_recovered()
+        if self._quarantined:
+            reason = self._quarantine_reason
+            return [self._fallback_query(q, reason) for q in queries]
+        try:
+            return self._query_batch_healthy(queries)
+        except (ChecksumError, TransientIOError) as exc:
+            reason = self._note_query_fault(exc)
+            return [self._fallback_query(q, reason) for q in queries]
+
+    def _query_batch_healthy(
+        self, queries: List[VerticalQuery]
+    ) -> List[List[Segment]]:
         if self.metrics is None:
             return self._index.query_batch(queries)
         before = self.device.snapshot()
@@ -176,6 +253,7 @@ class SegmentDatabase:
         DESIGN.md §7), and include buffer hit/miss movement when the
         database was built with ``buffer_pages``.
         """
+        self._check_recovered()
         out, report = trace_call(
             self.device,
             lambda: self._index.query(q),
@@ -216,7 +294,13 @@ class SegmentDatabase:
 
         With ``validate=True`` the invariant is checked against every
         stored segment (O(N) — meant for tests and small data).
+
+        Under a faulty device the insert runs inside the device's
+        operation journal: a crash mid-insert leaves the index fully
+        pre-op after :meth:`recover` (all-or-nothing; DESIGN.md §10).
         """
+        self._check_recovered()
+        self._check_not_quarantined("insert")
         if self.validate:
             from ..geometry import segments_cross
 
@@ -224,15 +308,183 @@ class SegmentDatabase:
                 if segments_cross(segment, other):
                     raise ValueError(f"{segment!r} crosses stored {other!r}")
         if self.metrics is None:
-            self._index.insert(segment)
-            return
-        before = self.device.snapshot()
-        self._index.insert(segment)
-        self._record_op("insert", self.device.snapshot() - before, None)
+            self._run_update(lambda: self._index.insert(segment))
+        else:
+            before = self.device.snapshot()
+            self._run_update(lambda: self._index.insert(segment))
+            self._record_op("insert", self.device.snapshot() - before, None)
+        if self._fallback is not None:
+            self._fallback.append(segment)
 
     def delete(self, segment: Segment) -> bool:
-        """Delete a stored segment (``solution1`` and baselines only)."""
-        return self._index.delete(segment)
+        """Delete a stored segment (``solution1`` and baselines only).
+
+        Journaled like :meth:`insert`: a crash mid-delete rolls back to
+        the pre-op index on :meth:`recover`.
+        """
+        self._check_recovered()
+        self._check_not_quarantined("delete")
+        removed = self._run_update(lambda: self._index.delete(segment))
+        if removed and self._fallback is not None:
+            try:
+                self._fallback.remove(segment)
+            except ValueError:  # pragma: no cover - fallback drift guard
+                pass
+        return removed
+
+    def _run_update(self, fn):
+        """Run one update operation with all-or-nothing crash semantics."""
+        device = self.device
+        if not isinstance(device, FaultyBlockDevice):
+            return fn()
+        state = self._index.snapshot_state()
+        try:
+            with device.journaled():
+                return fn()
+        except SimulatedCrash:
+            # The journal stays dirty; remember the pre-op in-memory state
+            # so recover() can put the engine back alongside the pages.
+            self._pre_op_state = state
+            raise
+
+    # ------------------------------------------------------------------
+    # robustness: degradation, recovery, fsck
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> bool:
+        """True when the index is considered corrupt and bypassed."""
+        return self._quarantined
+
+    def _check_recovered(self) -> None:
+        if getattr(self.device, "needs_recovery", False):
+            raise RecoveryPendingError()
+
+    def _check_not_quarantined(self, op: str) -> None:
+        if self._quarantined:
+            raise StorageError(
+                f"cannot {op}: index is quarantined "
+                f"({self._quarantine_reason}); rebuild() first"
+            )
+
+    def _note_query_fault(self, exc: StorageError) -> str:
+        """Classify a query-time storage fault; returns the degradation
+        reason.  Unrecoverable corruption quarantines the index; a
+        persistent transient fault degrades only this query (the device
+        may heal).  Without a fallback the error propagates."""
+        if self._fallback is None or not self.degrade:
+            raise exc
+        reason = f"{type(exc).__name__}: {exc}"
+        if isinstance(exc, ChecksumError):
+            self._quarantine(reason)
+        return reason
+
+    def _quarantine(self, reason: str) -> None:
+        self._quarantined = True
+        self._quarantine_reason = reason
+        if self.metrics is not None:
+            self.metrics.counter("faults.quarantines").inc()
+
+    def _fallback_query(self, q: VerticalQuery, reason: str) -> DegradedResult:
+        """Serve one query exactly from the authoritative fallback copy.
+
+        The fallback list models base data held outside the simulated
+        device, so the scan charges no simulated I/O — the point is exact
+        (if slow) answers, loudly marked as degraded.
+        """
+        if self._fallback is None:
+            raise StorageError("no fallback copy available")
+        self._degraded_queries += 1
+        if self.metrics is not None:
+            self.metrics.counter("query.degraded").inc()
+        return DegradedResult(
+            (s for s in self._fallback if vs_intersects(s, q)),
+            reason=reason or "index quarantined",
+        )
+
+    def recover(self) -> dict:
+        """Roll back a crashed update; the index returns to its pre-op state.
+
+        No-op on a healthy database.  Returns a JSON-ready summary.
+        """
+        device = self.device
+        if not getattr(device, "needs_recovery", False):
+            return {"action": "clean", "rolled_back": False}
+        device.rollback_journal()
+        if self._pre_op_state is not None:
+            self._index.restore_state(self._pre_op_state)
+            self._pre_op_state = None
+        return {"action": "rolled-back", "rolled_back": True}
+
+    def fsck(self, deep: bool = True) -> FsckReport:
+        """Check storage and index integrity; quarantine on damage.
+
+        Phase 1 scans every live page offline (capacity bounds plus
+        checksums on a faulty device).  Phase 2 (``deep=True``) runs the
+        engine's ``verify()`` walk — the per-engine invariants listed in
+        DESIGN.md §10.  Any problem quarantines the index when a
+        fallback copy exists, so subsequent queries degrade loudly
+        instead of trusting a damaged structure.
+        """
+        device = self.device
+        problems: List[str] = []
+        checksum_failures = 0
+        dirty_journal = getattr(device, "needs_recovery", False)
+        if dirty_journal:
+            problems.append("journal: unrecovered crash — run recover() first")
+        verify_pages = getattr(device, "verify_pages", None)
+        if verify_pages is not None:
+            for page_id, reason in verify_pages():
+                checksum_failures += 1
+                problems.append(f"page {page_id}: {reason}")
+        else:
+            for page in device.iter_pages():
+                try:
+                    page.validate()
+                except StorageError as exc:
+                    problems.append(f"page {page.page_id}: {exc}")
+        if deep and not dirty_journal:
+            verify = getattr(self._index, "verify", None)
+            if verify is not None:
+                schedule = getattr(device, "schedule", None)
+                disarm = (
+                    schedule.disarmed() if schedule is not None else nullcontext()
+                )
+                with disarm:  # fsck is offline: no injected faults mid-walk
+                    problems.extend(verify())
+        if problems and self.degrade and self._fallback is not None:
+            self._quarantine(f"fsck found {len(problems)} problem(s)")
+        return FsckReport(
+            ok=not problems,
+            engine=self.engine_name,
+            pages_scanned=device.pages_in_use,
+            checksum_failures=checksum_failures,
+            problems=problems,
+            quarantined=self._quarantined,
+        )
+
+    def rebuild(self) -> None:
+        """Reformat the device and rebuild the index from the fallback copy.
+
+        The way out of quarantine: corrupt structures may not even be
+        safely traversable, so the old pages are dropped wholesale and
+        the engine is bulk-rebuilt from the authoritative segment list.
+        """
+        if self._fallback is None:
+            raise StorageError("no fallback copy to rebuild from")
+        device = self.device
+        segments = list(self._fallback)
+        schedule = getattr(device, "schedule", None)
+        disarm = schedule.disarmed() if schedule is not None else nullcontext()
+        device._pages.clear()
+        if isinstance(device, FaultyBlockDevice):
+            device._fingerprints.clear()
+            device._corrupt.clear()
+        if self.buffer_pool is not None:
+            self.buffer_pool._lru.clear()
+        with disarm:
+            self._index = self._build_engine(segments)
+        self._quarantined = False
+        self._quarantine_reason = None
 
     # ------------------------------------------------------------------
     # accounting & observability
@@ -262,6 +514,12 @@ class SegmentDatabase:
             else None
         )
         out["filter"] = filtered.filter_stats()
+        fault_report = getattr(self.device, "fault_report", None)
+        out["faults"] = fault_report() if fault_report is not None else None
+        out["degraded_queries"] = self._degraded_queries
+        out["quarantined"] = self._quarantined
+        if self._quarantined:
+            out["quarantine_reason"] = self._quarantine_reason
         return out
 
     @property

@@ -149,6 +149,11 @@ class LineBasedIndex:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert both components: PST heap/x-order and on-line disjointness."""
+        self.pst.check_invariants()
+        self.on_line.check_invariants()
+
     def all_segments(self) -> List[LineBasedSegment]:
         out = list(self.pst.all_segments())
         out.extend(s for _lo, _hi, s in self.on_line.items())

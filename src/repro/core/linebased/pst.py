@@ -230,6 +230,9 @@ class ExternalPST:
         new_low = max(node.low, evicted.h1)
         write_node(self.pager, items, node.children, new_low,
                    items_page=self.pager.fetch(pid))
+        # The parent now routes to a child that does not hold the evicted
+        # segment yet — the classic torn-update window.
+        self.pager.crash_point("pst.insert.sift")
         self._sift_insert(child.pid, evicted)
 
     @staticmethod
@@ -292,6 +295,7 @@ class ExternalPST:
             return False
         removed = self._delete_below(self.root_pid, segment)
         if removed:
+            self.pager.crash_point("pst.delete")
             self.size -= 1
             root = read_node(self.pager, self.root_pid)
             if not root.items and root.is_leaf and self.size == 0:
@@ -366,6 +370,8 @@ class ExternalPST:
         if self._updates_since_rebuild >= threshold and self.root_pid is not None:
             everything = sorted(self.all_segments(), key=_key)
             self._free_subtree(self.root_pid)
+            # Every page of the old tree is freed, the new one not built.
+            self.pager.crash_point("pst.rebuild")
             self.root_pid = self._build_subtree(everything) if everything else None
             self._updates_since_rebuild = 0
 

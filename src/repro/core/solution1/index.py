@@ -34,7 +34,7 @@ from ...geometry import (
     VerticalQuery,
     vs_intersects,
 )
-from ...iosim import Pager
+from ...iosim import Pager, StorageError
 from ...storage.disjoint import DisjointIntervalIndex
 from ..linebased.index import LineBasedIndex
 
@@ -60,11 +60,11 @@ def split_at_line(segment: Segment, c) -> Tuple[Optional[Tuple], Optional[object
     left = right = None
     if segment.xmin < c:
         left = VerticalBaseFrame(c, "left").to_line_based(
-            _part(segment, segment.start, c, y_c)
+            _part(segment, segment.start, c, y_c), payload=segment
         )
     if segment.xmax > c:
         right = VerticalBaseFrame(c, "right").to_line_based(
-            _part(segment, segment.end, c, y_c)
+            _part(segment, segment.end, c, y_c), payload=segment
         )
     return (None, left, right)
 
@@ -330,6 +330,7 @@ class TwoLevelBinaryIndex:
                     page = self.pager.fetch(pid)
                     page.set_header("weight", page.get_header("weight") + 1)
                     self.pager.write(page)
+                self.pager.crash_point("solution1.insert.descent")
                 if page.get_header("kind") == "leaf":
                     # Leaves are not on the rebalance path: an overflowing
                     # leaf is rebuilt (and freed) right here.
@@ -358,6 +359,7 @@ class TwoLevelBinaryIndex:
             c_index.insert(interval[0], interval[1], segment)
         if lpart is not None:
             l_index.insert(lpart)
+        self.pager.crash_point("solution1.insert.second-level")
         if rpart is not None:
             r_index.insert(rpart)
         self._sync_node(page, c_index, l_index, r_index)
@@ -373,6 +375,7 @@ class TwoLevelBinaryIndex:
             return
         # Leaf overflow: rebuild this leaf into a proper subtree.
         self.pager.free(page.page_id)
+        self.pager.crash_point("solution1.insert.leaf-rebuild")
         new_pid = self._build_subtree(items)
         self._replace_child(parent_pid, parent_side, page.page_id, new_pid)
 
@@ -402,6 +405,7 @@ class TwoLevelBinaryIndex:
             while True:
                 with tagged("first-level"):
                     page = self.pager.fetch(pid)
+                self.pager.crash_point("solution1.delete.descent")
                 if page.get_header("kind") == "leaf":
                     with tagged("leaf"):
                         removed = self._delete_from_leaf(page, segment)
@@ -453,6 +457,7 @@ class TwoLevelBinaryIndex:
                 removed = r_index.delete(rpart) or removed
         if removed:
             page.set_header("here", page.get_header("here") - 1)
+            self.pager.crash_point("solution1.delete.second-level")
             self._sync_node(page, c_index, l_index, r_index)
         return removed
 
@@ -475,6 +480,7 @@ class TwoLevelBinaryIndex:
             if max(wl, wr) > (1 - ALPHA) * total:
                 segments = self._collect(pid)
                 self._destroy_subtree(pid)
+                self.pager.crash_point("solution1.rebalance")
                 new_pid = self._build_subtree(segments)
                 self._replace_child(parent_pid, parent_side, pid, new_pid)
                 return
@@ -532,15 +538,30 @@ class TwoLevelBinaryIndex:
             )
         return h
 
-    def check_invariants(self) -> None:
-        """Verify weights, segment placement and band separation."""
+    def check_invariants(self, deep: bool = False) -> None:
+        """Verify weights, segment placement and band separation.
+
+        With ``deep=True`` every node's second-level structures are also
+        checked (PST heap/x-order, B+-tree order of the on-line index) —
+        the fsck walk.
+        """
         if self.root_pid is None:
             assert self.size == 0
             return
-        total = self._check_subtree(self.root_pid, None, None)
+        total = self._check_subtree(self.root_pid, None, None, deep)
         assert total == self.size, f"size mismatch: {total} != {self.size}"
 
-    def _check_subtree(self, pid: int, lo, hi) -> int:
+    def verify(self) -> List[str]:
+        """Deep structural check; returns problems instead of raising."""
+        try:
+            self.check_invariants(deep=True)
+        except AssertionError as exc:
+            return [f"solution1: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"solution1: {type(exc).__name__}: {exc}"]
+        return []
+
+    def _check_subtree(self, pid: int, lo, hi, deep: bool = False) -> int:
         page = self.pager.fetch(pid)
         if page.get_header("kind") == "leaf":
             for s in page.items:
@@ -560,9 +581,23 @@ class TwoLevelBinaryIndex:
                 s = lb.payload
                 assert s.spans_x(c), f"{s!r} misplaced at line x={c}"
                 here.add(s.label)
+        if deep:
+            self._c_index(page).check_invariants()
+            self._lr_index(page, "l").check_invariants()
+            self._lr_index(page, "r").check_invariants()
         count = len(here)
         assert count == page.get_header("here"), f"here-count stale at {pid}"
-        count += self._check_subtree(page.get_header("left"), lo, c)
-        count += self._check_subtree(page.get_header("right"), c, hi)
+        count += self._check_subtree(page.get_header("left"), lo, c, deep)
+        count += self._check_subtree(page.get_header("right"), c, hi, deep)
         assert count == page.get_header("weight"), f"weight stale at {pid}"
         return count
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """In-memory state to restore alongside a journal rollback."""
+        return (self.root_pid, self.size)
+
+    def restore_state(self, state: tuple) -> None:
+        self.root_pid, self.size = state

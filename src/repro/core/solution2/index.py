@@ -404,6 +404,7 @@ class TwoLevelIntervalIndex:
                     head = self.pager.fetch(pid)
                     head.set_header("weight", head.get_header("weight") + 1)
                     self.pager.write(head)
+                self.pager.crash_point("solution2.insert.descent")
                 if head.get_header("kind") == "leaf":
                     with tagged("leaf"):
                         self._insert_into_leaf(pid, segment, parent_pid, parent_slot)
@@ -451,6 +452,7 @@ class TwoLevelIntervalIndex:
             i, j, frag = split.long
             g = self._g_tree(view)
             g.insert(i, j, frag)  # the directory pid is stable
+        self.pager.crash_point("solution2.insert.second-level")
         if changed:
             self._sync_view(view)
 
@@ -464,6 +466,7 @@ class TwoLevelIntervalIndex:
             return
         segments = [s for s in chain if isinstance(s, Segment)]
         chain.destroy()
+        self.pager.crash_point("solution2.insert.leaf-rebuild")
         new_pid = self._build_subtree(segments)
         self._replace_child(parent_pid, parent_slot, pid, new_pid)
 
@@ -504,6 +507,7 @@ class TwoLevelIntervalIndex:
             if max(weights) > max(IMBALANCE_FACTOR * fair, capacity):
                 segments = self._collect(pid)
                 self._destroy_subtree(pid)
+                self.pager.crash_point("solution2.rebalance")
                 new_pid = self._build_subtree(segments)
                 self._replace_child(parent_pid, parent_slot, pid, new_pid)
                 return
@@ -570,15 +574,42 @@ class TwoLevelIntervalIndex:
             pid = self._read_view(pid).children[0]
         return h
 
-    def check_invariants(self) -> None:
-        """Weights, placement of every fragment kind, child band bounds."""
+    def check_invariants(self, deep: bool = False) -> None:
+        """Weights, placement of every fragment kind, child band bounds.
+
+        With ``deep=True`` the per-boundary second-level structures are
+        structurally checked too (the fsck walk); the G-tree partition
+        invariants are always checked.
+        """
         if self.root_pid is None:
             assert self.size == 0
             return
-        total = self._check_subtree(self.root_pid, None, None)
+        total = self._check_subtree(self.root_pid, None, None, deep)
         assert total == self.size, f"size mismatch: {total} != {self.size}"
 
-    def _check_subtree(self, pid: int, lo, hi) -> int:
+    def verify(self) -> List[str]:
+        """Deep structural check; returns problems instead of raising."""
+        from ...iosim import StorageError
+
+        try:
+            self.check_invariants(deep=True)
+        except AssertionError as exc:
+            return [f"solution2: invariant violated: {exc}"]
+        except StorageError as exc:
+            return [f"solution2: {type(exc).__name__}: {exc}"]
+        return []
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """In-memory state to restore alongside a journal rollback."""
+        return (self.root_pid, self.size)
+
+    def restore_state(self, state: tuple) -> None:
+        self.root_pid, self.size = state
+
+    def _check_subtree(self, pid: int, lo, hi, deep: bool = False) -> int:
         head = self.pager.fetch(pid)
         if head.get_header("kind") == "leaf":
             count = 0
@@ -605,6 +636,10 @@ class TwoLevelIntervalIndex:
             for lb in self._r_index(view, i).all_segments():
                 assert lb.payload.spans_x(s_i)
                 here[lb.payload.label] = lb.payload
+            if deep:
+                self._c_index(view, i).check_invariants()
+                self._l_index(view, i).check_invariants()
+                self._r_index(view, i).check_invariants()
         g = self._g_tree(view)
         if g is not None:
             g.check_invariants()
@@ -613,6 +648,6 @@ class TwoLevelIntervalIndex:
         count = len(here)
         edges = [lo] + bounds + [hi]
         for k, child in enumerate(view.children):
-            count += self._check_subtree(child, edges[k], edges[k + 1])
+            count += self._check_subtree(child, edges[k], edges[k + 1], deep)
         assert count == head.get_header("weight"), f"weight stale at {pid}"
         return count

@@ -131,13 +131,17 @@ def split_segment(boundaries: Sequence, segment: Segment) -> Optional[SplitResul
             segment.start.x, segment.start.y, s_i, segment.y_at_unchecked(s_i),
             label=segment.label,
         ).with_label(segment.label)
-        result.left_short = (i, VerticalBaseFrame(s_i, "left").to_line_based(part))
+        result.left_short = (
+            i, VerticalBaseFrame(s_i, "left").to_line_based(part, payload=segment)
+        )
     if segment.xmax > s_j:
         part = Segment.from_coords(
             s_j, segment.y_at_unchecked(s_j), segment.end.x, segment.end.y,
             label=segment.label,
         ).with_label(segment.label)
-        result.right_short = (j, VerticalBaseFrame(s_j, "right").to_line_based(part))
+        result.right_short = (
+            j, VerticalBaseFrame(s_j, "right").to_line_based(part, payload=segment)
+        )
     if j > i:
         result.long = (
             i,

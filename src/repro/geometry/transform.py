@@ -98,10 +98,15 @@ class VerticalBaseFrame:
     def height_of(self, x: Coordinate) -> Coordinate:
         return self.c - x if self.side == "left" else x - self.c
 
-    def to_line_based(self, s: Segment) -> LineBasedSegment:
+    def to_line_based(
+        self, s: Segment, payload: Optional[Segment] = None
+    ) -> LineBasedSegment:
         """Convert a plane segment with one endpoint on ``x = c``.
 
-        The plane segment must lie entirely on this frame's side.
+        The plane segment must lie entirely on this frame's side.  When
+        ``s`` is a *fragment* of a longer stored segment, pass the
+        original as ``payload`` — the index must report (and rebuild
+        from) originals, never frame-local fragments.
         """
         h_start = self.height_of(s.start.x)
         h_end = self.height_of(s.end.x)
@@ -114,7 +119,9 @@ class VerticalBaseFrame:
         else:
             raise ValueError(f"{s!r} has no endpoint on the base line x={self.c}")
         return LineBasedSegment(
-            base.y, apex.y, h_apex, payload=s, label=("lb", self.side, s.label)
+            base.y, apex.y, h_apex,
+            payload=payload if payload is not None else s,
+            label=("lb", self.side, s.label),
         )
 
     def to_hquery(self, q: VerticalQuery) -> HQuery:

@@ -2,25 +2,35 @@
 
 This package implements the paper's cost model: data lives in blocks of
 ``B`` items; the cost of an algorithm is the number of blocks read and
-written.  See DESIGN.md §5 for the accounting conventions.
+written.  See DESIGN.md §5 for the accounting conventions and §10 for
+the fault model and crash-consistency protocol.
 """
 
 from .buffer import LRUBufferPool
 from .disk import BlockDevice
 from .errors import (
+    ChecksumError,
     DanglingPageError,
     DoubleFreeError,
     PageOverflowError,
+    PinnedPageError,
+    RecoveryPendingError,
+    SimulatedCrash,
     StorageError,
+    TransientIOError,
 )
+from .faults import FaultSchedule, FaultyBlockDevice, RetryPolicy, page_fingerprint
 from .page import HEADER_SLOTS, Page
 from .pager import Pager
 from .stats import IOStats, Measurement
 
 __all__ = [
     "BlockDevice",
+    "ChecksumError",
     "DanglingPageError",
     "DoubleFreeError",
+    "FaultSchedule",
+    "FaultyBlockDevice",
     "HEADER_SLOTS",
     "IOStats",
     "LRUBufferPool",
@@ -28,5 +38,11 @@ __all__ = [
     "Page",
     "PageOverflowError",
     "Pager",
+    "PinnedPageError",
+    "RecoveryPendingError",
+    "RetryPolicy",
+    "SimulatedCrash",
     "StorageError",
+    "TransientIOError",
+    "page_fingerprint",
 ]

@@ -22,6 +22,7 @@ from typing import Dict, Iterable
 
 from ..telemetry import trace as _trace
 from .disk import BlockDevice
+from .errors import PinnedPageError
 from .page import Page
 
 
@@ -62,6 +63,9 @@ class LRUBufferPool:
             ctx = _trace._ACTIVE
             if ctx is not None:
                 ctx.record_hit()
+            note = getattr(self.device, "journal_note_read", None)
+            if note is not None:
+                note(cached)
             return cached
         page = self.device.read(page_id)
         self.misses += 1
@@ -79,9 +83,25 @@ class LRUBufferPool:
         return self.device.alloc()
 
     def free(self, page_id: int) -> None:
+        pins = self._pins.get(page_id)
+        if pins:
+            # Dropping the pin here would turn a live reference into a
+            # use-after-free; refuse loudly instead.
+            raise PinnedPageError(page_id, pins)
         self._lru.pop(page_id, None)
-        self._pins.pop(page_id, None)
         self.device.free(page_id)
+
+    def note_write(self, page: Page) -> None:
+        """Forward a Pager-deduplicated write to a fault-aware device."""
+        note = getattr(self.device, "note_write", None)
+        if note is not None:
+            note(page)
+
+    def crash_point(self, name: str) -> None:
+        """Forward an engine crash point to a fault-aware device."""
+        hook = getattr(self.device, "crash_point", None)
+        if hook is not None:
+            hook(name)
 
     def snapshot(self):
         return self.device.snapshot()

@@ -151,11 +151,18 @@ class BlockDevice:
         )
 
     def reset_counters(self) -> None:
-        """Zero the I/O counters (space accounting is unaffected)."""
+        """Zero the I/O counters (space accounting is unaffected).
+
+        Per-tag attribution buckets are part of the I/O counters and are
+        cleared too — otherwise attribution from one benchmark phase
+        leaks into the next.  Use :meth:`reset_tags` to clear only the
+        buckets.
+        """
         self.reads = 0
         self.writes = 0
         self.allocs = 0
         self.frees = 0
+        self.reset_tags()
 
     def iter_pages(self) -> Iterator[Page]:
         """Iterate live pages without charging I/O (for tests/diagnostics)."""

@@ -37,3 +37,78 @@ class DoubleFreeError(StorageError):
     def __init__(self, page_id: int):
         self.page_id = page_id
         super().__init__(f"page {page_id} freed twice (or never allocated)")
+
+
+class PinnedPageError(StorageError):
+    """Raised when freeing a page that still holds buffer-pool pins.
+
+    A pinned page is one some caller expects to stay resident; freeing it
+    out from under them is a use-after-free in the making, so the pool
+    refuses instead of silently dropping the pin.
+    """
+
+    def __init__(self, page_id: int, pins: int):
+        self.page_id = page_id
+        self.pins = pins
+        super().__init__(
+            f"page {page_id} is freed while holding {pins} pin(s)"
+        )
+
+
+class TransientIOError(StorageError):
+    """A read failed transiently and retries were exhausted.
+
+    The device already charged one read I/O per attempt; catching this and
+    retrying at a higher level would double-pay, so callers should treat it
+    as terminal for the current operation.
+    """
+
+    def __init__(self, page_id: int, attempts: int):
+        self.page_id = page_id
+        self.attempts = attempts
+        super().__init__(
+            f"page {page_id}: transient read error persisted across "
+            f"{attempts} attempt(s)"
+        )
+
+
+class ChecksumError(StorageError):
+    """A page's content no longer matches its stored checksum.
+
+    Raised by :class:`~repro.iosim.faults.FaultyBlockDevice` when a read
+    surfaces at-rest corruption (bit rot, a torn write) that retrying
+    cannot fix.  The index over the page is no longer trustworthy; see
+    ``SegmentDatabase.fsck()`` / quarantine.
+    """
+
+    def __init__(self, page_id: int, reason: str = "checksum mismatch"):
+        self.page_id = page_id
+        self.reason = reason
+        super().__init__(f"page {page_id}: {reason}")
+
+
+class SimulatedCrash(StorageError):
+    """An injected crash aborted the current operation mid-flight.
+
+    Deliberately *not* caught by the storage layer: it unwinds to the top
+    so the in-memory structures are abandoned exactly where the "power
+    failed".  The device's operation journal stays dirty; call
+    ``SegmentDatabase.recover()`` before touching the index again.
+    """
+
+    def __init__(self, where: str):
+        self.where = where
+        super().__init__(f"simulated crash at {where!r}")
+
+
+class RecoveryPendingError(StorageError):
+    """The database crashed mid-update and has not been recovered yet.
+
+    Serving queries from a half-applied update could be silently wrong,
+    so every access is refused until ``recover()`` runs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "a crashed update left the journal dirty; call recover() first"
+        )

@@ -76,6 +76,12 @@ class Pager:
         if self._dirty is not None:
             if page.page_id in self._dirty:
                 page.validate()
+                # The charged flush already happened, but a fault-aware
+                # device still needs its checksum refreshed to the final
+                # content (pages are shared, mutated-in-place objects).
+                note = getattr(self.device, "note_write", None)
+                if note is not None:
+                    note(page)
                 return
             self._dirty.add(page.page_id)
             if self._pinned is not None:
@@ -134,3 +140,18 @@ class Pager:
         if prefetch is None:
             return 0
         return prefetch(page_ids)
+
+    # ------------------------------------------------------------------
+    # crash points (no-ops on a plain device)
+    # ------------------------------------------------------------------
+    def crash_point(self, name: str) -> None:
+        """A named point where a fault schedule may abort the operation.
+
+        Engines sprinkle these through their update paths; on a plain
+        :class:`BlockDevice` the call is free, under a
+        :class:`~repro.iosim.faults.FaultyBlockDevice` with a matching
+        schedule entry it raises ``SimulatedCrash`` mid-operation.
+        """
+        hook = getattr(self.device, "crash_point", None)
+        if hook is not None:
+            hook(name)

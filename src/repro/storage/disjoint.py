@@ -137,3 +137,21 @@ class DisjointIntervalIndex:
         if self.tree is not None:
             self.tree.destroy()
             self.tree = None
+
+    # ------------------------------------------------------------------
+    # invariants (fsck)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert B+-tree structure plus interior-disjointness in order."""
+        if self.tree is None:
+            return
+        self.tree.check_invariants()
+        prev_lo = prev_hi = None
+        for lo, hi, _payload in self.items():
+            assert lo <= hi, f"empty interval [{lo}, {hi}]"
+            if prev_lo is not None:
+                assert lo >= prev_lo, "intervals out of order"
+                assert lo >= prev_hi, (
+                    f"interiors overlap: [{prev_lo}, {prev_hi}] and [{lo}, {hi}]"
+                )
+            prev_lo, prev_hi = lo, hi

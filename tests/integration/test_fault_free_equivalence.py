@@ -1,0 +1,99 @@
+"""Fault-free equivalence: the robustness layer must be cost-invisible.
+
+Attaching a fault schedule that injects nothing (all rates zero, still
+*armed*) swaps in the checksumming, journaling FaultyBlockDevice.  The
+hard contract (DESIGN.md §10) is that this changes nothing observable:
+every engine returns bit-identical results AND charges bit-identical I/O
+counts per query, per update, and in total, compared to a plain
+BlockDevice — checksum verification and journal bookkeeping are free in
+the paper's cost model.
+"""
+
+import pytest
+
+from repro import SegmentDatabase
+from repro.iosim import FaultSchedule, RetryPolicy
+from repro.workloads import grid_segments, mixed_queries
+
+ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid", "rtree")
+
+#: Engines whose insert path is exercised too (all of them support insert).
+DYNAMIC = ENGINES
+#: Engines supporting deletion.
+DELETING = ("solution1", "scan")
+
+
+def run_workload(segments, queries, engine, faulty, buffer_pages=None):
+    kwargs = {}
+    if faulty:
+        kwargs["faults"] = FaultSchedule(seed=99)  # armed, zero rates
+        kwargs["retry"] = RetryPolicy(max_retries=4, backoff_ios=2)
+    db = SegmentDatabase.bulk_load(
+        segments[:-10], engine=engine, block_capacity=16,
+        buffer_pages=buffer_pages, **kwargs
+    )
+    outcomes = []
+    for q in queries:
+        before = db.io_stats()
+        hits = db.query(q)
+        diff = db.io_stats() - before
+        outcomes.append(
+            (sorted((s.label for s in hits), key=str), diff.reads, diff.writes)
+        )
+        assert not getattr(hits, "degraded", False)
+    if engine in DYNAMIC:
+        for s in segments[-10:]:
+            before = db.io_stats()
+            db.insert(s)
+            diff = db.io_stats() - before
+            outcomes.append(("insert", diff.reads, diff.writes))
+    if engine in DELETING:
+        for s in segments[-5:]:
+            before = db.io_stats()
+            assert db.delete(s)
+            diff = db.io_stats() - before
+            outcomes.append(("delete", diff.reads, diff.writes))
+    batch = db.query_batch(queries)
+    outcomes.append([sorted((s.label for s in r), key=str) for r in batch])
+    outcomes.append(db.io_stats().to_dict())
+    outcomes.append(db.space_in_blocks())
+    return outcomes, db
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_identical_results_and_ios(engine):
+    segments = grid_segments(350, seed=301)
+    queries = mixed_queries(segments[:-10], 20, selectivity=0.05, seed=302)
+    faulty, db = run_workload(segments, queries, engine, faulty=True)
+    plain, _ = run_workload(segments, queries, engine, faulty=False)
+    assert faulty == plain
+    # Nothing was injected and nothing degraded.
+    report = db.io_report()
+    assert report["faults"]["faults_injected"] == 0
+    assert report["degraded_queries"] == 0
+    assert not report["quarantined"]
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+def test_identical_under_buffer_pool(engine):
+    # The pool adds journal_note_read/note_write forwarding; the cache-hit
+    # path must stay hit-for-hit identical too.
+    segments = grid_segments(300, seed=303)
+    queries = mixed_queries(segments[:-10], 15, selectivity=0.05, seed=304)
+    faulty, fdb = run_workload(segments, queries, engine, faulty=True,
+                               buffer_pages=8)
+    plain, pdb = run_workload(segments, queries, engine, faulty=False,
+                              buffer_pages=8)
+    assert faulty == plain
+    assert (fdb.buffer_pool.hits, fdb.buffer_pool.misses) == (
+        pdb.buffer_pool.hits, pdb.buffer_pool.misses)
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+def test_fsck_clean_after_fault_free_workload(engine):
+    segments = grid_segments(300, seed=305)
+    queries = mixed_queries(segments[:-10], 10, selectivity=0.05, seed=306)
+    _, db = run_workload(segments, queries, engine, faulty=True)
+    report = db.fsck()
+    assert report.ok, report
+    assert not report.quarantined

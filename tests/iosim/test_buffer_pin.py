@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.iosim import BlockDevice, LRUBufferPool, Pager
+from repro.iosim import BlockDevice, LRUBufferPool, Pager, PinnedPageError
 
 
 def make_pool(pool_pages=4, capacity=8):
@@ -85,11 +85,20 @@ def test_pool_overflows_rather_than_evicting_pins():
     assert len(pool._lru) <= pool.capacity  # overflow drained on release
 
 
-def test_free_drops_pin():
+def test_free_of_pinned_page_raises():
+    # Freeing a pinned page used to silently drop the pin, masking a
+    # use-after-free; it must refuse until the pin is released.
     _dev, pool = make_pool()
     a = alloc_pages(pool, 1)[0]
     pool.pin(a.page_id)
-    pool.free(a.page_id)
+    with pytest.raises(PinnedPageError) as exc:
+        pool.free(a.page_id)
+    assert exc.value.page_id == a.page_id
+    assert exc.value.pins == 1
+    assert pool.is_pinned(a.page_id)  # the refusal left the pin intact
+    pool.read(a.page_id)  # ...and the page alive
+    pool.unpin(a.page_id)
+    pool.free(a.page_id)  # unpinned, the free goes through
     assert pool.pinned_count == 0
 
 

@@ -1,0 +1,328 @@
+"""Unit tests for the fault-injection layer (FaultyBlockDevice & friends)."""
+
+import pytest
+
+from repro.iosim import (
+    BlockDevice,
+    ChecksumError,
+    DanglingPageError,
+    FaultSchedule,
+    FaultyBlockDevice,
+    LRUBufferPool,
+    Pager,
+    RetryPolicy,
+    SimulatedCrash,
+    StorageError,
+    TransientIOError,
+    page_fingerprint,
+)
+
+
+def _written_page(dev, items=(1, 2, 3)):
+    page = dev.alloc()
+    page.put_items(list(items))
+    dev.write(page)
+    return page
+
+
+# ----------------------------------------------------------------------
+# schedule determinism & reproduction
+# ----------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_same_seed_replays_same_faults(self):
+        a = FaultSchedule(seed=42, read_error_rate=0.3, corrupt_read_rate=0.2)
+        b = FaultSchedule(seed=42, read_error_rate=0.3, corrupt_read_rate=0.2)
+        decisions_a = [a.next_read_fault(i, 0) for i in range(200)]
+        decisions_b = [b.next_read_fault(i, 0) for i in range(200)]
+        assert decisions_a == decisions_b
+        assert any(d is not None for d in decisions_a)
+
+    def test_round_trip_through_dict(self):
+        sched = FaultSchedule(seed=7, read_error_rate=0.1, torn_write_rate=0.2,
+                              crash_after_writes=5, crash_points={"pt": 2})
+        clone = FaultSchedule.from_dict(sched.to_dict())
+        assert clone.seed == 7
+        assert clone.read_error_rate == 0.1
+        assert clone.torn_write_rate == 0.2
+        assert clone.crash_after_writes == 5
+        assert clone.crash_points == {"pt": 2}
+
+    def test_history_records_injections(self):
+        sched = FaultSchedule(seed=1, read_error_rate=1.0)
+        sched.next_read_fault(9, 0)
+        assert sched.history and sched.history[0]["kind"] == "transient-read"
+        assert sched.history[0]["page_id"] == 9
+
+    def test_disarmed_scope(self):
+        sched = FaultSchedule(seed=1, read_error_rate=1.0)
+        with sched.disarmed():
+            assert not sched.enabled
+        assert sched.enabled
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(read_error_rate=1.5)
+
+    def test_crash_point_fires_on_kth_hit(self):
+        sched = FaultSchedule(crash_points={"pt": 3})
+        assert not sched.hit_crash_point("pt")
+        assert not sched.hit_crash_point("pt")
+        assert sched.hit_crash_point("pt")
+        # one-shot: the point is consumed
+        assert not sched.hit_crash_point("pt")
+
+    def test_unregistered_crash_point_never_fires(self):
+        sched = FaultSchedule(crash_points={"pt": 1})
+        assert not sched.hit_crash_point("other")
+
+
+# ----------------------------------------------------------------------
+# fault-free cost equivalence (the hard contract)
+# ----------------------------------------------------------------------
+def test_fault_free_device_charges_identical_ios():
+    plain = BlockDevice(block_capacity=8)
+    faulty = FaultyBlockDevice(8, schedule=FaultSchedule(seed=0),
+                               retry=RetryPolicy(max_retries=5))
+    for dev in (plain, faulty):
+        pages = [_written_page(dev, [i]) for i in range(10)]
+        for page in pages:
+            dev.read(page.page_id)
+            dev.read(page.page_id)
+        dev.free(pages[0].page_id)
+    assert faulty.snapshot().to_dict() == plain.snapshot().to_dict()
+    assert faulty.fault_report()["faults_injected"] == 0
+
+
+# ----------------------------------------------------------------------
+# checksums
+# ----------------------------------------------------------------------
+class TestChecksums:
+    def test_bit_rot_detected_on_read(self):
+        dev = FaultyBlockDevice(8)
+        page = _written_page(dev)
+        dev.corrupt_page(page.page_id)
+        with pytest.raises(ChecksumError):
+            dev.read(page.page_id)
+        assert dev.checksum_failures == 1
+
+    def test_rewrite_heals_at_rest_corruption(self):
+        dev = FaultyBlockDevice(8)
+        page = _written_page(dev)
+        dev.corrupt_page(page.page_id)
+        dev.write(page)
+        assert dev.read(page.page_id) is page
+
+    def test_unflushed_mutation_detected(self):
+        # A page mutated behind the device's back has a stale checksum.
+        dev = FaultyBlockDevice(8)
+        page = _written_page(dev)
+        page.items.append(99)
+        with pytest.raises(ChecksumError):
+            dev.read(page.page_id)
+
+    def test_note_write_refreshes_checksum(self):
+        # The Pager dedupes the second write of a page inside operation();
+        # note_write() must keep the fingerprint current anyway.
+        dev = FaultyBlockDevice(8)
+        page = _written_page(dev)
+        page.items.append(99)
+        dev.note_write(page)
+        assert dev.read(page.page_id) is page
+
+    def test_fingerprint_ignores_header_order(self):
+        dev = BlockDevice(8)
+        a, b = dev.alloc(), dev.alloc()
+        a.set_header("x", 1)
+        a.set_header("y", 2)
+        b.set_header("y", 2)
+        b.set_header("x", 1)
+        fp_a, fp_b = page_fingerprint(a), page_fingerprint(b)
+        # same logical content -> same fingerprint regardless of insertion
+        # order (page ids differ but are not part of the fingerprint)
+        assert fp_a == fp_b
+
+    def test_verify_pages_scans_offline(self):
+        dev = FaultyBlockDevice(8)
+        good = _written_page(dev, [1])
+        bad = _written_page(dev, [2])
+        dev.corrupt_page(bad.page_id, reason="rot")
+        before = dev.snapshot()
+        problems = dev.verify_pages()
+        assert dev.snapshot().to_dict() == before.to_dict()  # no I/O charged
+        assert problems == [(bad.page_id, "rot")]
+        assert good.page_id not in [pid for pid, _ in problems]
+
+
+# ----------------------------------------------------------------------
+# retries
+# ----------------------------------------------------------------------
+class TestRetries:
+    def test_transient_fault_retried_and_charged(self):
+        # rate 1.0 -> every attempt fails; retries exhaust then raise.
+        dev = FaultyBlockDevice(
+            8, schedule=FaultSchedule(seed=0, read_error_rate=1.0),
+            retry=RetryPolicy(max_retries=2, backoff_ios=3),
+        )
+        with dev.schedule.disarmed():
+            page = _written_page(dev)
+        reads_before = dev.reads
+        with pytest.raises(TransientIOError) as exc:
+            dev.read(page.page_id)
+        assert exc.value.page_id == page.page_id
+        assert dev.reads - reads_before == 3  # 1 attempt + 2 retries
+        assert dev.retries == 2
+        assert dev.retry_penalty_ios == 3 * 1 + 3 * 2
+
+    def test_retry_eventually_succeeds(self):
+        # With a mid rate some reads need retries but all succeed within
+        # a generous budget over many trials at this seed.
+        dev = FaultyBlockDevice(
+            8, schedule=FaultSchedule(seed=3, read_error_rate=0.3),
+            retry=RetryPolicy(max_retries=20),
+        )
+        with dev.schedule.disarmed():
+            page = _written_page(dev)
+        for _ in range(50):
+            assert dev.read(page.page_id) is page
+        assert dev.retries > 0
+
+    def test_in_flight_corruption_exhausts_to_checksum_error(self):
+        dev = FaultyBlockDevice(
+            8, schedule=FaultSchedule(seed=0, corrupt_read_rate=1.0),
+            retry=RetryPolicy(max_retries=1),
+        )
+        with dev.schedule.disarmed():
+            page = _written_page(dev)
+        with pytest.raises(ChecksumError):
+            dev.read(page.page_id)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_ios=-1)
+
+
+# ----------------------------------------------------------------------
+# torn writes
+# ----------------------------------------------------------------------
+def test_torn_write_leaves_page_corrupt_until_rewritten():
+    dev = FaultyBlockDevice(
+        8, schedule=FaultSchedule(seed=0, torn_write_rate=1.0))
+    with dev.schedule.disarmed():
+        page = _written_page(dev)
+    page.items.append(4)
+    writes_before = dev.writes
+    dev.write(page)  # torn: charged but leaves corruption at rest
+    assert dev.writes == writes_before + 1
+    assert dev.torn_writes == 1
+    with pytest.raises(ChecksumError):
+        dev.read(page.page_id)
+    with dev.schedule.disarmed():
+        dev.write(page)  # clean rewrite heals
+    assert dev.read(page.page_id) is page
+
+
+# ----------------------------------------------------------------------
+# journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_rollback_restores_content_allocs_and_frees(self):
+        dev = FaultyBlockDevice(8)
+        keep = _written_page(dev, [1, 2])
+        doomed = _written_page(dev, [3])
+        try:
+            with dev.journaled():
+                dev.read(keep.page_id)
+                keep.items.append(9)
+                dev.write(keep)
+                dev.free(doomed.page_id)
+                fresh = dev.alloc()
+                fresh.put_items([7])
+                dev.write(fresh)
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+        assert keep.items == [1, 2]              # mutation undone
+        assert dev.read(doomed.page_id) is doomed  # free undone
+        with pytest.raises(DanglingPageError):
+            dev.read(fresh.page_id)              # alloc undone
+        assert not dev.needs_recovery
+
+    def test_commit_makes_frees_permanent(self):
+        dev = FaultyBlockDevice(8)
+        doomed = _written_page(dev)
+        with dev.journaled():
+            dev.free(doomed.page_id)
+        with pytest.raises(DanglingPageError):
+            dev.read(doomed.page_id)
+
+    def test_freed_page_unreadable_inside_operation(self):
+        dev = FaultyBlockDevice(8)
+        doomed = _written_page(dev)
+        with pytest.raises(DanglingPageError):
+            with dev.journaled():
+                dev.free(doomed.page_id)
+                dev.read(doomed.page_id)
+        # ...and the error rolled the free back.
+        assert dev.read(doomed.page_id) is doomed
+
+    def test_crash_leaves_dirty_journal(self):
+        dev = FaultyBlockDevice(
+            8, schedule=FaultSchedule(seed=0, crash_after_writes=1))
+        page = _written_page(dev)  # crash countdown ignores unjournaled writes
+        with pytest.raises(SimulatedCrash):
+            with dev.journaled():
+                dev.read(page.page_id)  # pre-image captured here
+                page.items.append(4)
+                dev.write(page)
+        assert dev.needs_recovery
+        assert dev.fault_report()["journal"] == "needs-recovery"
+        # further operations are refused until recovery
+        with pytest.raises(StorageError):
+            dev.begin_journal()
+        dev.rollback_journal()
+        assert not dev.needs_recovery
+        assert page.items == [1, 2, 3]
+        assert dev.read(page.page_id) is page  # torn page healed by rollback
+
+    def test_nested_journal_rejected(self):
+        dev = FaultyBlockDevice(8)
+        with pytest.raises(StorageError):
+            with dev.journaled():
+                dev.begin_journal()
+
+    def test_buffer_pool_cache_hit_still_journaled(self):
+        # A pool cache hit bypasses device.read(); journal_note_read must
+        # still capture the pre-image before the operation mutates it.
+        dev = FaultyBlockDevice(8)
+        pool = LRUBufferPool(dev, 4)
+        pager = Pager(pool)
+        page = pager.alloc()
+        page.put_items([1])
+        pager.write(page)
+        pool.read(page.page_id)  # now cached
+        try:
+            with dev.journaled():
+                cached = pool.read(page.page_id)  # cache hit
+                cached.items.append(2)
+                pool.write(cached)
+                raise RuntimeError("abort")
+        except RuntimeError:
+            pass
+        assert page.items == [1]
+
+
+def test_reset_counters_clears_fault_counters():
+    dev = FaultyBlockDevice(8, schedule=FaultSchedule(seed=0, read_error_rate=1.0),
+                            retry=RetryPolicy(max_retries=0))
+    with dev.schedule.disarmed():
+        page = _written_page(dev)
+    with pytest.raises(TransientIOError):
+        dev.read(page.page_id)
+    assert dev.faults_injected and dev.transient_failures
+    dev.reset_counters()
+    report = dev.fault_report()
+    assert all(report[k] == 0 for k in (
+        "faults_injected", "retries", "retry_penalty_ios", "checksum_failures",
+        "transient_failures", "torn_writes", "crashes"))

@@ -50,6 +50,23 @@ def test_tag_scope_exits_on_exception():
     assert "boom" not in dev.tag_reads or dev.tag_reads["boom"] == 0
 
 
+def test_reset_counters_clears_tag_buckets():
+    # Regression: reset_counters() used to zero the global counters but
+    # leak the per-tag attribution buckets into the next measurement.
+    dev = BlockDevice(block_capacity=8)
+    page = dev.alloc()
+    with dev.tagged("phase1"):
+        dev.write(page)
+        dev.read(page.page_id)
+    dev.reset_counters()
+    assert dev.reads == 0 and dev.writes == 0
+    assert dev.tag_reads == {} and dev.tag_writes == {}
+    assert dev.tag_snapshot() == {}
+    with dev.tagged("phase2"):
+        dev.read(page.page_id)
+    assert dev.tag_snapshot() == {"phase2": 1}
+
+
 def test_reset_tags_keeps_globals():
     dev = BlockDevice(block_capacity=8)
     page = dev.alloc()

@@ -143,3 +143,56 @@ def test_explain_every_engine(segment_file, capsys):
 
 def test_explain_bad_args(capsys):
     assert main(["explain", "only-one-arg"]) == 2
+
+
+def test_chaos_smoke(segment_file, capsys):
+    assert main(["chaos", segment_file, "--seeds", "2", "--count", "8",
+                 "--updates", "2", "--block", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "never-silently-wrong: PASS over 2 seeds" in out
+    assert out.count("seed ") == 2
+
+
+def test_chaos_json_and_dump_schedule(segment_file, tmp_path, capsys):
+    import json
+
+    dump = str(tmp_path / "schedule.json")
+    assert main(["chaos", segment_file, "--seeds", "1", "--seed", "7",
+                 "--count", "6", "--block", "16", "--engine", "solution1",
+                 "--dump-schedule", dump, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["silent_wrong"] == 0
+    assert len(data["rounds"]) == 1
+    assert data["rounds"][0]["seed"] == 7
+    with open(dump) as fh:
+        saved = json.load(fh)
+    assert saved["engine"] == "solution1"
+    assert "7" in saved["rounds"] or 7 in saved["rounds"]
+
+
+def test_chaos_bad_args(capsys):
+    assert main(["chaos", "a", "b"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_fsck_clean(segment_file, capsys):
+    assert main(["fsck", segment_file, "--block", "16", "--updates", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "fsck" in out and "clean" in out
+
+
+def test_fsck_detects_corruption(segment_file, capsys):
+    assert main(["fsck", segment_file, "--block", "16",
+                 "--corrupt-pages", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "checksum failure" in out and "bit rot" in out
+
+
+def test_fsck_json(segment_file, capsys):
+    import json
+
+    assert main(["fsck", segment_file, "--block", "16", "--engine",
+                 "solution1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["ok"] is True
+    assert data["pages_scanned"] > 0
