@@ -133,15 +133,18 @@ def write_perf_json(experiment: str, payload: dict,
 
     The harness owns the writer so every benchmark emits the same shape;
     the file lands at the repo root (``BENCH_perf.json``) where future
-    PRs diff it as the perf scoreboard.  Schema (version 2)::
+    PRs diff it as the perf scoreboard.  Schema (version 3)::
 
-        {"schema_version": 2, "commit": "<short sha>",
+        {"schema_version": 3, "commit": "<short sha>",
          "generated_by": "<last experiment written>",
-         "experiments": {"E15": {...}, "E16": {...}}}
+         "experiments": {"E15": {...}, "E16": {...}, "E17": {...}}}
 
-    Experiments merge instead of clobbering each other, so running E15
-    then E16 leaves both result sets in the file.  A version-1 file (one
-    flat payload with an ``experiment`` key) is migrated in place.
+    Version 3 extends version 2 only by admitting wall-clock fields
+    (E17's serving throughput and snapshot timings are inherently
+    seconds, not I/Os); the envelope is unchanged and older files are
+    migrated in place (a version-1 file is one flat payload with an
+    ``experiment`` key).  Experiments merge instead of clobbering each
+    other, so running E15 then E17 leaves both result sets in the file.
     """
     data: dict = {}
     if os.path.exists(path):
@@ -153,7 +156,7 @@ def write_perf_json(experiment: str, payload: dict,
     if "experiments" not in data:
         legacy_name = data.pop("experiment", None)
         data = {"experiments": {legacy_name: data} if legacy_name else {}}
-    data["schema_version"] = 2
+    data["schema_version"] = 3
     data["commit"] = _git_commit()
     data["generated_by"] = experiment
     data["experiments"][experiment] = payload

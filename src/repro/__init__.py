@@ -46,8 +46,10 @@ from .iosim import (
     RecoveryPendingError,
     RetryPolicy,
     SimulatedCrash,
+    SnapshotFormatError,
     TransientIOError,
 )
+from .serving import ShardWorkerPool, ShardedSegmentDatabase
 from .telemetry import ExplainReport, MetricsRegistry, TraceContext
 
 __version__ = "1.0.0"
@@ -76,7 +78,10 @@ __all__ = [
     "Pager",
     "RecoveryPendingError",
     "RetryPolicy",
+    "ShardWorkerPool",
+    "ShardedSegmentDatabase",
     "SimulatedCrash",
+    "SnapshotFormatError",
     "TraceContext",
     "TransientIOError",
     "Point",

@@ -31,6 +31,16 @@ Commands
                     random inserts and corrupt ``--corrupt-pages K``
                     pages, then run the integrity checker (checksum scan
                     + deep structural verify); exits nonzero on damage
+``serve-bench [FILE]``
+                    build an x-sharded database, snapshot it to disk,
+                    re-open it and replay a query workload through the
+                    serving layer, reporting snapshot save/open times,
+                    queries/sec and per-shard I/O (``--shards K``,
+                    ``--workers W`` — 0 means in-process synchronous,
+                    ``--segments N`` to size the generated workload,
+                    ``--count N`` queries, ``--batch-size K``,
+                    ``--seed S``, ``--dir PATH`` to keep the snapshot
+                    directory, ``--json``)
 ``version``         print the library version
 
 ``query``, ``query-batch`` and ``explain`` accept ``--engine NAME``
@@ -68,9 +78,10 @@ def _coord(token: str):
 
 
 _INT_FLAGS = ("--buffer", "--block", "--batch-size", "--count", "--seed",
-              "--seeds", "--updates", "--corrupt-pages", "--retries")
+              "--seeds", "--updates", "--corrupt-pages", "--retries",
+              "--shards", "--workers", "--segments")
 _FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn")
-_STR_FLAGS = ("--engine", "--dump-schedule")
+_STR_FLAGS = ("--engine", "--dump-schedule", "--dir")
 
 
 def _pop_flags(args):
@@ -80,7 +91,8 @@ def _pop_flags(args):
              "batch-size": None, "count": 64, "seed": 0,
              "seeds": 5, "updates": 0, "corrupt-pages": 0, "retries": 3,
              "read-err": 0.0, "corrupt-rate": 0.0, "torn": 0.0,
-             "dump-schedule": None}
+             "dump-schedule": None, "shards": 2, "workers": 0,
+             "segments": 0, "dir": None}
     i = 0
     while i < len(args):
         token = args[i]
@@ -445,6 +457,100 @@ def cmd_fsck(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve_bench(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro serve-bench [FILE] [--shards K] "
+              "[--workers W] [--segments N] [--count N] [--batch-size K] "
+              "[--seed S] [--engine NAME] [--buffer N] [--block B] "
+              "[--dir PATH] [--json]", file=sys.stderr)
+        return 2
+    import contextlib
+    import tempfile
+    import time
+
+    from repro.serving import ShardedSegmentDatabase
+    from repro.workloads.queries import segment_queries
+
+    if positional:
+        from repro.workloads.files import load
+
+        segments = load(positional[0])
+    else:
+        from repro.workloads.nct_random import grid_segments
+
+        segments = grid_segments(flags["segments"] or 2000,
+                                 seed=flags["seed"])
+    queries = segment_queries(segments, flags["count"], seed=flags["seed"])
+    batch_size = flags["batch-size"] or len(queries)
+
+    t0 = time.perf_counter()
+    built = ShardedSegmentDatabase.bulk_load(
+        segments, shards=flags["shards"], engine=flags["engine"],
+        block_capacity=flags["block"], buffer_pages=flags["buffer"],
+    )
+    build_s = time.perf_counter() - t0
+
+    with contextlib.ExitStack() as stack:
+        directory = flags["dir"] or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-serve-"))
+        t0 = time.perf_counter()
+        built.save(directory)
+        save_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        served = stack.enter_context(ShardedSegmentDatabase.open(
+            directory, workers=flags["workers"],
+            buffer_pages=flags["buffer"]))
+        open_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        answered = 0
+        results = 0
+        for start in range(0, len(queries), batch_size):
+            batch = queries[start:start + batch_size]
+            for r in served.query_batch(batch):
+                results += len(r)
+            answered += len(batch)
+        serve_s = time.perf_counter() - t0
+        io = served.io_report()
+
+    summary = {
+        "engine": flags["engine"],
+        "segments": len(segments),
+        "shards": built.shard_count,
+        "replicated": built.replicated,
+        "workers": flags["workers"],
+        "queries": answered,
+        "batch_size": batch_size,
+        "results": results,
+        "build_s": build_s,
+        "snapshot_save_s": save_s,
+        "snapshot_open_s": open_s,
+        "serve_s": serve_s,
+        "queries_per_s": answered / serve_s if serve_s else None,
+        "io": io,
+    }
+    if flags["json"]:
+        import json
+
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"# {len(segments)} segments, {built.shard_count} shards "
+          f"(+{built.replicated} replicas), {flags['workers']} workers, "
+          f"engine {flags['engine']}")
+    print(f"# build {build_s:.3f}s; snapshot save {save_s:.3f}s, "
+          f"open {open_s:.3f}s")
+    print(f"# {answered} queries in {serve_s:.3f}s "
+          f"({summary['queries_per_s']:.0f} q/s), {results} results")
+    per_shard = ", ".join(str(s["total"]) for s in io["shards"])
+    print(f"# I/O: {io['combined']['total']} total ({per_shard} per shard)")
+    return 0
+
+
 def cmd_validate(args) -> int:
     if len(args) != 1:
         print("usage: python -m repro validate FILE", file=sys.stderr)
@@ -488,6 +594,8 @@ def main(argv=None) -> int:
         return cmd_chaos(args)
     if command == "fsck":
         return cmd_fsck(args)
+    if command == "serve-bench":
+        return cmd_serve_bench(args)
     if command == "version":
         from repro import __version__
 

@@ -202,6 +202,30 @@ class GridIndex:
         self.bounds, chains, self.size, self.replication = state
         self._chains = dict(chains)
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        return {
+            "cells": self.cells,
+            "bounds": self.bounds,
+            "size": self.size,
+            "replication": self.replication,
+            "chains": {cell: chain.head_pid for cell, chain in self._chains.items()},
+        }
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "GridIndex":
+        index = cls(pager, cells=meta["cells"])
+        index.bounds = meta["bounds"]
+        index.size = meta["size"]
+        index.replication = meta["replication"]
+        index._chains = {
+            cell: PageChain(pager, head_pid)
+            for cell, head_pid in meta["chains"].items()
+        }
+        return index
+
     @property
     def replication_factor(self) -> float:
         """Average number of cells each segment is stored in."""

@@ -83,3 +83,15 @@ class FullScanIndex:
 
     def restore_state(self, state: tuple) -> None:
         (self.size,) = state
+
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        return {"head_pid": self.chain.head_pid, "size": self.size}
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "FullScanIndex":
+        index = cls(pager, PageChain(pager, meta["head_pid"]))
+        index.size = meta["size"]
+        return index

@@ -278,6 +278,18 @@ class RTreeIndex:
     def restore_state(self, state: tuple) -> None:
         self.root_pid, self.size = state
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        return {"root_pid": self.root_pid, "size": self.size}
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "RTreeIndex":
+        index = cls(pager, root_pid=meta["root_pid"])
+        index.size = meta["size"]
+        return index
+
     def _check(self, pid: int, outer: Optional[BBox]) -> int:
         page = self.pager.fetch(pid)
         bbox = self._page_bbox(page)

@@ -95,3 +95,17 @@ class StabFilterIndex:
 
     def restore_state(self, state: tuple) -> None:
         self.tree.root_pid, self.tree._size = state
+
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        return {"root_pid": self.tree.root_pid, "size": self.tree._size,
+                "fanout": self.tree.fanout}
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "StabFilterIndex":
+        tree = ExternalIntervalTree(pager, fanout=meta["fanout"])
+        tree.root_pid = meta["root_pid"]
+        tree._size = meta["size"]
+        return cls(pager, tree)

@@ -54,8 +54,11 @@ from ..iosim import (
     RecoveryPendingError,
     RetryPolicy,
     SimulatedCrash,
+    SnapshotFormatError,
     StorageError,
     TransientIOError,
+    load_device,
+    save_device,
 )
 from ..telemetry import ExplainReport, MetricsRegistry, trace_call
 from .recovery import DegradedResult, FsckReport
@@ -156,17 +159,78 @@ class SegmentDatabase:
         return db
 
     def _build_engine(self, segments: List[Segment]):
-        if self.engine_name == "solution1":
-            return TwoLevelBinaryIndex.build(self.pager, segments)
-        if self.engine_name == "solution2":
-            return TwoLevelIntervalIndex.build(self.pager, segments)
-        if self.engine_name == "scan":
-            return FullScanIndex.build(self.pager, segments)
-        if self.engine_name == "stab-filter":
-            return StabFilterIndex.build(self.pager, segments)
-        if self.engine_name == "rtree":
-            return RTreeIndex.build(self.pager, segments)
-        return GridIndex.build(self.pager, segments)
+        return self._engine_class().build(self.pager, segments)
+
+    def _engine_class(self):
+        return {
+            "solution1": TwoLevelBinaryIndex,
+            "solution2": TwoLevelIntervalIndex,
+            "scan": FullScanIndex,
+            "stab-filter": StabFilterIndex,
+            "rtree": RTreeIndex,
+            "grid": GridIndex,
+        }[self.engine_name]
+
+    # ------------------------------------------------------------------
+    # persistence: build once, open many
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Serialize the built database to a snapshot file.
+
+        The snapshot holds the whole page store plus the engine metadata
+        (engine name, block capacity, root page ids, segment count), CRC-
+        protected at two levels (see :mod:`repro.iosim.snapshot`);
+        :meth:`open` restores a queryable database without rebuilding.
+        Only a healthy database can be saved — a dirty journal or a
+        quarantined index would persist exactly the damage snapshots
+        exist to avoid.  Returns the number of bytes written.
+        """
+        self._check_recovered()
+        self._check_not_quarantined("save")
+        meta = {
+            "engine": self.engine_name,
+            "segment_count": len(self),
+            "engine_meta": self._index.snapshot_meta(),
+        }
+        return save_device(path, self.device, meta)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        buffer_pages: Optional[int] = None,
+        validate: bool = False,
+    ) -> "SegmentDatabase":
+        """Restore a queryable database from a :meth:`save` snapshot.
+
+        The builder never runs: the page store is restored verbatim and
+        the engine re-attached over it, so ``open`` costs O(pages) of
+        deserialization instead of the O(N log N) build.  Verification
+        (magic, version, file CRC, per-page checksums) happens before
+        any page is trusted; damage raises
+        :class:`~repro.iosim.SnapshotFormatError`.  The buffer pool (if
+        requested) starts cold, and I/O counters start at zero — the
+        same accounting state ``bulk_load`` leaves behind.
+        """
+        device, meta = load_device(path)
+        try:
+            engine = meta["engine"]
+            engine_meta = meta["engine_meta"]
+        except (TypeError, KeyError) as exc:
+            raise SnapshotFormatError(path, f"missing field: {exc}") from exc
+        db = cls(
+            engine=engine,
+            block_capacity=device.block_capacity,
+            buffer_pages=buffer_pages,
+            validate=validate,
+        )
+        # __init__ built an empty engine (some engines allocate a page or
+        # two for it); replace the store wholesale with the snapshot's.
+        db.device._pages = device._pages
+        db.device._next_id = device._next_id
+        db._index = db._engine_class().attach(db.pager, engine_meta)
+        db.device.reset_counters()
+        return db
 
     # ------------------------------------------------------------------
     # queries
@@ -206,6 +270,11 @@ class SegmentDatabase:
         """
         queries = list(queries)
         self._check_recovered()
+        if not queries:
+            # An empty batch has no work: answer without charging the
+            # device or entering a pager operation (dedupe scopes and
+            # journals are per-operation state that would otherwise tick).
+            return []
         if self._quarantined:
             reason = self._quarantine_reason
             return [self._fallback_query(q, reason) for q in queries]
@@ -275,9 +344,15 @@ class SegmentDatabase:
         reported segments across the whole batch.
         """
         queries = list(queries)
+        self._check_recovered()
+        # Mirror query_batch: an empty batch never reaches the engine, so
+        # its anatomy is an all-zero report rather than a pager operation.
+        runner = (lambda: []) if not queries else (
+            lambda: self._index.query_batch(queries)
+        )
         out, report = trace_call(
             self.device,
-            lambda: self._index.query_batch(queries),
+            runner,
             engine=self.engine_name,
             description=f"batch of {len(queries)} queries",
             buffer_pool=self.buffer_pool,

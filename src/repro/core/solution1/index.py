@@ -601,3 +601,19 @@ class TwoLevelBinaryIndex:
 
     def restore_state(self, state: tuple) -> None:
         self.root_pid, self.size = state
+
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        """Everything beyond the page store needed to re-attach the engine."""
+        return {"root_pid": self.root_pid, "size": self.size,
+                "blocked": self.blocked}
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "TwoLevelBinaryIndex":
+        """Re-attach to an already-populated page store (no build I/O)."""
+        index = cls(pager, blocked=meta["blocked"])
+        index.root_pid = meta["root_pid"]
+        index.size = meta["size"]
+        return index

@@ -146,6 +146,11 @@ class GTree:
         self.pager = pager
         self.directory_pid = directory_pid
         self.boundaries = list(boundaries)  # s_1..s_b of the owning node
+        # Per-query scratch, reused across calls so the hot path does not
+        # allocate a slab list and dedup set per query (results lists are
+        # always fresh — callers own them).
+        self._slab_scratch: List[int] = []
+        self._seen_scratch: set = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -279,6 +284,8 @@ class GTree:
         if not nodes:
             return []
         slabs = self._inner_slabs_of(x0)
+        if not slabs:
+            return []
         # Query balls for the filtered comparisons, built once per query.
         qballs = (
             ball(x0),
@@ -286,12 +293,11 @@ class GTree:
             ball(yhi) if yhi is not None else None,
         )
         results: List[LongFragment] = []
-        seen = set()
+        seen = self._seen_scratch
+        seen.clear()
         for k in slabs:
-            for frag in self._query_path(nodes, k, x0, ylo, yhi, use_bridges, qballs):
-                if frag.payload.label not in seen:
-                    seen.add(frag.payload.label)
-                    results.append(frag)
+            self._query_path(nodes, k, x0, ylo, yhi, use_bridges, qballs,
+                             results, seen)
         return results
 
     def query_group(
@@ -310,9 +316,9 @@ class GTree:
         ]
 
     def _query_path(
-        self, nodes, k: int, x0, ylo, yhi, use_bridges: bool, qballs: Tuple
-    ) -> List[LongFragment]:
-        results: List[LongFragment] = []
+        self, nodes, k: int, x0, ylo, yhi, use_bridges: bool, qballs: Tuple,
+        results: List[LongFragment], seen: set,
+    ) -> None:
         idx: Optional[int] = 0
         hint: Optional[Position] = None
         while idx is not None:
@@ -330,21 +336,22 @@ class GTree:
                 tree = BPlusTree(self.pager, node.root_pid)
                 hint = self._scan_node(
                     tree, x0, ylo, yhi, hint if use_bridges else None, son_slot,
-                    results, qballs,
+                    results, seen, qballs,
                 )
             idx = next_idx
-        return results
 
     def _inner_slabs_of(self, x0) -> List[int]:
         """Inner slabs (1-based) whose closed x-range contains ``x0``.
 
         One slab in general position, two when ``x0`` sits on an interior
-        boundary, none outside ``[s_1, s_b]``."""
+        boundary, none outside ``[s_1, s_b]``.  Returns a scratch list
+        reused by the next call — consume before re-entering."""
+        slabs = self._slab_scratch
+        slabs.clear()
         b = len(self.boundaries)
         if b < 2 or x0 < self.boundaries[0] or x0 > self.boundaries[-1]:
-            return []
+            return slabs
         k = bisect.bisect_right(self.boundaries, x0)  # 0-based outer slab
-        slabs = []
         if 1 <= k <= b - 1:
             slabs.append(k)
         if k >= 1 and x0 == self.boundaries[k - 1] and k - 1 >= 1:
@@ -355,7 +362,8 @@ class GTree:
 
     def _scan_node(
         self, tree: BPlusTree, x0, ylo, yhi, hint: Optional[Position],
-        son_slot: Optional[int], results: List[LongFragment], qballs: Tuple,
+        son_slot: Optional[int], results: List[LongFragment], seen: set,
+        qballs: Tuple,
     ) -> Optional[Position]:
         """Report this node's hits; return the bridge hint for the next son."""
         start = self._boundary_position(tree, x0, ylo, hint, qballs)
@@ -364,12 +372,13 @@ class GTree:
         # "scan", the ``t`` term of Theorem 2).
         with trace.span("scan"):
             return self._scan_entries(
-                tree, start, x0, ylo, yhi, son_slot, results, None, qballs
+                tree, start, x0, ylo, yhi, son_slot, results, seen, None,
+                qballs
             )
 
     def _scan_entries(
         self, tree: BPlusTree, start: Position, x0, ylo, yhi,
-        son_slot: Optional[int], results: List[LongFragment],
+        son_slot: Optional[int], results: List[LongFragment], seen: set,
         last_entry_before: Optional[GEntry], qballs: Tuple,
     ) -> Optional[Position]:
         xb, lob, hib = qballs
@@ -384,7 +393,13 @@ class GTree:
                     next_hint = entry.bridges.get(son_slot)
                 break
             if real:
-                results.append(entry.frag)
+                # Dedup at the report site (a fragment on a boundary query
+                # is scanned once per walked path): same output order as
+                # the old collect-then-filter, without the per-path list.
+                label = entry.frag.payload.label
+                if label not in seen:
+                    seen.add(label)
+                    results.append(entry.frag)
             if next_hint is None and son_slot is not None:
                 got = entry.bridges.get(son_slot)
                 if got is not None:

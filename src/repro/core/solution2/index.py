@@ -609,6 +609,22 @@ class TwoLevelIntervalIndex:
     def restore_state(self, state: tuple) -> None:
         self.root_pid, self.size = state
 
+    # ------------------------------------------------------------------
+    # persistence support
+    # ------------------------------------------------------------------
+    def snapshot_meta(self) -> dict:
+        """Everything beyond the page store needed to re-attach the engine."""
+        return {"root_pid": self.root_pid, "size": self.size,
+                "fanout": self.fanout, "blocked": self.blocked}
+
+    @classmethod
+    def attach(cls, pager: Pager, meta: dict) -> "TwoLevelIntervalIndex":
+        """Re-attach to an already-populated page store (no build I/O)."""
+        index = cls(pager, fanout=meta["fanout"], blocked=meta["blocked"])
+        index.root_pid = meta["root_pid"]
+        index.size = meta["size"]
+        return index
+
     def _check_subtree(self, pid: int, lo, hi, deep: bool = False) -> int:
         head = self.pager.fetch(pid)
         if head.get_header("kind") == "leaf":

@@ -16,12 +16,15 @@ from .errors import (
     PinnedPageError,
     RecoveryPendingError,
     SimulatedCrash,
+    SnapshotFormatError,
     StorageError,
     TransientIOError,
 )
 from .faults import FaultSchedule, FaultyBlockDevice, RetryPolicy, page_fingerprint
 from .page import HEADER_SLOTS, Page
 from .pager import Pager
+from .snapshot import FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION
+from .snapshot import load_device, save_device
 from .stats import IOStats, Measurement
 
 __all__ = [
@@ -41,8 +44,12 @@ __all__ = [
     "PinnedPageError",
     "RecoveryPendingError",
     "RetryPolicy",
+    "SNAPSHOT_FORMAT_VERSION",
     "SimulatedCrash",
+    "SnapshotFormatError",
     "StorageError",
     "TransientIOError",
+    "load_device",
     "page_fingerprint",
+    "save_device",
 ]

@@ -112,6 +112,19 @@ class LRUBufferPool:
         self.hits = 0
         self.misses = 0
 
+    def drop_cache(self) -> None:
+        """Evict every unpinned page, returning the pool to a cold state.
+
+        Pinned pages cannot be dropped (their holders still reference
+        them); a pool with outstanding pins raises
+        :class:`~repro.iosim.errors.PinnedPageError` instead of silently
+        keeping a warm subset.
+        """
+        if self._pins:
+            pid = next(iter(self._pins))
+            raise PinnedPageError(pid, self._pins[pid])
+        self._lru.clear()
+
     @property
     def hit_rate(self) -> float:
         touched = self.hits + self.misses

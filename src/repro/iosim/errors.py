@@ -112,3 +112,19 @@ class RecoveryPendingError(StorageError):
         super().__init__(
             "a crashed update left the journal dirty; call recover() first"
         )
+
+
+class SnapshotFormatError(StorageError):
+    """A snapshot file cannot be trusted: wrong magic, an unsupported
+    version, a truncated payload, a failed file CRC, or a page whose
+    content no longer matches its stored checksum.
+
+    Opening a damaged snapshot must fail loudly *before* any query runs
+    over it — a snapshot is the one artifact that crosses process (and
+    machine) boundaries, so it gets the strictest verification.
+    """
+
+    def __init__(self, path: str, reason: str):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"snapshot {path!r}: {reason}")

@@ -1,0 +1,163 @@
+"""Versioned, checksummed binary snapshots of a built page store.
+
+The paper's engines are expensive to build (``O(N log N)`` with large
+constants) and cheap to serve — exactly the profile that makes
+build-once/open-many persistence worthwhile (cf. the persistent
+external-memory search trees of Brodal et al.).  A snapshot captures one
+:class:`~repro.iosim.disk.BlockDevice` — every live page plus the
+allocator cursor — together with a small engine-metadata dict, in a
+single file that ``SegmentDatabase.open()`` can restore without ever
+touching the builder.
+
+File layout (all integers big-endian)::
+
+    offset  size  field
+    0       8     magic  b"REPROSNP"
+    8       4     format version (currently 1)
+    12      8     payload length in bytes
+    20      4     CRC32 of the payload bytes
+    24      ...   payload: pickled snapshot dict
+
+The payload is one pickle holding the metadata, the pages as
+``(page_id, items, header)`` triples, and a per-page CRC computed with
+:func:`~repro.iosim.faults.page_fingerprint` — the same checksum the
+fault layer maintains at rest — so verification on load has two
+independent layers: the file CRC catches truncation and bit rot in the
+container, the per-page fingerprints catch anything that slipped through
+(or a pickle that decoded into different content).  Every failure mode
+raises a typed :class:`~repro.iosim.errors.SnapshotFormatError`.
+
+Pages are pickled as a single object graph, so item objects shared
+between pages (a :class:`~repro.geometry.segment.Segment` referenced by
+several structures, say) stay shared after a round trip — the restored
+store is isomorphic to the saved one, not just equal page by page.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, Tuple
+
+from .disk import BlockDevice
+from .errors import SnapshotFormatError
+from .faults import page_fingerprint
+from .page import Page
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct(">8sIQI")  # magic, version, payload length, CRC32
+
+
+def save_device(path: str, device: BlockDevice, meta: Dict[str, Any]) -> int:
+    """Serialize ``device``'s live pages plus ``meta`` to ``path``.
+
+    ``meta`` is the caller's engine metadata (engine name, root page ids,
+    segment count, ...); it must be picklable and is returned verbatim by
+    :func:`load_device`.  Returns the number of bytes written.
+    """
+    pages = sorted(device.iter_pages(), key=lambda p: p.page_id)
+    payload_obj = {
+        "meta": meta,
+        "block_capacity": device.block_capacity,
+        "next_id": device._next_id,
+        "pages": [(p.page_id, p.items, p.header) for p in pages],
+        "page_crcs": {p.page_id: page_fingerprint(p) for p in pages},
+    }
+    payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, FORMAT_VERSION, len(payload),
+                              zlib.crc32(payload)))
+        fh.write(payload)
+    return _HEADER.size + len(payload)
+
+
+def load_device(path: str) -> Tuple[BlockDevice, Dict[str, Any]]:
+    """Restore ``(device, meta)`` from a snapshot written by
+    :func:`save_device`.
+
+    Verification order: magic → version → payload length → file CRC →
+    unpickle → per-page fingerprint.  Any mismatch raises
+    :class:`SnapshotFormatError`; a clean load returns a fresh
+    :class:`BlockDevice` with zeroed I/O counters (restoring a snapshot
+    is free in the cost model, like ``bulk_load``'s post-build reset).
+    """
+    try:
+        with open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise SnapshotFormatError(path, "file shorter than the header")
+            magic, version, length, crc = _HEADER.unpack(header)
+            if magic != MAGIC:
+                raise SnapshotFormatError(
+                    path, f"bad magic {magic!r} (not a repro snapshot)"
+                )
+            if version != FORMAT_VERSION:
+                raise SnapshotFormatError(
+                    path,
+                    f"unsupported format version {version} "
+                    f"(this build reads version {FORMAT_VERSION})",
+                )
+            payload = fh.read(length + 1)
+    except OSError as exc:
+        raise SnapshotFormatError(path, f"unreadable: {exc}") from exc
+    if len(payload) != length:
+        raise SnapshotFormatError(
+            path,
+            f"payload truncated or padded: expected {length} bytes, "
+            f"found {len(payload)}",
+        )
+    if zlib.crc32(payload) != crc:
+        raise SnapshotFormatError(path, "payload CRC mismatch (corrupt file)")
+    try:
+        payload_obj = _restricted_loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SnapshotFormatError(path, f"undecodable payload: {exc}") from exc
+    try:
+        block_capacity = payload_obj["block_capacity"]
+        next_id = payload_obj["next_id"]
+        pages = payload_obj["pages"]
+        page_crcs = payload_obj["page_crcs"]
+        meta = payload_obj["meta"]
+    except (TypeError, KeyError) as exc:
+        raise SnapshotFormatError(path, f"missing field: {exc}") from exc
+
+    device = BlockDevice(block_capacity)
+    for page_id, items, header in pages:
+        page = Page(page_id, block_capacity)
+        page.items = items
+        page.header = header
+        expected = page_crcs.get(page_id)
+        if expected is None or page_fingerprint(page) != expected:
+            raise SnapshotFormatError(
+                path, f"page {page_id}: checksum mismatch"
+            )
+        device._pages[page_id] = page
+    device._next_id = max(
+        next_id, max(device._pages, default=-1) + 1
+    )
+    return device, meta
+
+
+#: Modules a snapshot payload is allowed to resolve globals from.  A
+#: snapshot only ever contains this library's value types (plus stdlib
+#: scalars), so anything else in the stream is treated as damage, not
+#: data — ``pickle.loads`` on a hostile file is an RCE otherwise.
+_ALLOWED_MODULE_PREFIXES = ("repro.", "fractions", "builtins", "collections")
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str):
+        if module.split(".")[0] + "." in _ALLOWED_MODULE_PREFIXES or module in (
+            "fractions", "builtins", "collections",
+        ):
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"snapshot references forbidden global {module}.{name}"
+        )
+
+
+def _restricted_loads(payload: bytes):
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()

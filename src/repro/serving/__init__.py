@@ -1,0 +1,26 @@
+"""Sharded parallel serving over index snapshots.
+
+The paper's cost model prices one machine answering one query; a serving
+deployment answers many queries against data partitioned across workers.
+This package adds that layer without touching the engines:
+
+* :class:`ShardedSegmentDatabase` partitions an NCT segment set into K
+  x-range slabs, each an ordinary :class:`~repro.core.api.SegmentDatabase`,
+  routes vertical queries to the (usually one) intersecting shard, and
+  merges results duplicate-free;
+* shard snapshots (:meth:`ShardedSegmentDatabase.save` /
+  :meth:`ShardedSegmentDatabase.open`) make a built sharded database a
+  directory of files that serving processes ``open()`` in O(pages) instead
+  of rebuilding in O(N log N);
+* a :class:`ShardWorkerPool` executes shard sub-batches across OS
+  processes, each worker opening its shard snapshot once and keeping it
+  warm; ``workers=0`` runs the identical routing code synchronously.
+
+See DESIGN.md §11 for how shard count and worker count interact with the
+paper's per-query I/O bounds.
+"""
+
+from .sharded import ShardedSegmentDatabase
+from .workers import ShardWorkerPool
+
+__all__ = ["ShardWorkerPool", "ShardedSegmentDatabase"]

@@ -1,0 +1,384 @@
+"""X-range sharding of a segment database.
+
+A vertical query touches one x; partitioning the plane into K vertical
+slabs therefore routes each query to exactly one shard (two when its x
+lands on a slab boundary).  Boundary-crossing segments are **replicated**
+into every slab they intersect — the alternative, clipping, would
+manufacture segment fragments with new identities and break the NCT
+invariant at the cut — and the merge step deduplicates by segment label,
+so replication is invisible in results.  The cost is storage: the
+``replicated`` counter reports how many extra copies sharding created
+(long segments are the worst case, exactly as for the grid baseline's
+cell replication).
+
+Each shard is an ordinary :class:`~repro.core.api.SegmentDatabase`, so
+every engine, the buffer pool, and the snapshot format all work per shard
+unchanged.  Interior boundaries are population quantiles of the segment
+x-midpoints, which balances shard sizes under skew better than an even
+split of the x-extent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.api import ENGINES, SegmentDatabase
+from ..geometry import Segment, VerticalQuery
+from ..iosim import IOStats, SnapshotFormatError
+from ..telemetry import ExplainReport
+from .workers import ShardWorkerPool
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def _boundary_to_str(value) -> str:
+    return str(Fraction(value))
+
+
+def _boundary_from_str(text: str):
+    value = Fraction(text)
+    return int(value) if value.denominator == 1 else value
+
+
+class ShardedSegmentDatabase:
+    """K x-range shards behind one query surface.
+
+    Build with :meth:`bulk_load`, persist with :meth:`save`, and serve
+    with :meth:`open` — synchronously (``workers=0``, every shard opened
+    in-process) or across a :class:`~repro.serving.workers.ShardWorkerPool`
+    (``workers>0``).  Both paths share the routing and merge code, so
+    their results are identical query for query.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        boundaries: Sequence,
+        shards: Optional[List[SegmentDatabase]] = None,
+        pool: Optional[ShardWorkerPool] = None,
+        segment_count: int = 0,
+        replicated: int = 0,
+    ):
+        if (shards is None) == (pool is None):
+            raise ValueError("exactly one of shards / pool must be given")
+        self.engine_name = engine
+        self.boundaries = list(boundaries)  # interior cuts, ascending
+        self.shard_count = (len(shards) if shards is not None
+                            else len(pool._paths))
+        if len(self.boundaries) != self.shard_count - 1:
+            raise ValueError(
+                f"{self.shard_count} shards need {self.shard_count - 1} "
+                f"interior boundaries, got {len(self.boundaries)}"
+            )
+        self._shards = shards
+        self._pool = pool
+        self.segment_count = segment_count
+        self.replicated = replicated
+        # Pool mode: I/O happens in worker processes; accumulate the
+        # per-batch diffs they report so io_report() still adds up.
+        self._pool_io = [IOStats() for _ in range(self.shard_count)]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        segments,
+        shards: int = 4,
+        engine: str = "solution2",
+        block_capacity: int = 64,
+        buffer_pages: Optional[int] = None,
+        validate: bool = False,
+    ) -> "ShardedSegmentDatabase":
+        """Partition ``segments`` into x-range slabs and build each shard."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+        segments = list(segments)
+        boundaries = cls._choose_boundaries(segments, shards)
+        slabs: List[List[Segment]] = [[] for _ in range(len(boundaries) + 1)]
+        replicated = 0
+        for s in segments:
+            hit = cls._slabs_of_range(boundaries, s.xmin, s.xmax)
+            replicated += len(hit) - 1
+            for i in hit:
+                slabs[i].append(s)
+        built = [
+            SegmentDatabase.bulk_load(
+                slab, engine=engine, block_capacity=block_capacity,
+                buffer_pages=buffer_pages, validate=validate,
+            )
+            for slab in slabs
+        ]
+        return cls(engine, boundaries, shards=built,
+                   segment_count=len(segments), replicated=replicated)
+
+    @staticmethod
+    def _choose_boundaries(segments: List[Segment], shards: int) -> List:
+        """Interior cuts at x-midpoint quantiles (deduplicated, so heavy
+        skew may yield fewer effective shards than requested)."""
+        if shards == 1 or not segments:
+            return []
+        mids = sorted(Fraction(s.xmin + s.xmax) / 2 for s in segments)
+        cuts = []
+        for k in range(1, shards):
+            cut = mids[(k * len(mids)) // shards]
+            cut = int(cut) if cut.denominator == 1 else cut
+            if not cuts or cut > cuts[-1]:
+                cuts.append(cut)
+        return cuts
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slabs_of_range(boundaries: List, xlo, xhi) -> List[int]:
+        """Indices of every slab the closed x-range intersects.
+
+        Slab ``i`` covers the closed interval [b_{i-1}, b_i] (unbounded at
+        the ends); adjacent slabs share their boundary point, which is what
+        makes boundary routing find the replica on either side.
+        """
+        out = []
+        for i in range(len(boundaries) + 1):
+            lo = boundaries[i - 1] if i > 0 else None
+            hi = boundaries[i] if i < len(boundaries) else None
+            if (lo is None or xhi >= lo) and (hi is None or xlo <= hi):
+                out.append(i)
+        return out
+
+    def shards_for(self, x) -> List[int]:
+        """Which shards answer a query at ``x`` (two iff x is a boundary)."""
+        return self._slabs_of_range(self.boundaries, x, x)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, q: VerticalQuery) -> List[Segment]:
+        return self.query_batch([q])[0]
+
+    def query_batch(
+        self, queries: Sequence[VerticalQuery]
+    ) -> List[List[Segment]]:
+        """Route, execute per shard, and merge back into input order.
+
+        Replicated boundary-crossers are deduplicated by label during the
+        merge (ascending shard order, first occurrence wins), so results
+        match an unsharded database up to ordering within a query.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        batches, routes = self._route(queries)
+        executed = self._execute_query_batches(batches)
+        out: List[List[Segment]] = []
+        for pos, q in enumerate(queries):
+            hit = routes[pos]
+            if len(hit) == 1:
+                index, offset = hit[0]
+                out.append(executed[index][offset])
+                continue
+            seen = set()
+            merged: List[Segment] = []
+            for index, offset in hit:
+                for s in executed[index][offset]:
+                    if s.label not in seen:
+                        seen.add(s.label)
+                        merged.append(s)
+            out.append(merged)
+        return out
+
+    def explain_batch(
+        self, queries: Sequence[VerticalQuery]
+    ) -> List[ExplainReport]:
+        """Per-shard cost anatomies of the routed batch (ascending shard
+        index, shards that received no queries omitted).  Each report is
+        exactly what the shard's own ``explain_batch`` produced; summing
+        their ``io`` fields gives the whole batch's cost."""
+        queries = list(queries)
+        if not queries:
+            return []
+        batches, _routes = self._route(queries)
+        reports = self._execute_explain_batches(batches)
+        out = []
+        for index in sorted(reports):
+            report = reports[index]
+            report.description = f"shard {index}: {report.description}"
+            out.append(report)
+        return out
+
+    def _route(
+        self, queries: List[VerticalQuery]
+    ) -> Tuple[Dict[int, List[VerticalQuery]], List[List[Tuple[int, int]]]]:
+        """Split a batch into per-shard sub-batches.
+
+        Returns the sub-batches plus, per input query, its ``(shard,
+        offset-within-sub-batch)`` coordinates for the scatter-back.
+        """
+        batches: Dict[int, List[VerticalQuery]] = {}
+        routes: List[List[Tuple[int, int]]] = []
+        for q in queries:
+            hit = []
+            for index in self.shards_for(q.x):
+                sub = batches.setdefault(index, [])
+                hit.append((index, len(sub)))
+                sub.append(q)
+            routes.append(hit)
+        return batches, routes
+
+    # ------------------------------------------------------------------
+    # execution back ends (synchronous vs worker pool)
+    # ------------------------------------------------------------------
+    def _execute_query_batches(
+        self, batches: Dict[int, List[VerticalQuery]]
+    ) -> Dict[int, List[List[Segment]]]:
+        if self._pool is None:
+            return {
+                index: self._shards[index].query_batch(queries)
+                for index, queries in batches.items()
+            }
+        gathered = self._pool.query_batches(batches)
+        out = {}
+        for index, (results, io) in gathered.items():
+            self._pool_io[index] = self._pool_io[index] + io
+            out[index] = results
+        return out
+
+    def _execute_explain_batches(
+        self, batches: Dict[int, List[VerticalQuery]]
+    ) -> Dict[int, ExplainReport]:
+        if self._pool is None:
+            return {
+                index: self._shards[index].explain_batch(queries)
+                for index, queries in batches.items()
+            }
+        gathered = self._pool.explain_batches(batches)
+        out = {}
+        for index, (report, io) in gathered.items():
+            self._pool_io[index] = self._pool_io[index] + io
+            out[index] = report
+        return out
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def io_report(self) -> dict:
+        """Per-shard and combined I/O counters.
+
+        In pool mode the per-shard entries are the accumulated diffs the
+        workers shipped back with each batch; in synchronous mode they
+        are the shard devices' live counters.  Either way the combined
+        block equals the sum of the shard blocks.
+        """
+        if self._pool is None:
+            per_shard = [db.io_stats() for db in self._shards]
+        else:
+            per_shard = list(self._pool_io)
+        combined = IOStats()
+        for stats in per_shard:
+            combined = combined + stats
+        shard_dicts = []
+        for stats in per_shard:
+            entry = stats.to_dict()
+            entry["total"] = stats.total
+            shard_dicts.append(entry)
+        total = combined.to_dict()
+        total["total"] = combined.total
+        return {"shards": shard_dicts, "combined": total}
+
+    def __len__(self) -> int:
+        return self.segment_count
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> dict:
+        """Write one snapshot per shard plus a manifest into ``directory``.
+
+        Returns the manifest dict (paths relative to the directory).
+        Only a synchronously held database can save — in pool mode the
+        page stores live in the workers.
+        """
+        if self._shards is None:
+            raise ValueError("cannot save a pool-backed sharded database; "
+                             "save before open(workers=...)")
+        os.makedirs(directory, exist_ok=True)
+        shard_files = []
+        for index, db in enumerate(self._shards):
+            name = f"shard-{index:03d}.snap"
+            db.save(os.path.join(directory, name))
+            shard_files.append(name)
+        manifest = {
+            "format_version": MANIFEST_VERSION,
+            "engine": self.engine_name,
+            "shards": self.shard_count,
+            "boundaries": [_boundary_to_str(b) for b in self.boundaries],
+            "segment_count": self.segment_count,
+            "replicated": self.replicated,
+            "shard_files": shard_files,
+        }
+        with open(os.path.join(directory, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return manifest
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        workers: int = 0,
+        buffer_pages: Optional[int] = None,
+    ) -> "ShardedSegmentDatabase":
+        """Restore a sharded database saved by :meth:`save`.
+
+        ``workers=0`` opens every shard in this process; ``workers>0``
+        hands the snapshot paths to a
+        :class:`~repro.serving.workers.ShardWorkerPool` and shards are
+        opened (once each) inside the worker processes instead.
+        """
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            raise SnapshotFormatError(manifest_path, "manifest not found")
+        except json.JSONDecodeError as exc:
+            raise SnapshotFormatError(manifest_path,
+                                      f"manifest is not JSON: {exc}") from exc
+        version = manifest.get("format_version")
+        if version != MANIFEST_VERSION:
+            raise SnapshotFormatError(
+                manifest_path,
+                f"unsupported manifest version {version!r} "
+                f"(expected {MANIFEST_VERSION})",
+            )
+        boundaries = [_boundary_from_str(b) for b in manifest["boundaries"]]
+        paths = [os.path.join(directory, name)
+                 for name in manifest["shard_files"]]
+        if workers > 0:
+            pool = ShardWorkerPool(paths, workers, buffer_pages=buffer_pages)
+            return cls(manifest["engine"], boundaries, pool=pool,
+                       segment_count=manifest["segment_count"],
+                       replicated=manifest["replicated"])
+        shards = [SegmentDatabase.open(path, buffer_pages=buffer_pages)
+                  for path in paths]
+        return cls(manifest["engine"], boundaries, shards=shards,
+                   segment_count=manifest["segment_count"],
+                   replicated=manifest["replicated"])
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op in synchronous mode)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    def __enter__(self) -> "ShardedSegmentDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,111 @@
+"""Multi-process batch execution over shard snapshots.
+
+Each worker process holds a module-level cache of opened shards: the first
+task touching shard ``i`` pays the ``SegmentDatabase.open()`` cost once,
+and every later task against that shard reuses the warm instance (buffer
+pool contents included).  Workers ship back the query results *and* the
+I/O-counter diff of the batch, so the parent's aggregated telemetry sums
+to exactly what a single-process run would have charged.
+
+Everything that crosses the process boundary — queries, segments,
+:class:`~repro.iosim.stats.IOStats`,
+:class:`~repro.telemetry.ExplainReport` — is plain picklable data; the
+page store itself never moves, each worker reads it from the snapshot
+file.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import VerticalQuery
+from ..iosim import IOStats
+
+# Per-process state, set by the pool initializer and filled lazily.
+_SHARD_PATHS: Optional[List[str]] = None
+_BUFFER_PAGES: Optional[int] = None
+_OPENED: Dict[int, object] = {}
+
+
+def _init_worker(shard_paths: List[str], buffer_pages: Optional[int]) -> None:
+    global _SHARD_PATHS, _BUFFER_PAGES
+    _SHARD_PATHS = list(shard_paths)
+    _BUFFER_PAGES = buffer_pages
+    _OPENED.clear()
+
+
+def _shard(index: int):
+    """The worker's warm database for shard ``index`` (opened on first use)."""
+    db = _OPENED.get(index)
+    if db is None:
+        from ..core.api import SegmentDatabase
+
+        db = SegmentDatabase.open(_SHARD_PATHS[index],
+                                  buffer_pages=_BUFFER_PAGES)
+        _OPENED[index] = db
+    return db
+
+
+def _run_query_batch(index: int, queries: Sequence[VerticalQuery]) -> Tuple:
+    db = _shard(index)
+    before = db.io_stats()
+    results = db.query_batch(queries)
+    return results, db.io_stats() - before
+
+
+def _run_explain_batch(index: int, queries: Sequence[VerticalQuery]) -> Tuple:
+    db = _shard(index)
+    before = db.io_stats()
+    report = db.explain_batch(queries)
+    return report, db.io_stats() - before
+
+
+class ShardWorkerPool:
+    """A process pool executing per-shard sub-batches.
+
+    The pool is engine-agnostic: it only knows shard snapshot paths.  Its
+    two entry points mirror the private execution hooks of
+    :class:`~repro.serving.sharded.ShardedSegmentDatabase`, taking a
+    ``{shard_index: queries}`` mapping and returning
+    ``{shard_index: (payload, IOStats)}``.
+    """
+
+    def __init__(self, shard_paths: Sequence[str], workers: int,
+                 buffer_pages: Optional[int] = None):
+        if workers < 1:
+            raise ValueError("ShardWorkerPool needs workers >= 1 "
+                             "(use the synchronous path for workers=0)")
+        self._paths = list(shard_paths)
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self._paths, buffer_pages),
+        )
+
+    def query_batches(
+        self, batches: Dict[int, List[VerticalQuery]]
+    ) -> Dict[int, Tuple[List, IOStats]]:
+        return self._gather(_run_query_batch, batches)
+
+    def explain_batches(
+        self, batches: Dict[int, List[VerticalQuery]]
+    ) -> Dict[int, Tuple[object, IOStats]]:
+        return self._gather(_run_explain_batch, batches)
+
+    def _gather(self, fn, batches: Dict[int, List[VerticalQuery]]) -> Dict:
+        futures = {
+            index: self._executor.submit(fn, index, queries)
+            for index, queries in batches.items()
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

@@ -1,0 +1,71 @@
+"""Regression: an empty batch must cost nothing.
+
+``query_batch([])`` used to enter the engine's pager operation (ticking
+dedupe scopes and, on a faulty device, the journal) even though there was
+no work; in a serving loop that polls with possibly-empty batches this
+charged I/O for silence.  Both batch entry points now return before
+touching the pager.
+"""
+
+import pytest
+
+from repro import ENGINES, SegmentDatabase
+from repro.workloads import grid_segments
+
+
+@pytest.fixture(scope="module")
+def segments():
+    return grid_segments(120, seed=17)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_empty_query_batch_charges_nothing(segments, engine):
+    db = SegmentDatabase.bulk_load(segments, engine=engine,
+                                   block_capacity=16)
+    db.reset_io_stats()
+    assert db.query_batch([]) == []
+    assert db.io_stats().total == 0, f"{engine} charged I/O for no queries"
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+def test_empty_explain_batch_is_all_zero(segments, engine):
+    db = SegmentDatabase.bulk_load(segments, engine=engine,
+                                   block_capacity=16)
+    db.reset_io_stats()
+    report = db.explain_batch([])
+    assert report.results == 0
+    assert report.io.total == 0
+    assert db.io_stats().total == 0
+    assert "batch of 0 queries" in report.description
+
+
+def test_empty_batch_skips_pager_operation(segments):
+    """The early return must not open a pager operation at all: operation
+    scopes reset read-dedup state, so an empty batch inside a caller's
+    operation would silently change the caller's dedupe accounting."""
+    db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                   block_capacity=16)
+    depth_seen = []
+    original = db.pager.operation
+
+    def spying_operation(*args, **kwargs):
+        depth_seen.append(True)
+        return original(*args, **kwargs)
+
+    db.pager.operation = spying_operation
+    try:
+        db.query_batch([])
+        db.explain_batch([])
+    finally:
+        db.pager.operation = original
+    assert not depth_seen, "empty batch entered a pager operation"
+
+
+def test_empty_batch_with_metrics_registry(segments):
+    """Metrics attached: the empty batch still answers [] without I/O."""
+    db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                   block_capacity=16)
+    db.enable_metrics()
+    db.reset_io_stats()
+    assert db.query_batch([]) == []
+    assert db.io_stats().total == 0

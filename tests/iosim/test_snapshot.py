@@ -1,0 +1,154 @@
+"""Unit tests for the binary snapshot format (save_device/load_device)."""
+
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro.iosim import (
+    BlockDevice,
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotFormatError,
+    load_device,
+    save_device,
+)
+from repro.iosim.snapshot import _HEADER, MAGIC
+
+
+def make_device(pages=5, capacity=8):
+    device = BlockDevice(capacity)
+    for i in range(pages):
+        page = device.alloc()
+        page.items = [("item", i, j) for j in range(i + 1)]
+        page.set_header("kind", f"p{i}")
+        device.write(page)
+    # A hole in the id space: freed pages must not resurrect on load.
+    device.free(0)
+    return device
+
+
+def test_round_trip_preserves_pages_and_meta(tmp_path):
+    device = make_device()
+    path = str(tmp_path / "dev.snap")
+    nbytes = save_device(path, device, {"engine": "x", "root": 3})
+    assert nbytes == (tmp_path / "dev.snap").stat().st_size
+
+    restored, meta = load_device(path)
+    assert meta == {"engine": "x", "root": 3}
+    assert restored.block_capacity == device.block_capacity
+    assert sorted(restored._pages) == sorted(device._pages)
+    for pid, page in device._pages.items():
+        twin = restored._pages[pid]
+        assert twin.items == page.items
+        assert twin.header == page.header
+    # The allocator does not reuse ids that were live at save time.
+    fresh = restored.alloc()
+    assert fresh.page_id not in device._pages
+    # Counters start at zero: opening a snapshot is free in the model.
+    assert restored.snapshot().total == 0
+
+
+def test_shared_items_stay_shared_after_round_trip(tmp_path):
+    device = BlockDevice(8)
+    shared = ["payload"]
+    a, b = device.alloc(), device.alloc()
+    a.items = [shared]
+    b.items = [shared]
+    device.write(a)
+    device.write(b)
+    path = str(tmp_path / "dev.snap")
+    save_device(path, device, {})
+    restored, _meta = load_device(path)
+    ra, rb = restored._pages[a.page_id], restored._pages[b.page_id]
+    assert ra.items[0] is rb.items[0], "object identity lost in snapshot"
+
+
+def test_missing_file_and_short_file(tmp_path):
+    with pytest.raises(SnapshotFormatError, match="unreadable"):
+        load_device(str(tmp_path / "nope.snap"))
+    short = tmp_path / "short.snap"
+    short.write_bytes(b"REPROSN")  # shorter than the header
+    with pytest.raises(SnapshotFormatError, match="shorter than the header"):
+        load_device(str(short))
+
+
+def test_bad_magic(tmp_path):
+    path = tmp_path / "dev.snap"
+    save_device(str(path), make_device(), {})
+    blob = bytearray(path.read_bytes())
+    blob[0] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError, match="bad magic"):
+        load_device(str(path))
+
+
+def test_future_version_rejected(tmp_path):
+    path = tmp_path / "dev.snap"
+    save_device(str(path), make_device(), {})
+    blob = bytearray(path.read_bytes())
+    struct.pack_into(">I", blob, 8, SNAPSHOT_FORMAT_VERSION + 1)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError, match="unsupported format version"):
+        load_device(str(path))
+
+
+def test_truncated_payload(tmp_path):
+    path = tmp_path / "dev.snap"
+    save_device(str(path), make_device(), {})
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    with pytest.raises(SnapshotFormatError, match="truncated"):
+        load_device(str(path))
+
+
+def test_flipped_payload_byte_fails_crc(tmp_path):
+    path = tmp_path / "dev.snap"
+    save_device(str(path), make_device(), {})
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0x01
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError, match="CRC mismatch"):
+        load_device(str(path))
+
+
+def _repack(path, payload_obj):
+    """Write a snapshot with a valid header around an arbitrary payload."""
+    payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    path.write_bytes(
+        _HEADER.pack(MAGIC, SNAPSHOT_FORMAT_VERSION, len(payload),
+                     zlib.crc32(payload)) + payload
+    )
+
+
+def test_page_fingerprint_mismatch_detected(tmp_path):
+    """Content tampering behind a recomputed file CRC still fails: the
+    per-page fingerprints are the second, independent verification layer."""
+    device = make_device()
+    path = tmp_path / "dev.snap"
+    save_device(str(path), device, {})
+    payload_obj = pickle.loads(path.read_bytes()[_HEADER.size:])
+    pid, items, header = payload_obj["pages"][0]
+    payload_obj["pages"][0] = (pid, items + [("smuggled",)], header)
+    _repack(path, payload_obj)
+    with pytest.raises(SnapshotFormatError, match="checksum mismatch"):
+        load_device(str(path))
+
+
+def test_missing_payload_field(tmp_path):
+    path = tmp_path / "dev.snap"
+    _repack(path, {"meta": {}, "block_capacity": 8})
+    with pytest.raises(SnapshotFormatError, match="missing field"):
+        load_device(str(path))
+
+
+def test_hostile_globals_rejected(tmp_path):
+    """A pickle resolving globals outside the allowlist must not execute."""
+    path = tmp_path / "dev.snap"
+    payload = pickle.dumps(struct.pack)  # any non-allowlisted callable
+    path.write_bytes(
+        _HEADER.pack(MAGIC, SNAPSHOT_FORMAT_VERSION, len(payload),
+                     zlib.crc32(payload)) + payload
+    )
+    with pytest.raises(SnapshotFormatError, match="undecodable payload"):
+        load_device(str(path))

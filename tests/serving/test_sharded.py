@@ -1,0 +1,180 @@
+"""ShardedSegmentDatabase: routing, replication policy, persistence, and
+worker-pool equivalence.
+
+The replication policy under test: a boundary-crossing segment is stored
+in *every* slab it intersects, and the merge step deduplicates by label —
+so sharded answers must equal unsharded answers as sets, and contain no
+duplicate labels even for queries exactly on a slab boundary.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    Segment,
+    SegmentDatabase,
+    ShardedSegmentDatabase,
+    SnapshotFormatError,
+    VerticalQuery,
+)
+from repro.workloads import grid_segments, segment_queries
+
+
+def workload(seed=31, n=400, queries=48):
+    segments = grid_segments(n, seed=seed)
+    return segments, list(segment_queries(segments, queries, seed=seed + 1))
+
+
+def labels(results):
+    return [sorted(str(s.label) for s in r) for r in results]
+
+
+@pytest.mark.parametrize("engine", ("solution1", "solution2"))
+@pytest.mark.parametrize("shards", (1, 3))
+def test_sharded_equals_unsharded(engine, shards):
+    segments, queries = workload()
+    flat = SegmentDatabase.bulk_load(segments, engine=engine,
+                                     block_capacity=16)
+    sharded = ShardedSegmentDatabase.bulk_load(
+        segments, shards=shards, engine=engine, block_capacity=16)
+    assert len(sharded) == len(flat)
+    assert labels(sharded.query_batch(queries)) == labels(
+        [flat.query(q) for q in queries])
+
+
+def test_routing_hits_one_shard_in_general_position():
+    segments, queries = workload()
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=4,
+                                               block_capacity=16)
+    assert sharded.shard_count == 4
+    boundaries = set(sharded.boundaries)
+    for q in queries:
+        hit = sharded.shards_for(q.x)
+        assert len(hit) == (2 if q.x in boundaries else 1), q
+
+
+def test_boundary_query_dedups_replicated_segments():
+    # Segments straddling x=10 replicated into both slabs; a query at the
+    # boundary walks both shards and must still report each label once.
+    segments = [
+        Segment.from_coords(0, y, 20, y + 1, label=f"cross{y}")
+        for y in range(0, 40, 4)
+    ] + [
+        Segment.from_coords(0, y, 9, y + 1, label=f"left{y}")
+        for y in range(1, 40, 4)
+    ] + [
+        Segment.from_coords(11, y, 20, y + 1, label=f"right{y}")
+        for y in range(2, 40, 4)
+    ]
+    flat = SegmentDatabase.bulk_load(segments, block_capacity=8)
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=2,
+                                               block_capacity=8)
+    assert sharded.replicated > 0  # the crossers really were replicated
+    probes = [VerticalQuery.line(x) for x in (5, 15)]
+    probes += [VerticalQuery.line(b) for b in sharded.boundaries]
+    for q in probes:
+        got = [str(s.label) for s in sharded.query(q)]
+        assert len(got) == len(set(got)), f"duplicate labels at {q}"
+        assert sorted(got) == sorted(str(s.label) for s in flat.query(q))
+
+
+def test_empty_batch_and_empty_database():
+    segments, _ = workload(n=60, queries=4)
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=2,
+                                               block_capacity=16)
+    assert sharded.query_batch([]) == []
+    assert sharded.explain_batch([]) == []
+    empty = ShardedSegmentDatabase.bulk_load([], shards=3)
+    assert len(empty) == 0
+    assert empty.query(VerticalQuery.line(5)) == []
+
+
+def test_io_report_sums_over_shards():
+    segments, queries = workload()
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=3,
+                                               block_capacity=16)
+    sharded.query_batch(queries)
+    report = sharded.io_report()
+    assert len(report["shards"]) == 3
+    for field in ("reads", "writes", "total"):
+        assert report["combined"][field] == sum(
+            s[field] for s in report["shards"])
+    assert report["combined"]["reads"] > 0
+
+
+def test_save_open_round_trip_synchronous(tmp_path):
+    segments, queries = workload()
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=3,
+                                               block_capacity=16)
+    expected = labels(sharded.query_batch(queries))
+    directory = str(tmp_path / "sharded")
+    manifest = sharded.save(directory)
+    assert manifest["shards"] == 3
+    assert len(manifest["shard_files"]) == 3
+
+    reopened = ShardedSegmentDatabase.open(directory, workers=0)
+    assert reopened.boundaries == sharded.boundaries
+    assert len(reopened) == len(sharded)
+    assert reopened.replicated == sharded.replicated
+    assert labels(reopened.query_batch(queries)) == expected
+
+
+def test_worker_pool_bit_identical_to_synchronous(tmp_path):
+    segments, queries = workload()
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=2,
+                                               block_capacity=16)
+    directory = str(tmp_path / "sharded")
+    sharded.save(directory)
+
+    sync = ShardedSegmentDatabase.open(directory, workers=0)
+    sync_results = sync.query_batch(queries)
+    with ShardedSegmentDatabase.open(directory, workers=2) as pooled:
+        pooled_results = pooled.query_batch(queries)
+        # Bit-identical: same labels in the same order, not just as sets.
+        assert ([[str(s.label) for s in r] for r in pooled_results]
+                == [[str(s.label) for s in r] for r in sync_results])
+        # The workers' shipped-back I/O equals the synchronous charge.
+        assert (pooled.io_report()["combined"]
+                == sync.io_report()["combined"])
+
+        reports = pooled.explain_batch(queries[:8])
+        assert reports and all(r.description.startswith("shard ")
+                               for r in reports)
+        # Per-shard reports count pre-merge results, so they can only
+        # exceed the merged answer (by the replicated duplicates).
+        assert sum(r.results for r in reports) >= sum(
+            len(r) for r in pooled_results[:8])
+
+
+def test_open_rejects_damaged_manifest(tmp_path):
+    segments, _ = workload(n=60, queries=4)
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=2,
+                                               block_capacity=16)
+    directory = tmp_path / "sharded"
+    sharded.save(str(directory))
+
+    with pytest.raises(SnapshotFormatError, match="manifest not found"):
+        ShardedSegmentDatabase.open(str(tmp_path / "missing"))
+
+    manifest_path = directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 99
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="unsupported manifest"):
+        ShardedSegmentDatabase.open(str(directory))
+
+    manifest_path.write_text("{not json")
+    with pytest.raises(SnapshotFormatError, match="not JSON"):
+        ShardedSegmentDatabase.open(str(directory))
+
+
+def test_save_from_pool_mode_refuses(tmp_path):
+    segments, _ = workload(n=60, queries=4)
+    sharded = ShardedSegmentDatabase.bulk_load(segments, shards=2,
+                                               block_capacity=16)
+    directory = str(tmp_path / "sharded")
+    sharded.save(directory)
+    with ShardedSegmentDatabase.open(directory, workers=1) as pooled:
+        with pytest.raises(ValueError, match="pool-backed"):
+            pooled.save(str(tmp_path / "other"))

@@ -1,0 +1,119 @@
+"""Save/open round-trip property: a reopened database is indistinguishable
+from the one that was saved — same answers, same per-query I/O counts.
+
+The I/O identity is the strong half: it proves ``open()`` restored the
+*structure* (page graph, roots, fanout), not just the data, because a
+rebuilt index with different page layout would answer identically while
+charging different reads.
+"""
+
+import random
+
+import pytest
+
+from repro import SegmentDatabase, SnapshotFormatError, VerticalQuery
+from repro.iosim import StorageError
+from repro.workloads import grid_segments, segment_queries
+
+PAPER_ENGINES = ("solution1", "solution2")
+ALL_ENGINES = ("solution1", "solution2", "scan", "stab-filter", "grid",
+               "rtree")
+
+
+def random_workload(seed, n=400, queries=48):
+    segments = grid_segments(n, seed=seed)
+    qs = list(segment_queries(segments, queries, seed=seed + 1))
+    rng = random.Random(seed + 2)
+    # Mix in rays and full lines (unbounded windows hit different code
+    # paths than the generator's bounded segment queries).
+    for _ in range(8):
+        base = rng.choice(qs)
+        qs.append(VerticalQuery.line(base.x))
+        qs.append(VerticalQuery(base.x, base.ylo, None))
+    return segments, qs
+
+
+def per_query_profile(db, queries):
+    """[(sorted labels, IOStats diff)] per query, from a cold pool."""
+    if db.buffer_pool is not None:
+        db.buffer_pool.drop_cache()
+    db.reset_io_stats()
+    profile = []
+    for q in queries:
+        before = db.io_stats()
+        labels = sorted(str(s.label) for s in db.query(q))
+        profile.append((labels, db.io_stats() - before))
+    return profile
+
+
+@pytest.mark.parametrize("engine", PAPER_ENGINES)
+@pytest.mark.parametrize("seed", (101, 202))
+def test_round_trip_identical_results_and_ios(tmp_path, engine, seed):
+    segments, queries = random_workload(seed)
+    db = SegmentDatabase.bulk_load(segments, engine=engine,
+                                   block_capacity=16, buffer_pages=8)
+    path = str(tmp_path / "db.snap")
+    db.save(path)
+    reopened = SegmentDatabase.open(path, buffer_pages=8)
+
+    assert len(reopened) == len(db)
+    assert reopened.engine_name == engine
+    original = per_query_profile(db, queries)
+    restored = per_query_profile(reopened, queries)
+    for q, (want, got) in zip(queries, zip(original, restored)):
+        assert got[0] == want[0], f"results diverged on {q}"
+        assert got[1] == want[1], f"I/O profile diverged on {q}"
+
+
+@pytest.mark.parametrize("engine", ALL_ENGINES)
+def test_round_trip_all_engines_smoke(tmp_path, engine):
+    segments, queries = random_workload(7, n=150, queries=16)
+    db = SegmentDatabase.bulk_load(segments, engine=engine,
+                                   block_capacity=16)
+    expected = [sorted(str(s.label) for s in db.query(q)) for q in queries]
+    path = str(tmp_path / "db.snap")
+    db.save(path)
+    reopened = SegmentDatabase.open(path)
+    got = [sorted(str(s.label) for s in reopened.query(q)) for q in queries]
+    assert got == expected
+
+
+def test_reopened_database_accepts_inserts(tmp_path):
+    from repro import Segment
+
+    segments, queries = random_workload(13, n=120, queries=12)
+    db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                   block_capacity=16)
+    path = str(tmp_path / "db.snap")
+    db.save(path)
+    reopened = SegmentDatabase.open(path)
+    extra = Segment.from_coords(10**6, 0, 10**6 + 5, 3, label="late")
+    reopened.insert(extra)
+    db.insert(extra)
+    assert len(reopened) == len(db)
+    for q in queries + [VerticalQuery.line(10**6 + 1)]:
+        assert (sorted(str(s.label) for s in reopened.query(q))
+                == sorted(str(s.label) for s in db.query(q)))
+
+
+def test_open_corrupt_snapshot_raises_typed_error(tmp_path):
+    segments, _ = random_workload(5, n=60, queries=4)
+    db = SegmentDatabase.bulk_load(segments, engine="solution1",
+                                   block_capacity=16)
+    path = tmp_path / "db.snap"
+    db.save(str(path))
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(SnapshotFormatError):
+        SegmentDatabase.open(str(path))
+
+
+def test_save_refuses_quarantined_database(tmp_path):
+    segments, _ = random_workload(5, n=60, queries=4)
+    db = SegmentDatabase.bulk_load(segments, engine="solution2",
+                                   block_capacity=16)
+    db._quarantined = True
+    db._quarantine_reason = "test damage"
+    with pytest.raises(StorageError, match="cannot save"):
+        db.save(str(tmp_path / "db.snap"))

@@ -196,3 +196,53 @@ def test_fsck_json(segment_file, capsys):
     data = json.loads(capsys.readouterr().out)
     assert data["ok"] is True
     assert data["pages_scanned"] > 0
+
+
+def test_serve_bench_synchronous(capsys):
+    assert main(["serve-bench", "--shards", "2", "--workers", "0",
+                 "--segments", "200", "--count", "12",
+                 "--batch-size", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "2 shards" in out
+    assert "snapshot save" in out
+
+
+def test_serve_bench_json_with_workers(capsys):
+    import json
+
+    assert main(["serve-bench", "--shards", "2", "--workers", "2",
+                 "--segments", "200", "--count", "12", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["shards"] == 2
+    assert summary["workers"] == 2
+    assert summary["queries"] == 12
+    assert summary["queries_per_s"] > 0
+    assert summary["io"]["combined"]["total"] > 0
+
+
+def test_serve_bench_keeps_snapshot_dir(tmp_path, capsys):
+    import os
+
+    directory = str(tmp_path / "kept")
+    assert main(["serve-bench", "--shards", "2", "--segments", "120",
+                 "--count", "8", "--dir", directory]) == 0
+    capsys.readouterr()
+    assert os.path.exists(os.path.join(directory, "manifest.json"))
+    assert os.path.exists(os.path.join(directory, "shard-000.snap"))
+
+
+def test_console_script_entry_point():
+    """The ``repro`` console script must resolve to the real main()."""
+    import os
+    import re
+    import sys
+
+    pyproject = os.path.join(os.path.dirname(__file__), "..",
+                             "pyproject.toml")
+    with open(pyproject) as fh:  # no tomllib on 3.10
+        match = re.search(r'^repro\s*=\s*"([\w.]+):(\w+)"', fh.read(), re.M)
+    assert match, "pyproject.toml declares no `repro` console script"
+    module, func = match.groups()
+    __import__(module)
+    entry = getattr(sys.modules[module], func)
+    assert entry(["version"]) == 0

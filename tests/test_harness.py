@@ -70,7 +70,7 @@ def test_write_perf_json(tmp_path):
     assert written == path
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 2
+    assert data["schema_version"] == 3
     assert data["generated_by"] == "E15"
     assert data["commit"]
     assert data["experiments"]["E15"] == payload
@@ -94,6 +94,6 @@ def test_write_perf_json_migrates_legacy_schema(tmp_path):
     write_perf_json("E16", {"n": 4096}, path=path)
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 2
+    assert data["schema_version"] == 3
     assert data["experiments"]["E15"] == {"n": 512, "engines": {"scan": {}}}
     assert data["experiments"]["E16"] == {"n": 4096}
