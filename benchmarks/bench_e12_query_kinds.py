@@ -8,7 +8,7 @@ reduction: a slope-1 query direction through the sheared frame.
 
 from harness import archive, build_engine, measure_queries, table_section
 from repro.core.api import SegmentDatabase
-from repro.geometry import Point, Segment
+from repro.geometry import Point
 from repro.workloads import (
     grid_segments,
     ray_queries,

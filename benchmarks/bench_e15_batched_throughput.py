@@ -27,10 +27,12 @@ import time
 from harness import (
     archive,
     build_engine,
+    latency_quantiles,
     measure_query_batches,
     table_section,
     write_perf_json,
 )
+from repro.telemetry import LatencyHistogram
 from repro.workloads import grid_segments, segment_queries
 
 B = 32
@@ -47,28 +49,36 @@ def _workload():
     return segments, queries
 
 
-def _run_batches(index, queries, batch_size):
+def _run_batches(index, queries, batch_size, latency=None):
     outputs = 0
     for start in range(0, len(queries), batch_size):
-        for result in index.query_batch(queries[start:start + batch_size]):
+        chunk = queries[start:start + batch_size]
+        t0 = time.perf_counter()
+        for result in index.query_batch(chunk):
             outputs += len(result)
+        if latency is not None:
+            latency.observe((time.perf_counter() - t0) / len(chunk))
     return outputs
 
 
 def sweep_engine(engine, segments, queries):
     """{"ios_per_query": {bs: float}, "queries_per_sec": {bs: float},
-    "hit_rate": float} for one engine."""
+    "latency_ms": {bs: {"p50_ms", "p99_ms"}}, "hit_rate": float} for one
+    engine (latency is amortized per query within each batch)."""
     ios_per_query = {}
     queries_per_sec = {}
+    latency_ms = {}
     device, _pager, index = build_engine(engine, segments, B)
     for bs in BATCH_SIZES:
         device.reset_counters()
         ios, _out = measure_query_batches(device, index, queries, bs)
         ios_per_query[bs] = round(ios, 3)
+        hist = LatencyHistogram(f"e15.{engine}.bs{bs}")
         t0 = time.perf_counter()
-        _run_batches(index, queries, bs)
+        _run_batches(index, queries, bs, latency=hist)
         elapsed = time.perf_counter() - t0
         queries_per_sec[bs] = round(len(queries) / elapsed, 1) if elapsed else 0.0
+        latency_ms[bs] = latency_quantiles(hist)
 
     pooled_device, pooled_pager, pooled_index = build_engine(
         engine, segments, B, buffer_pages=BUFFER_PAGES
@@ -78,6 +88,7 @@ def sweep_engine(engine, segments, queries):
     return {
         "ios_per_query": ios_per_query,
         "queries_per_sec": queries_per_sec,
+        "latency_ms": latency_ms,
         "hit_rate": round(pool.hit_rate, 4),
     }
 
@@ -108,6 +119,7 @@ def test_e15_batched_throughput():
             name: {
                 "ios_per_query": {str(bs): v for bs, v in sweep["ios_per_query"].items()},
                 "queries_per_sec": {str(bs): v for bs, v in sweep["queries_per_sec"].items()},
+                "latency_ms": {str(bs): v for bs, v in sweep["latency_ms"].items()},
                 "hit_rate": sweep["hit_rate"],
             }
             for name, sweep in engines.items()
@@ -117,10 +129,15 @@ def test_e15_batched_throughput():
 
     io_rows = []
     qps_rows = []
+    lat_rows = []
     for name, sweep in engines.items():
         io_rows.append([name] + [sweep["ios_per_query"][bs] for bs in BATCH_SIZES]
                        + [sweep["hit_rate"]])
         qps_rows.append([name] + [sweep["queries_per_sec"][bs] for bs in BATCH_SIZES])
+        lat_rows.append([name] + [
+            f"{sweep['latency_ms'][bs]['p50_ms']}/{sweep['latency_ms'][bs]['p99_ms']}"
+            for bs in BATCH_SIZES
+        ])
     archive(
         "e15_batched_throughput",
         "E15 — Batched query throughput (shared-descent amortization)",
@@ -139,6 +156,12 @@ def test_e15_batched_throughput():
                 "Wall-clock queries/second by batch size:",
                 ["engine", *(f"bs={bs}" for bs in BATCH_SIZES)],
                 qps_rows,
+            ),
+            table_section(
+                "Per-query latency p50/p99 (ms, amortized within each "
+                "batch) by batch size:",
+                ["engine", *(f"bs={bs}" for bs in BATCH_SIZES)],
+                lat_rows,
             ),
             "Reading: the paper engines pay their `log` descent once per "
             "group, so I/Os/query falls toward the irreducible `+t` output "

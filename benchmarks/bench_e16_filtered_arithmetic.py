@@ -20,8 +20,15 @@ workload for CI smoke runs.
 import os
 import time
 
-from harness import archive, build_engine, table_section, write_perf_json
+from harness import (
+    archive,
+    build_engine,
+    latency_quantiles,
+    table_section,
+    write_perf_json,
+)
 from repro.geometry import filter_stats, reset_filter_stats, set_exact_only
+from repro.telemetry import LatencyHistogram
 from repro.workloads import grid_segments, segment_queries
 
 B = 32
@@ -40,27 +47,33 @@ def _workload():
     return segments, queries
 
 
-def _time_queries(index, queries) -> float:
+def _time_queries(index, queries, latency=None) -> float:
     t0 = time.perf_counter()
     for q in queries:
+        q0 = time.perf_counter()
         index.query(q)
+        if latency is not None:
+            latency.observe(time.perf_counter() - q0)
     return time.perf_counter() - t0
 
 
 def run_engine(engine, segments, queries):
-    """{"filtered_qps", "exact_qps", "speedup", "hit_rate"} for one engine."""
+    """{"filtered_qps", "exact_qps", "speedup", "hit_rate", per-mode
+    p50/p99 latency} for one engine."""
     _device, _pager, index = build_engine(engine, segments, B)
     # Warm-up pass so first-touch costs don't land on either timing.
     _time_queries(index, queries[: max(1, len(queries) // 8)])
 
     set_exact_only(False)
     reset_filter_stats()
-    filtered_elapsed = _time_queries(index, queries)
+    filtered_hist = LatencyHistogram(f"e16.{engine}.filtered")
+    filtered_elapsed = _time_queries(index, queries, latency=filtered_hist)
     stats = filter_stats()
 
     set_exact_only(True)
+    exact_hist = LatencyHistogram(f"e16.{engine}.exact")
     try:
-        exact_elapsed = _time_queries(index, queries)
+        exact_elapsed = _time_queries(index, queries, latency=exact_hist)
     finally:
         set_exact_only(False)
 
@@ -73,6 +86,8 @@ def run_engine(engine, segments, queries):
         "hit_rate": round(stats["hit_rate"], 4) if stats["hit_rate"] is not None else None,
         "fast_hits": stats["fast_hits"],
         "exact_fallbacks": stats["exact_fallbacks"],
+        "filtered_latency_ms": latency_quantiles(filtered_hist),
+        "exact_latency_ms": latency_quantiles(exact_hist),
     }
 
 
@@ -108,7 +123,9 @@ def test_e16_filtered_arithmetic():
 
     rows = [
         [name, row["filtered_qps"], row["exact_qps"], row["speedup"],
-         row["hit_rate"]]
+         row["hit_rate"],
+         f"{row['filtered_latency_ms']['p50_ms']}/{row['filtered_latency_ms']['p99_ms']}",
+         f"{row['exact_latency_ms']['p50_ms']}/{row['exact_latency_ms']['p99_ms']}"]
         for name, row in engines.items()
     ]
     archive(
@@ -122,7 +139,7 @@ def test_e16_filtered_arithmetic():
             table_section(
                 "Wall-clock queries/second, filtered vs exact-only:",
                 ["engine", "filtered q/s", "exact-only q/s", "speedup",
-                 "filter hit rate"],
+                 "filter hit rate", "filtered p50/p99 ms", "exact p50/p99 ms"],
                 rows,
             ),
             "Reading: the paper engines answer queries almost entirely "

@@ -6,7 +6,6 @@ output-size sweep at fixed N showing the ``+t`` term pays one I/O per B
 reported segments.
 """
 
-from repro.analysis import render_table
 from repro.core.linebased import ExternalPST
 from repro.iosim import BlockDevice, Measurement, Pager
 from repro.workloads import fan, hqueries

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis import best_model, il_star, render_fits, render_table
@@ -98,9 +99,15 @@ def measure_queries(device, index, queries: Sequence[VerticalQuery], **query_kw)
 
 
 def measure_query_batches(device, index, queries: Sequence[VerticalQuery],
-                          batch_size: int):
+                          batch_size: int, latency=None):
     """Mean (I/Os, output) per query, running ``queries`` through
-    ``index.query_batch`` in chunks of ``batch_size``."""
+    ``index.query_batch`` in chunks of ``batch_size``.
+
+    ``latency`` may be a :class:`~repro.telemetry.LatencyHistogram`; it
+    then observes the amortized per-query wall-clock of every chunk
+    (chunk seconds / chunk size), so callers read p50/p99 next to the
+    I/O means without a second timing pass.
+    """
     queries = list(queries)
     if not queries:
         raise ValueError("measure_query_batches needs at least one query")
@@ -109,11 +116,22 @@ def measure_query_batches(device, index, queries: Sequence[VerticalQuery],
     ios = outputs = 0
     for start in range(0, len(queries), batch_size):
         chunk = queries[start:start + batch_size]
+        t0 = time.perf_counter()
         with Measurement(device) as m:
             results = index.query_batch(chunk)
+        if latency is not None:
+            latency.observe((time.perf_counter() - t0) / len(chunk))
         ios += m.stats.total
         outputs += sum(len(r) for r in results)
     return ios / len(queries), outputs / len(queries)
+
+
+def latency_quantiles(latency) -> dict:
+    """The p50/p99 pair benchmarks archive next to their qps numbers."""
+    return {
+        "p50_ms": latency.summary()["p50_ms"],
+        "p99_ms": latency.summary()["p99_ms"],
+    }
 
 
 def _git_commit() -> str:
@@ -133,18 +151,22 @@ def write_perf_json(experiment: str, payload: dict,
 
     The harness owns the writer so every benchmark emits the same shape;
     the file lands at the repo root (``BENCH_perf.json``) where future
-    PRs diff it as the perf scoreboard.  Schema (version 3)::
+    PRs diff it as the perf scoreboard.  Schema (version 4)::
 
-        {"schema_version": 3, "commit": "<short sha>",
+        {"schema_version": 4, "commit": "<short sha>",
          "generated_by": "<last experiment written>",
-         "experiments": {"E15": {...}, "E16": {...}, "E17": {...}}}
+         "experiments": {"E15": {..., "commit": "<short sha>",
+                                 "generated_at": "<UTC ISO-8601>"},
+                         "E16": {...}, "E17": {...}}}
 
-    Version 3 extends version 2 only by admitting wall-clock fields
-    (E17's serving throughput and snapshot timings are inherently
-    seconds, not I/Os); the envelope is unchanged and older files are
-    migrated in place (a version-1 file is one flat payload with an
-    ``experiment`` key).  Experiments merge instead of clobbering each
-    other, so running E15 then E17 leaves both result sets in the file.
+    Version 4 stamps every experiment payload with the commit and UTC
+    timestamp of *its own* run: experiments merge instead of clobbering
+    each other, so after partial re-runs the top-level commit only
+    describes the last writer — the per-run stamps say which numbers are
+    stale.  (Version 3 added wall-clock fields over v2; a version-1 file
+    is one flat payload with an ``experiment`` key.  Older files migrate
+    in place.)  Latency quantiles live next to their qps numbers as
+    ``p50_ms``/``p99_ms`` pairs — ``check_regression.py`` gates on both.
     """
     data: dict = {}
     if os.path.exists(path):
@@ -156,9 +178,14 @@ def write_perf_json(experiment: str, payload: dict,
     if "experiments" not in data:
         legacy_name = data.pop("experiment", None)
         data = {"experiments": {legacy_name: data} if legacy_name else {}}
-    data["schema_version"] = 3
-    data["commit"] = _git_commit()
+    commit = _git_commit()
+    data["schema_version"] = 4
+    data["commit"] = commit
     data["generated_by"] = experiment
+    payload = dict(payload)
+    payload["commit"] = commit
+    payload["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                            time.gmtime())
     data["experiments"][experiment] = payload
     with open(path, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)

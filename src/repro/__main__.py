@@ -35,12 +35,20 @@ Commands
                     build an x-sharded database, snapshot it to disk,
                     re-open it and replay a query workload through the
                     serving layer, reporting snapshot save/open times,
-                    queries/sec and per-shard I/O (``--shards K``,
+                    queries/sec, latency percentiles, the cross-process
+                    phase decomposition and per-shard I/O (``--shards K``,
                     ``--workers W`` — 0 means in-process synchronous,
                     ``--segments N`` to size the generated workload,
                     ``--count N`` queries, ``--batch-size K``,
                     ``--seed S``, ``--dir PATH`` to keep the snapshot
-                    directory, ``--json``)
+                    directory, ``--trace PATH`` to export the run as
+                    Chrome-trace-event/Perfetto JSON, ``--slow-ms T`` to
+                    arm the slow-query log at T milliseconds, ``--json``)
+``trace [FILE]``    run a small serving workload wall-traced and write a
+                    Chrome-trace-event/Perfetto JSON timeline (open it at
+                    https://ui.perfetto.dev or ``chrome://tracing``);
+                    same flags as ``serve-bench``, output defaults to
+                    ``trace.json`` (``--out PATH`` to change it)
 ``version``         print the library version
 
 ``query``, ``query-batch`` and ``explain`` accept ``--engine NAME``
@@ -80,8 +88,8 @@ def _coord(token: str):
 _INT_FLAGS = ("--buffer", "--block", "--batch-size", "--count", "--seed",
               "--seeds", "--updates", "--corrupt-pages", "--retries",
               "--shards", "--workers", "--segments")
-_FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn")
-_STR_FLAGS = ("--engine", "--dump-schedule", "--dir")
+_FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn", "--slow-ms")
+_STR_FLAGS = ("--engine", "--dump-schedule", "--dir", "--trace", "--out")
 
 
 def _pop_flags(args):
@@ -92,7 +100,8 @@ def _pop_flags(args):
              "seeds": 5, "updates": 0, "corrupt-pages": 0, "retries": 3,
              "read-err": 0.0, "corrupt-rate": 0.0, "torn": 0.0,
              "dump-schedule": None, "shards": 2, "workers": 0,
-             "segments": 0, "dir": None}
+             "segments": 0, "dir": None, "trace": None, "out": None,
+             "slow-ms": None}
     i = 0
     while i < len(args):
         token = args[i]
@@ -457,23 +466,15 @@ def cmd_fsck(args) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_serve_bench(args) -> int:
-    try:
-        positional, flags = _pop_flags(args)
-    except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    if len(positional) > 1:
-        print("usage: python -m repro serve-bench [FILE] [--shards K] "
-              "[--workers W] [--segments N] [--count N] [--batch-size K] "
-              "[--seed S] [--engine NAME] [--buffer N] [--block B] "
-              "[--dir PATH] [--json]", file=sys.stderr)
-        return 2
+def _run_serve_bench(positional, flags) -> int:
+    """Shared body of ``serve-bench`` and ``trace``."""
     import contextlib
+    import os
     import tempfile
     import time
 
     from repro.serving import ShardedSegmentDatabase
+    from repro.telemetry import wall_tracing, write_chrome_trace
     from repro.workloads.queries import segment_queries
 
     if positional:
@@ -487,6 +488,8 @@ def cmd_serve_bench(args) -> int:
                                  seed=flags["seed"])
     queries = segment_queries(segments, flags["count"], seed=flags["seed"])
     batch_size = flags["batch-size"] or len(queries)
+    slow_s = (flags["slow-ms"] / 1000.0
+              if flags["slow-ms"] is not None else None)
 
     t0 = time.perf_counter()
     built = ShardedSegmentDatabase.bulk_load(
@@ -495,6 +498,7 @@ def cmd_serve_bench(args) -> int:
     )
     build_s = time.perf_counter() - t0
 
+    trace_info = None
     with contextlib.ExitStack() as stack:
         directory = flags["dir"] or stack.enter_context(
             tempfile.TemporaryDirectory(prefix="repro-serve-"))
@@ -504,19 +508,45 @@ def cmd_serve_bench(args) -> int:
         t0 = time.perf_counter()
         served = stack.enter_context(ShardedSegmentDatabase.open(
             directory, workers=flags["workers"],
-            buffer_pages=flags["buffer"]))
+            buffer_pages=flags["buffer"], slow_query_s=slow_s))
         open_s = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        answered = 0
-        results = 0
-        for start in range(0, len(queries), batch_size):
-            batch = queries[start:start + batch_size]
-            for r in served.query_batch(batch):
-                results += len(r)
-            answered += len(batch)
-        serve_s = time.perf_counter() - t0
+        tracer_cm = (wall_tracing() if flags["trace"]
+                     else contextlib.nullcontext())
+        with tracer_cm as tracer:
+            t0 = time.perf_counter()
+            answered = 0
+            results = 0
+            for number, start in enumerate(range(0, len(queries), batch_size)):
+                batch = queries[start:start + batch_size]
+                batch_cm = (tracer.span("serve-batch", category="serving",
+                                        batch=number, queries=len(batch))
+                            if tracer is not None else contextlib.nullcontext())
+                with batch_cm:
+                    for r in served.query_batch(batch):
+                        results += len(r)
+                answered += len(batch)
+            serve_s = time.perf_counter() - t0
         io = served.io_report()
+        latency = served.latency_report()
+        slow = (served.slow_log.to_dict()
+                if served.slow_log is not None else None)
+        if tracer is not None:
+            doc = write_chrome_trace(
+                flags["trace"], tracer.records, parent_pid=os.getpid(),
+                metadata={
+                    "command": "serve-bench",
+                    "engine": flags["engine"],
+                    "shards": built.shard_count,
+                    "workers": flags["workers"],
+                    "queries": answered,
+                },
+            )
+            trace_info = {
+                "path": flags["trace"],
+                "trace_id": tracer.trace_id,
+                "events": len(doc["traceEvents"]),
+            }
 
     summary = {
         "engine": flags["engine"],
@@ -533,7 +563,12 @@ def cmd_serve_bench(args) -> int:
         "serve_s": serve_s,
         "queries_per_s": answered / serve_s if serve_s else None,
         "io": io,
+        "latency": latency,
     }
+    if trace_info is not None:
+        summary["trace"] = trace_info
+    if slow is not None:
+        summary["slow_queries"] = slow
     if flags["json"]:
         import json
 
@@ -548,7 +583,55 @@ def cmd_serve_bench(args) -> int:
           f"({summary['queries_per_s']:.0f} q/s), {results} results")
     per_shard = ", ".join(str(s["total"]) for s in io["shards"])
     print(f"# I/O: {io['combined']['total']} total ({per_shard} per shard)")
+    batches = latency["batches"]
+    print(f"# batch latency ms: p50 {batches['p50_ms']}, "
+          f"p95 {batches['p95_ms']}, p99 {batches['p99_ms']} "
+          f"over {batches['count']} batches")
+    phases = ", ".join(f"{name} {seconds:.3f}s"
+                       for name, seconds in latency["phases_s"].items())
+    coverage = latency["phase_coverage"]
+    print(f"# phases: {phases}"
+          + (f" (coverage {coverage:.1%} of {latency['task_wall_s']:.3f}s "
+             "task wall)" if coverage is not None else ""))
+    if slow is not None:
+        print(f"# slow queries: {slow['recorded']} at "
+              f">= {flags['slow-ms']:.1f}ms")
+    if trace_info is not None:
+        print(f"# trace: {trace_info['path']} ({trace_info['events']} events, "
+              f"trace id {trace_info['trace_id']})")
     return 0
+
+
+def cmd_serve_bench(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro serve-bench [FILE] [--shards K] "
+              "[--workers W] [--segments N] [--count N] [--batch-size K] "
+              "[--seed S] [--engine NAME] [--buffer N] [--block B] "
+              "[--dir PATH] [--trace PATH] [--slow-ms T] [--json]",
+              file=sys.stderr)
+        return 2
+    return _run_serve_bench(positional, flags)
+
+
+def cmd_trace(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro trace [FILE] [--out PATH] [--shards K] "
+              "[--workers W] [--segments N] [--count N] [--batch-size K] "
+              "[--seed S] [--engine NAME] [--buffer N] [--block B] "
+              "[--slow-ms T] [--json]", file=sys.stderr)
+        return 2
+    flags["trace"] = flags["trace"] or flags["out"] or "trace.json"
+    return _run_serve_bench(positional, flags)
 
 
 def cmd_validate(args) -> int:
@@ -596,6 +679,8 @@ def main(argv=None) -> int:
         return cmd_fsck(args)
     if command == "serve-bench":
         return cmd_serve_bench(args)
+    if command == "trace":
+        return cmd_trace(args)
     if command == "version":
         from repro import __version__
 

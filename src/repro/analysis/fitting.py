@@ -11,7 +11,7 @@ section.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from .models import MODELS, ModelFn, output_t
 

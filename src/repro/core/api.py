@@ -27,6 +27,7 @@ Non-vertical fixed query directions reduce to the vertical case with
 from __future__ import annotations
 
 from contextlib import nullcontext
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence
 
 from ..baselines.grid import GridIndex
@@ -60,7 +61,7 @@ from ..iosim import (
     load_device,
     save_device,
 )
-from ..telemetry import ExplainReport, MetricsRegistry, trace_call
+from ..telemetry import ExplainReport, MetricsRegistry, SlowQueryLog, trace_call
 from .recovery import DegradedResult, FsckReport
 from .solution1.index import TwoLevelBinaryIndex
 from .solution2.index import TwoLevelIntervalIndex
@@ -98,6 +99,7 @@ class SegmentDatabase:
         self.validate = validate
         self.degrade = degrade
         self.metrics: Optional[MetricsRegistry] = None
+        self.slow_log: Optional[SlowQueryLog] = None
         self._filter_snapshot = filtered.STATS.snapshot()
         # Under a faulty device (with degradation on) the database keeps an
         # authoritative in-memory copy of the segment set — standing in for
@@ -248,11 +250,21 @@ class SegmentDatabase:
         if self._quarantined:
             return self._fallback_query(q, self._quarantine_reason)
         try:
-            if self.metrics is None:
+            if self.metrics is None and self.slow_log is None:
                 return self._index.query(q)
             before = self.device.snapshot()
+            t0 = perf_counter()
             out = self._index.query(q)
-            self._record_op("query", self.device.snapshot() - before, len(out))
+            elapsed = perf_counter() - t0
+            if self.metrics is not None:
+                self._record_op("query", self.device.snapshot() - before,
+                                len(out))
+                self.metrics.latency("query.latency_s").observe(elapsed)
+            if self.slow_log is not None:
+                self.slow_log.record(
+                    "query", str(q), elapsed,
+                    explain=lambda: self._explain_dict(q), results=len(out),
+                )
             return out
         except (ChecksumError, TransientIOError) as exc:
             reason = self._note_query_fault(exc)
@@ -287,33 +299,46 @@ class SegmentDatabase:
     def _query_batch_healthy(
         self, queries: List[VerticalQuery]
     ) -> List[List[Segment]]:
-        if self.metrics is None:
+        if self.metrics is None and self.slow_log is None:
             return self._index.query_batch(queries)
         before = self.device.snapshot()
+        t0 = perf_counter()
         out = self._index.query_batch(queries)
+        elapsed = perf_counter() - t0
         diff = self.device.snapshot() - before
         metrics = self.metrics
-        metrics.counter("query_batch.count").inc()
-        metrics.histogram("query_batch.size").observe(len(queries))
-        metrics.histogram("query_batch.ios").observe(diff.total)
-        if queries:
-            metrics.histogram("query_batch.ios_per_query").observe(
-                diff.total / len(queries)
+        if metrics is not None:
+            metrics.counter("query_batch.count").inc()
+            metrics.histogram("query_batch.size").observe(len(queries))
+            metrics.histogram("query_batch.ios").observe(diff.total)
+            metrics.latency("query_batch.latency_s").observe(elapsed)
+            if queries:
+                metrics.histogram("query_batch.ios_per_query").observe(
+                    diff.total / len(queries)
+                )
+                metrics.latency("query_batch.latency_per_query_s").observe(
+                    elapsed / len(queries)
+                )
+            metrics.histogram("query_batch.results").observe(
+                sum(len(r) for r in out)
             )
-        metrics.histogram("query_batch.results").observe(
-            sum(len(r) for r in out)
-        )
-        if self.buffer_pool is not None:
-            metrics.gauge("buffer.hit_rate").set(self.buffer_pool.hit_rate)
-            metrics.gauge("buffer.pinned").set(self.buffer_pool.pinned_count)
-        self._sync_filter_metrics(metrics)
+            if self.buffer_pool is not None:
+                metrics.gauge("buffer.hit_rate").set(self.buffer_pool.hit_rate)
+                metrics.gauge("buffer.pinned").set(self.buffer_pool.pinned_count)
+            self._sync_filter_metrics(metrics)
+        if self.slow_log is not None:
+            self.slow_log.record(
+                "query_batch", f"batch of {len(queries)} queries", elapsed,
+                explain=lambda: self._explain_batch_dict(queries),
+                queries=len(queries),
+            )
         return out
 
     def stab(self, x: Coordinate) -> List[Segment]:
         """Stabbing query: everything crossing the vertical line at ``x``."""
         return self.query(VerticalQuery.line(x))
 
-    def explain(self, q: VerticalQuery) -> ExplainReport:
+    def explain(self, q: VerticalQuery, timed: bool = False) -> ExplainReport:
         """Run ``q`` traced and return its cost anatomy.
 
         The report's per-phase I/O counts sum exactly to the flat
@@ -321,6 +346,10 @@ class SegmentDatabase:
         accounting identity over the same simulated I/Os — see
         DESIGN.md §7), and include buffer hit/miss movement when the
         database was built with ``buffer_pages``.
+
+        With ``timed=True`` each phase additionally records its
+        wall-clock self time (``seconds``), so the same anatomy reads in
+        both cost domains: simulated block transfers *and* latency.
         """
         self._check_recovered()
         out, report = trace_call(
@@ -329,19 +358,22 @@ class SegmentDatabase:
             engine=self.engine_name,
             description=str(q),
             buffer_pool=self.buffer_pool,
+            timed=timed,
         )
         if self.metrics is not None:
             self._record_op("query", report.io, len(out))
         return report
 
-    def explain_batch(self, queries: Sequence[VerticalQuery]) -> ExplainReport:
+    def explain_batch(self, queries: Sequence[VerticalQuery],
+                      timed: bool = False) -> ExplainReport:
         """Run a whole batch traced and return its cost anatomy.
 
         The same accounting identity as :meth:`explain` holds over the
         batch window: per-phase I/Os sum exactly to the flat counter
         diff, so the amortized first-level share is directly readable
         against the per-query second-level phases.  ``results`` counts
-        reported segments across the whole batch.
+        reported segments across the whole batch.  ``timed=True`` adds
+        wall-clock self time per phase, as in :meth:`explain`.
         """
         queries = list(queries)
         self._check_recovered()
@@ -357,6 +389,7 @@ class SegmentDatabase:
             description=f"batch of {len(queries)} queries",
             buffer_pool=self.buffer_pool,
             root_name="query-batch",
+            timed=timed,
         )
         report.results = sum(len(r) for r in out)
         return report
@@ -621,6 +654,51 @@ class SegmentDatabase:
         if self.metrics is None:
             self.metrics = MetricsRegistry()
         return self.metrics
+
+    def enable_slow_query_log(self, threshold_s: float,
+                              capacity: int = 128) -> SlowQueryLog:
+        """Start capturing queries slower than ``threshold_s`` seconds.
+
+        Each captured entry records the query text, its latency, and a
+        lazily computed ``explain()`` cost anatomy (the diagnosis runs
+        only for queries already past the threshold, so fast traffic
+        pays nothing beyond one clock read).  Idempotent for a given
+        threshold: re-enabling replaces the threshold but keeps the log.
+        """
+        if self.slow_log is None:
+            self.slow_log = SlowQueryLog(threshold_s, capacity=capacity)
+        else:
+            self.slow_log.threshold_s = threshold_s
+        return self.slow_log
+
+    def _explain_dict(self, q: VerticalQuery) -> dict:
+        """A slow-log diagnosis: re-run ``q`` traced, without touching
+        the metrics registry (the original run already counted)."""
+        out, report = trace_call(
+            self.device,
+            lambda: self._index.query(q),
+            engine=self.engine_name,
+            description=str(q),
+            buffer_pool=self.buffer_pool,
+            timed=True,
+        )
+        return report.to_dict()
+
+    def _explain_batch_dict(self, queries: List[VerticalQuery]) -> dict:
+        """Slow-log diagnosis for a batch; see :meth:`_explain_dict`."""
+        if not queries:
+            return {}
+        out, report = trace_call(
+            self.device,
+            lambda: self._index.query_batch(queries),
+            engine=self.engine_name,
+            description=f"batch of {len(queries)} queries",
+            buffer_pool=self.buffer_pool,
+            root_name="query-batch",
+            timed=True,
+        )
+        report.results = sum(len(r) for r in out)
+        return report.to_dict()
 
     def _record_op(self, op: str, diff: IOStats, results: Optional[int]) -> None:
         metrics = self.metrics

@@ -22,7 +22,7 @@ library covers the workflows even where optimal theory does not exist:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from ..geometry import Segment, VerticalQuery, segments_intersect
 from ..iosim import Pager

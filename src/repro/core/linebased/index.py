@@ -13,7 +13,7 @@ amortised.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from ...geometry import HQuery, LineBasedSegment, lb_cross
 from ...iosim import Pager

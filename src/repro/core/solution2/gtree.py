@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import bisect
 from fractions import Fraction
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ...geometry.filtered import ball, compare_interp
 from ...iosim import DanglingPageError, Pager

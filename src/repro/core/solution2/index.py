@@ -26,7 +26,6 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...geometry import Segment, VerticalBaseFrame, VerticalQuery, vs_intersects
 from ...iosim import Pager
-from ...storage.bplus import BPlusTree
 from ...storage.chain import PageChain
 from ...storage.disjoint import DisjointIntervalIndex
 from ..linebased.index import LineBasedIndex

@@ -20,7 +20,15 @@ See DESIGN.md §11 for how shard count and worker count interact with the
 paper's per-query I/O bounds.
 """
 
+from .reporting import ShardBatchStats, capture_batch
 from .sharded import ShardedSegmentDatabase
-from .workers import ShardWorkerPool
+from .workers import TASK_PHASES, ShardWorkerPool, WorkerTaskResult
 
-__all__ = ["ShardWorkerPool", "ShardedSegmentDatabase"]
+__all__ = [
+    "ShardBatchStats",
+    "ShardWorkerPool",
+    "ShardedSegmentDatabase",
+    "TASK_PHASES",
+    "WorkerTaskResult",
+    "capture_batch",
+]

@@ -23,12 +23,19 @@ from __future__ import annotations
 import json
 import os
 from fractions import Fraction
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.api import ENGINES, SegmentDatabase
 from ..geometry import Segment, VerticalQuery
-from ..iosim import IOStats, SnapshotFormatError
-from ..telemetry import ExplainReport
+from ..iosim import SnapshotFormatError
+from ..telemetry import (
+    ExplainReport,
+    LatencyHistogram,
+    SlowQueryLog,
+    timed_span,
+)
+from .reporting import ShardBatchStats, capture_batch
 from .workers import ShardWorkerPool
 
 MANIFEST_NAME = "manifest.json"
@@ -78,9 +85,19 @@ class ShardedSegmentDatabase:
         self._pool = pool
         self.segment_count = segment_count
         self.replicated = replicated
-        # Pool mode: I/O happens in worker processes; accumulate the
-        # per-batch diffs they report so io_report() still adds up.
-        self._pool_io = [IOStats() for _ in range(self.shard_count)]
+        # Telemetry deltas accumulate per shard in *both* execution
+        # modes through the same capture helper, so the pooled merged
+        # report equals the synchronous one field for field.
+        self._shard_stats = [ShardBatchStats() for _ in range(self.shard_count)]
+        # Wall-clock observability: per-batch latency histogram, phase
+        # decomposition totals (dispatch/deserialize/attach/query/
+        # serialize/collect in pool mode, query in sync mode), and the
+        # parent-observed task wall those phases must sum to.
+        self.batch_latency = LatencyHistogram("serve.batch_s")
+        self._phase_seconds: Dict[str, float] = {}
+        self._task_wall_s = 0.0
+        self._tasks = 0
+        self.slow_log: Optional[SlowQueryLog] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -175,6 +192,7 @@ class ShardedSegmentDatabase:
         queries = list(queries)
         if not queries:
             return []
+        t0 = perf_counter()
         batches, routes = self._route(queries)
         executed = self._execute_query_batches(batches)
         out: List[List[Segment]] = []
@@ -192,6 +210,7 @@ class ShardedSegmentDatabase:
                         seen.add(s.label)
                         merged.append(s)
             out.append(merged)
+        self.batch_latency.observe(perf_counter() - t0)
         return out
 
     def explain_batch(
@@ -238,59 +257,116 @@ class ShardedSegmentDatabase:
     def _execute_query_batches(
         self, batches: Dict[int, List[VerticalQuery]]
     ) -> Dict[int, List[List[Segment]]]:
-        if self._pool is None:
-            return {
-                index: self._shards[index].query_batch(queries)
-                for index, queries in batches.items()
-            }
-        gathered = self._pool.query_batches(batches)
-        out = {}
-        for index, (results, io) in gathered.items():
-            self._pool_io[index] = self._pool_io[index] + io
-            out[index] = results
-        return out
+        return self._execute(batches, explain=False)
 
     def _execute_explain_batches(
         self, batches: Dict[int, List[VerticalQuery]]
     ) -> Dict[int, ExplainReport]:
-        if self._pool is None:
-            return {
-                index: self._shards[index].explain_batch(queries)
-                for index, queries in batches.items()
-            }
-        gathered = self._pool.explain_batches(batches)
+        return self._execute(batches, explain=True)
+
+    def _execute(self, batches: Dict[int, List[VerticalQuery]],
+                 explain: bool) -> Dict:
+        """Run per-shard sub-batches on the active back end.
+
+        Both back ends capture the same :class:`ShardBatchStats` delta
+        per sub-batch and feed the same phase/latency accumulators, so
+        every report this class renders is back-end-agnostic.
+        """
         out = {}
-        for index, (report, io) in gathered.items():
-            self._pool_io[index] = self._pool_io[index] + io
-            out[index] = report
+        if self._pool is None:
+            for index, queries in batches.items():
+                db = self._shards[index]
+                runner = db.explain_batch if explain else db.query_batch
+                t0 = perf_counter()
+                with timed_span("query", category="engine", shard=index,
+                                queries=len(queries)):
+                    result, stats = capture_batch(db, lambda: runner(queries))
+                elapsed = perf_counter() - t0
+                self._shard_stats[index] = self._shard_stats[index] + stats
+                self._note_task({"query": elapsed}, elapsed)
+                if db.slow_log is not None and self.slow_log is not None:
+                    self.slow_log.absorb(db.slow_log.drain())
+                out[index] = result
+            return out
+        gather = (self._pool.explain_batches if explain
+                  else self._pool.query_batches)
+        for index, task in gather(batches).items():
+            self._shard_stats[index] = self._shard_stats[index] + task.stats
+            self._note_task(task.phases, task.wall_s)
+            if self.slow_log is not None and task.slow_log:
+                self.slow_log.absorb(task.slow_log)
+            out[index] = task.payload
         return out
+
+    def _note_task(self, phases: Dict[str, float], wall_s: float) -> None:
+        for name, seconds in phases.items():
+            self._phase_seconds[name] = (
+                self._phase_seconds.get(name, 0.0) + seconds
+            )
+        self._task_wall_s += wall_s
+        self._tasks += 1
 
     # ------------------------------------------------------------------
     # telemetry
     # ------------------------------------------------------------------
     def io_report(self) -> dict:
-        """Per-shard and combined I/O counters.
+        """Per-shard and combined telemetry, JSON-ready.
 
-        In pool mode the per-shard entries are the accumulated diffs the
-        workers shipped back with each batch; in synchronous mode they
-        are the shard devices' live counters.  Either way the combined
-        block equals the sum of the shard blocks.
+        Each shard entry carries the full counter family the flat
+        :meth:`~repro.core.api.SegmentDatabase.io_report` knows — raw
+        I/O, buffer hits/misses, filtered-arithmetic counters, fault
+        deltas, degradation state — accumulated through the *same*
+        capture helper in both execution modes, so a pooled report
+        equals the ``workers=0`` synchronous report field for field and
+        the combined block equals the sum of the shard blocks.
         """
-        if self._pool is None:
-            per_shard = [db.io_stats() for db in self._shards]
-        else:
-            per_shard = list(self._pool_io)
-        combined = IOStats()
+        per_shard = list(self._shard_stats)
+        combined = ShardBatchStats()
         for stats in per_shard:
             combined = combined + stats
-        shard_dicts = []
-        for stats in per_shard:
-            entry = stats.to_dict()
-            entry["total"] = stats.total
-            shard_dicts.append(entry)
-        total = combined.to_dict()
-        total["total"] = combined.total
-        return {"shards": shard_dicts, "combined": total}
+        return {
+            "shards": [stats.to_report() for stats in per_shard],
+            "combined": combined.to_report(),
+        }
+
+    def latency_report(self) -> dict:
+        """Wall-clock anatomy of the serving work done so far.
+
+        ``phases_s`` decomposes task time into the cross-process phases
+        (pool mode: dispatch/deserialize/attach/query/serialize/collect;
+        synchronous mode: query only); ``task_wall_s`` is the parent-
+        observed wall-clock those phases must explain, and
+        ``phase_coverage`` is their ratio — the E17 acceptance pins it
+        within 10% of 1.  ``batches`` summarizes the per-call latency
+        histogram (p50/p95/p99).
+        """
+        phase_sum = sum(self._phase_seconds.values())
+        return {
+            "tasks": self._tasks,
+            "phases_s": {name: round(seconds, 6)
+                         for name, seconds in sorted(self._phase_seconds.items())},
+            "phase_sum_s": round(phase_sum, 6),
+            "task_wall_s": round(self._task_wall_s, 6),
+            "phase_coverage": (round(phase_sum / self._task_wall_s, 4)
+                               if self._task_wall_s else None),
+            "batches": self.batch_latency.summary(),
+        }
+
+    def enable_slow_query_log(self, threshold_s: float,
+                              capacity: int = 128) -> SlowQueryLog:
+        """Start logging slow shard batches; returns the merged log.
+
+        Synchronous mode enables a log on every shard database and
+        drains them into the merged log after each batch.  In pool mode
+        the worker-side logs are configured at :meth:`open` time (pass
+        ``slow_query_s``); this call then only (re)creates the parent
+        log that absorbs what workers ship back.
+        """
+        self.slow_log = SlowQueryLog(threshold_s, capacity)
+        if self._shards is not None:
+            for db in self._shards:
+                db.enable_slow_query_log(threshold_s, capacity)
+        return self.slow_log
 
     def __len__(self) -> int:
         return self.segment_count
@@ -334,6 +410,7 @@ class ShardedSegmentDatabase:
         directory: str,
         workers: int = 0,
         buffer_pages: Optional[int] = None,
+        slow_query_s: Optional[float] = None,
     ) -> "ShardedSegmentDatabase":
         """Restore a sharded database saved by :meth:`save`.
 
@@ -341,6 +418,9 @@ class ShardedSegmentDatabase:
         hands the snapshot paths to a
         :class:`~repro.serving.workers.ShardWorkerPool` and shards are
         opened (once each) inside the worker processes instead.
+        ``slow_query_s`` arms a slow-query log at that threshold on
+        every shard (worker-side in pool mode, entries shipped back with
+        each batch) merged into ``self.slow_log``.
         """
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         try:
@@ -362,15 +442,20 @@ class ShardedSegmentDatabase:
         paths = [os.path.join(directory, name)
                  for name in manifest["shard_files"]]
         if workers > 0:
-            pool = ShardWorkerPool(paths, workers, buffer_pages=buffer_pages)
-            return cls(manifest["engine"], boundaries, pool=pool,
-                       segment_count=manifest["segment_count"],
-                       replicated=manifest["replicated"])
-        shards = [SegmentDatabase.open(path, buffer_pages=buffer_pages)
-                  for path in paths]
-        return cls(manifest["engine"], boundaries, shards=shards,
-                   segment_count=manifest["segment_count"],
-                   replicated=manifest["replicated"])
+            pool = ShardWorkerPool(paths, workers, buffer_pages=buffer_pages,
+                                   slow_query_s=slow_query_s)
+            db = cls(manifest["engine"], boundaries, pool=pool,
+                     segment_count=manifest["segment_count"],
+                     replicated=manifest["replicated"])
+        else:
+            shards = [SegmentDatabase.open(path, buffer_pages=buffer_pages)
+                      for path in paths]
+            db = cls(manifest["engine"], boundaries, shards=shards,
+                     segment_count=manifest["segment_count"],
+                     replicated=manifest["replicated"])
+        if slow_query_s is not None:
+            db.enable_slow_query_log(slow_query_s)
+        return db
 
     def close(self) -> None:
         """Shut the worker pool down (no-op in synchronous mode)."""

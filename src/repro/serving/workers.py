@@ -3,62 +3,136 @@
 Each worker process holds a module-level cache of opened shards: the first
 task touching shard ``i`` pays the ``SegmentDatabase.open()`` cost once,
 and every later task against that shard reuses the warm instance (buffer
-pool contents included).  Workers ship back the query results *and* the
-I/O-counter diff of the batch, so the parent's aggregated telemetry sums
-to exactly what a single-process run would have charged.
+pool contents included).  Workers ship back the query results *and* a
+:class:`~repro.serving.reporting.ShardBatchStats` telemetry delta, so the
+parent's aggregated report sums to exactly what a single-process run
+would have charged — buffer, filter and fault sub-counters included.
 
-Everything that crosses the process boundary — queries, segments,
-:class:`~repro.iosim.stats.IOStats`,
-:class:`~repro.telemetry.ExplainReport` — is plain picklable data; the
-page store itself never moves, each worker reads it from the snapshot
-file.
+Latency observability (the E17 cliff, made visible).  The worker protocol
+pickles the batch payload *explicitly*: the parent times ``dumps`` on the
+way out, the worker times ``loads``/``dumps`` around its work, and the
+parent times the final ``loads`` — so the serialization tax that the
+``ProcessPoolExecutor`` machinery normally hides becomes four measured
+phases.  Every task carries a :class:`~repro.telemetry.SpanContext`; the
+worker opens a :class:`~repro.telemetry.WallTracer` that *continues the
+parent's trace id* and records timed spans for
+
+* ``deserialize`` — unpickling the query batch,
+* ``attach``      — cold-opening the shard snapshot (first touch only),
+* ``query``       — the engine work proper,
+* ``serialize``   — pickling the results,
+
+and the parent derives the boundary-crossing phases from the shared
+epoch clock: ``dispatch`` (submit → worker start, argument pickling
+included) and ``collect`` (worker end → result in hand).  The six phases
+sum to the parent-observed task wall-clock by construction, which is the
+identity the E17 decomposition asserts.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
 
-from ..geometry import VerticalQuery
 from ..iosim import IOStats
+from ..telemetry import SpanContext, WallTracer, spans as wallspans
+from .reporting import ShardBatchStats, capture_batch
+
+#: Phase names of one pooled task, in timeline order.
+TASK_PHASES = ("dispatch", "deserialize", "attach", "query", "serialize",
+               "collect")
 
 # Per-process state, set by the pool initializer and filled lazily.
 _SHARD_PATHS: Optional[List[str]] = None
 _BUFFER_PAGES: Optional[int] = None
+_SLOW_QUERY_S: Optional[float] = None
 _OPENED: Dict[int, object] = {}
 
 
-def _init_worker(shard_paths: List[str], buffer_pages: Optional[int]) -> None:
-    global _SHARD_PATHS, _BUFFER_PAGES
+def _init_worker(shard_paths: List[str], buffer_pages: Optional[int],
+                 slow_query_s: Optional[float]) -> None:
+    global _SHARD_PATHS, _BUFFER_PAGES, _SLOW_QUERY_S
     _SHARD_PATHS = list(shard_paths)
     _BUFFER_PAGES = buffer_pages
+    _SLOW_QUERY_S = slow_query_s
     _OPENED.clear()
 
 
-def _shard(index: int):
-    """The worker's warm database for shard ``index`` (opened on first use)."""
-    db = _OPENED.get(index)
-    if db is None:
-        from ..core.api import SegmentDatabase
+def _open_shard(index: int):
+    from ..core.api import SegmentDatabase
 
-        db = SegmentDatabase.open(_SHARD_PATHS[index],
-                                  buffer_pages=_BUFFER_PAGES)
-        _OPENED[index] = db
+    db = SegmentDatabase.open(_SHARD_PATHS[index], buffer_pages=_BUFFER_PAGES)
+    if _SLOW_QUERY_S is not None:
+        db.enable_slow_query_log(_SLOW_QUERY_S)
     return db
 
 
-def _run_query_batch(index: int, queries: Sequence[VerticalQuery]) -> Tuple:
-    db = _shard(index)
-    before = db.io_stats()
-    results = db.query_batch(queries)
-    return results, db.io_stats() - before
+def _run_task(kind: str, index: int, payload: bytes,
+              span_ctx: Optional[dict]) -> dict:
+    """Execute one shard batch in a worker; returns the wire response.
+
+    ``kind`` is ``"query"`` or ``"explain"``; ``payload`` is the pickled
+    query list.  The response dict is plain picklable data: the pickled
+    result payload, the telemetry delta, the worker's span records
+    (carrying the parent's trace id), slow-query-log entries, and the
+    epoch timestamps the parent needs to derive dispatch/collect.
+    """
+    started = time.time()
+    ctx = SpanContext.from_dict(span_ctx)
+    tracer = (WallTracer(ctx.trace_id, ctx.parent_id) if ctx is not None
+              else WallTracer())
+
+    with tracer.span("deserialize", category="ipc", shard=index,
+                     bytes=len(payload)):
+        queries = pickle.loads(payload)
+
+    db = _OPENED.get(index)
+    if db is None:
+        with tracer.span("attach", category="snapshot", shard=index,
+                         path=os.path.basename(_SHARD_PATHS[index])):
+            db = _open_shard(index)
+        _OPENED[index] = db
+
+    runner = (db.query_batch if kind == "query" else db.explain_batch)
+    with tracer.span("query", category="engine", shard=index,
+                     queries=len(queries)):
+        result, stats = capture_batch(db, lambda: runner(queries))
+
+    with tracer.span("serialize", category="ipc", shard=index):
+        result_payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+
+    slow_entries = db.slow_log.drain() if db.slow_log is not None else []
+    return {
+        "payload": result_payload,
+        "stats": stats,
+        "spans": tracer.to_dicts(),
+        "phases": tracer.by_name(),
+        "slow_log": slow_entries,
+        "pid": os.getpid(),
+        "started": started,
+        "ended": time.time(),
+    }
 
 
-def _run_explain_batch(index: int, queries: Sequence[VerticalQuery]) -> Tuple:
-    db = _shard(index)
-    before = db.io_stats()
-    report = db.explain_batch(queries)
-    return report, db.io_stats() - before
+@dataclass
+class WorkerTaskResult:
+    """One shard batch's results plus its full latency/telemetry record."""
+
+    payload: object                 # query results or an ExplainReport
+    stats: ShardBatchStats          # telemetry delta (io, buffer, filter, …)
+    phases: Dict[str, float] = field(default_factory=dict)  # seconds by phase
+    wall_s: float = 0.0             # parent-observed task wall-clock
+    worker_pid: Optional[int] = None
+    slow_log: List[dict] = field(default_factory=list)
+
+    @property
+    def io(self) -> IOStats:
+        return self.stats.io
 
 
 class ShardWorkerPool:
@@ -68,11 +142,18 @@ class ShardWorkerPool:
     two entry points mirror the private execution hooks of
     :class:`~repro.serving.sharded.ShardedSegmentDatabase`, taking a
     ``{shard_index: queries}`` mapping and returning
-    ``{shard_index: (payload, IOStats)}``.
+    ``{shard_index: WorkerTaskResult}``.
+
+    When a :func:`~repro.telemetry.wall_tracing` tracer is installed in
+    the parent, every task inherits its trace id; worker spans are
+    adopted back into the parent tracer together with synthetic
+    ``dispatch``/``collect`` spans for the boundary crossings, so one
+    Chrome-trace export shows the whole multi-process timeline.
     """
 
     def __init__(self, shard_paths: Sequence[str], workers: int,
-                 buffer_pages: Optional[int] = None):
+                 buffer_pages: Optional[int] = None,
+                 slow_query_s: Optional[float] = None):
         if workers < 1:
             raise ValueError("ShardWorkerPool needs workers >= 1 "
                              "(use the synchronous path for workers=0)")
@@ -81,25 +162,56 @@ class ShardWorkerPool:
         self._executor = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self._paths, buffer_pages),
+            initargs=(self._paths, buffer_pages, slow_query_s),
         )
 
-    def query_batches(
-        self, batches: Dict[int, List[VerticalQuery]]
-    ) -> Dict[int, Tuple[List, IOStats]]:
-        return self._gather(_run_query_batch, batches)
+    def query_batches(self, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
+        return self._gather("query", batches)
 
-    def explain_batches(
-        self, batches: Dict[int, List[VerticalQuery]]
-    ) -> Dict[int, Tuple[object, IOStats]]:
-        return self._gather(_run_explain_batch, batches)
+    def explain_batches(self, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
+        return self._gather("explain", batches)
 
-    def _gather(self, fn, batches: Dict[int, List[VerticalQuery]]) -> Dict:
-        futures = {
-            index: self._executor.submit(fn, index, queries)
-            for index, queries in batches.items()
-        }
-        return {index: future.result() for index, future in futures.items()}
+    def _gather(self, kind: str, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
+        tracer = wallspans.active()
+        pending = {}
+        for index, queries in batches.items():
+            ctx = tracer.context().to_dict() if tracer is not None else None
+            t0 = perf_counter()
+            payload = pickle.dumps(list(queries), pickle.HIGHEST_PROTOCOL)
+            pickle_s = perf_counter() - t0
+            submitted = time.time()
+            future = self._executor.submit(_run_task, kind, index, payload, ctx)
+            pending[index] = (future, submitted, pickle_s)
+
+        out: Dict[int, WorkerTaskResult] = {}
+        for index, (future, submitted, pickle_s) in pending.items():
+            raw = future.result()
+            t0 = perf_counter()
+            payload = pickle.loads(raw["payload"])
+            unpickle_s = perf_counter() - t0
+            done = time.time()
+            # Boundary-crossing phases from the shared epoch clock
+            # (same-host processes; negative residues are clock noise).
+            dispatch_s = max(0.0, raw["started"] - submitted) + pickle_s
+            collect_s = max(0.0, done - raw["ended"]) + unpickle_s
+            phases = {"dispatch": dispatch_s, "collect": collect_s}
+            phases.update(raw["phases"])
+            wall_s = pickle_s + max(0.0, done - submitted) + unpickle_s
+            if tracer is not None:
+                tracer.add("dispatch", submitted - pickle_s, dispatch_s,
+                           category="ipc", shard=index)
+                tracer.extend(raw["spans"])
+                tracer.add("collect", raw["ended"], collect_s,
+                           category="ipc", shard=index)
+            out[index] = WorkerTaskResult(
+                payload=payload,
+                stats=raw["stats"],
+                phases=phases,
+                wall_s=wall_s,
+                worker_pid=raw["pid"],
+                slow_log=raw["slow_log"],
+            )
+        return out
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=True)

@@ -14,8 +14,24 @@ Three layers (see DESIGN.md §7):
 """
 
 from . import trace
+from .chrometrace import (
+    phase_totals,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .explain import ExplainReport, PhaseStats, collect_phases, trace_call
+from .latency import LatencyHistogram
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .slowlog import SlowQueryLog
+from .spans import (
+    SpanContext,
+    SpanRecord,
+    WallTracer,
+    new_trace_id,
+    timed_span,
+    wall_tracing,
+)
 from .trace import Span, TraceContext, attribute, current_span, span, tracing
 
 __all__ = [
@@ -23,15 +39,27 @@ __all__ = [
     "ExplainReport",
     "Gauge",
     "Histogram",
+    "LatencyHistogram",
     "MetricsRegistry",
     "PhaseStats",
+    "SlowQueryLog",
     "Span",
+    "SpanContext",
+    "SpanRecord",
     "TraceContext",
+    "WallTracer",
     "attribute",
     "collect_phases",
     "current_span",
+    "new_trace_id",
+    "phase_totals",
     "span",
+    "timed_span",
+    "to_chrome_trace",
     "trace",
     "trace_call",
     "tracing",
+    "validate_chrome_trace",
+    "wall_tracing",
+    "write_chrome_trace",
 ]

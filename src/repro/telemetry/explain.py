@@ -17,7 +17,7 @@ is the ``log_B n`` vs ``log2 B`` trade of fractional cascading.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from . import trace
 
@@ -25,15 +25,16 @@ from . import trace
 class PhaseStats:
     """Events attributed to one phase path (exclusive of sub-phases)."""
 
-    __slots__ = ("reads", "writes", "hits", "misses", "pins")
+    __slots__ = ("reads", "writes", "hits", "misses", "pins", "seconds")
 
     def __init__(self, reads: int = 0, writes: int = 0, hits: int = 0,
-                 misses: int = 0, pins: int = 0):
+                 misses: int = 0, pins: int = 0, seconds: float = 0.0):
         self.reads = reads
         self.writes = writes
         self.hits = hits
         self.misses = misses
         self.pins = pins
+        self.seconds = seconds  # wall-clock self time; 0.0 unless timed
 
     @property
     def io_total(self) -> int:
@@ -42,10 +43,10 @@ class PhaseStats:
     @classmethod
     def from_span(cls, span: trace.Span) -> "PhaseStats":
         return cls(reads=span.reads, writes=span.writes, hits=span.hits,
-                   misses=span.misses, pins=span.pins)
+                   misses=span.misses, pins=span.pins, seconds=span.seconds)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "reads": self.reads,
             "writes": self.writes,
             "hits": self.hits,
@@ -53,6 +54,9 @@ class PhaseStats:
             "pins": self.pins,
             "total": self.io_total,
         }
+        if self.seconds:
+            out["seconds"] = self.seconds
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PhaseStats(reads={self.reads}, writes={self.writes})"
@@ -101,6 +105,11 @@ class ExplainReport:
     def balanced(self) -> bool:
         """True when per-phase I/Os sum exactly to the flat diff."""
         return self.phase_io_total == self.io.total
+
+    @property
+    def seconds_total(self) -> float:
+        """Wall-clock seconds over all phases (0.0 unless traced timed)."""
+        return sum(p.seconds for p in self.phases.values())
 
     # ------------------------------------------------------------------
     # exports
@@ -181,20 +190,23 @@ def collect_phases(ctx: trace.TraceContext) -> "Dict[str, PhaseStats]":
 
 def trace_call(device, fn: Callable[[], object], *, engine: str = "",
                description: str = "", buffer_pool=None,
-               root_name: str = "query") -> Tuple[object, ExplainReport]:
+               root_name: str = "query",
+               timed: bool = False) -> Tuple[object, ExplainReport]:
     """Run ``fn`` traced and measured; return ``(result, report)``.
 
     ``device`` must be the :class:`~repro.iosim.disk.BlockDevice` whose
     counters the operation is charged to (pass the *device*, not the
     buffer pool, so the flat diff counts real block transfers).  When a
     ``buffer_pool`` is given, its hit/miss movement over the window is
-    reported alongside.
+    reported alongside.  ``timed=True`` also attributes wall-clock self
+    time to every phase (used by the slow-query log; the default keeps
+    reports exactly reproducible).
     """
     pool_hits = pool_misses = 0
     if buffer_pool is not None:
         pool_hits, pool_misses = buffer_pool.hits, buffer_pool.misses
     before = device.snapshot()
-    with trace.tracing(root_name) as ctx:
+    with trace.tracing(root_name, timed=timed) as ctx:
         result = fn()
     stats = device.snapshot() - before
     buffer = None

@@ -14,7 +14,9 @@ registries are deterministic and comparable across runs.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
+
+from .latency import LatencyHistogram
 
 
 class Counter:
@@ -122,6 +124,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._latencies: Dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -144,9 +147,26 @@ class MetricsRegistry:
             got = self._histograms[name] = Histogram(name)
         return got
 
+    def latency(self, name: str) -> LatencyHistogram:
+        """A log-bucketed wall-clock histogram (seconds, bounded memory).
+
+        Unlike :meth:`histogram` these hold non-deterministic wall-clock
+        samples; keeping the kinds separate keeps the exact-I/O metrics
+        reproducible run-to-run while latency still gets p50/p95/p99.
+        """
+        got = self._latencies.get(name)
+        if got is None:
+            got = self._latencies[name] = LatencyHistogram(name)
+        return got
+
+    def merge_latency(self, name: str, other: LatencyHistogram) -> None:
+        """Fold a (possibly remote) latency histogram into ``name``."""
+        self.latency(name).merge(other)
+
     def names(self) -> List[str]:
         return sorted(
-            list(self._counters) + list(self._gauges) + list(self._histograms)
+            list(self._counters) + list(self._gauges)
+            + list(self._histograms) + list(self._latencies)
         )
 
     # ------------------------------------------------------------------
@@ -154,7 +174,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         out: dict = {}
-        for store in (self._counters, self._gauges, self._histograms):
+        for store in (self._counters, self._gauges, self._histograms,
+                      self._latencies):
             for name, metric in store.items():
                 out[name] = metric.to_dict()
         return {name: out[name] for name in sorted(out)}
@@ -189,6 +210,19 @@ class MetricsRegistry:
                 )
             sections.append(
                 "| histogram | count | mean | min | p50 | p90 | max |\n"
+                "|---|---|---|---|---|---|---|\n" + "\n".join(rows)
+            )
+        if self._latencies:
+            rows = []
+            for name, h in sorted(self._latencies.items()):
+                s = h.summary()
+                rows.append(
+                    f"| {name} | {s['count']} | {_fmt(s['mean_ms'])} "
+                    f"| {_fmt(s['p50_ms'])} | {_fmt(s['p95_ms'])} "
+                    f"| {_fmt(s['p99_ms'])} | {_fmt(s['max_ms'])} |"
+                )
+            sections.append(
+                "| latency (ms) | count | mean | p50 | p95 | p99 | max |\n"
                 "|---|---|---|---|---|---|---|\n" + "\n".join(rows)
             )
         return "\n\n".join(sections) if sections else "(no metrics recorded)"

@@ -40,6 +40,7 @@ moving already-recorded counts with :func:`attribute` /
 from __future__ import annotations
 
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Names of the event counters every span keeps.
@@ -70,7 +71,8 @@ class Span:
     the span tree is already the aggregated cost anatomy.
     """
 
-    __slots__ = ("name", "reads", "writes", "hits", "misses", "pins", "_children")
+    __slots__ = ("name", "reads", "writes", "hits", "misses", "pins",
+                 "seconds", "_children")
 
     def __init__(self, name: str):
         self.name = name
@@ -79,6 +81,10 @@ class Span:
         self.hits = 0
         self.misses = 0
         self.pins = 0
+        #: Wall-clock self time, populated only under ``tracing(timed=True)``
+        #: (the default trace records no timestamps, keeping I/O anatomies
+        #: exactly reproducible run-to-run).
+        self.seconds = 0.0
         self._children: Dict[str, "Span"] = {}
 
     # ------------------------------------------------------------------
@@ -137,6 +143,8 @@ class Span:
     def to_dict(self) -> dict:
         out = {field: getattr(self, field) for field in EVENT_FIELDS}
         out["name"] = self.name
+        if self.seconds:
+            out["seconds"] = self.seconds
         if self._children:
             out["children"] = [c.to_dict() for c in self._children.values()]
         return out
@@ -164,9 +172,15 @@ class TraceContext:
     and the tree's total equals the flat counter diff exactly.
     """
 
-    def __init__(self, root_name: str = "query"):
+    def __init__(self, root_name: str = "query", timed: bool = False):
         self.root = Span(root_name)
         self._stack: List[Span] = [self.root]
+        #: With ``timed=True`` every span also accumulates wall-clock
+        #: *self* time (time while it was innermost), so the tree's
+        #: seconds sum to the traced window like its I/Os do.  Off by
+        #: default: wall samples would make traces non-reproducible.
+        self.timed = timed
+        self._last_tick: Optional[float] = None
 
     # ------------------------------------------------------------------
     # span scoping
@@ -175,14 +189,25 @@ class TraceContext:
     def current(self) -> Span:
         return self._stack[-1]
 
+    def _tick(self) -> None:
+        """Charge wall time since the last stack change to the current span."""
+        now = perf_counter()
+        if self._last_tick is not None:
+            self._stack[-1].seconds += now - self._last_tick
+        self._last_tick = now
+
     @contextmanager
     def span(self, name: str) -> Iterator[Span]:
         """Open (or re-enter) the child phase ``name`` of the current span."""
+        if self.timed:
+            self._tick()
         sp = self._stack[-1].child(name)
         self._stack.append(sp)
         try:
             yield sp
         finally:
+            if self.timed:
+                self._tick()
             self._stack.pop()
 
     # ------------------------------------------------------------------
@@ -227,20 +252,27 @@ class TraceContext:
 # module-level surface used by engines and the I/O layer
 # ----------------------------------------------------------------------
 @contextmanager
-def tracing(root_name: str = "query") -> Iterator[TraceContext]:
+def tracing(root_name: str = "query",
+            timed: bool = False) -> Iterator[TraceContext]:
     """Install a fresh :class:`TraceContext` for the scope.
 
     Nested installations shadow the outer one (the outer context resumes
     when the inner scope exits) so explain() can run inside an already
-    traced program without double counting.
+    traced program without double counting.  ``timed=True`` additionally
+    attributes wall-clock self time to every span (see
+    :class:`TraceContext`).
     """
     global _ACTIVE
     previous = _ACTIVE
-    ctx = TraceContext(root_name)
+    ctx = TraceContext(root_name, timed=timed)
     _ACTIVE = ctx
+    if timed:
+        ctx._tick()
     try:
         yield ctx
     finally:
+        if timed:
+            ctx._tick()
         _ACTIVE = previous
 
 

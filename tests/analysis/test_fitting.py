@@ -1,6 +1,5 @@
 """Tests for the complexity-model fitting layer."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.linebased import ExternalPST, read_node
+from repro.core.linebased import ExternalPST
 from repro.geometry import LineBasedSegment
 from repro.iosim import BlockDevice, Pager
 from repro.workloads import fan, shared_base_fans, verticals

@@ -1,6 +1,5 @@
 """Query correctness of the external PST against the brute-force oracle."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

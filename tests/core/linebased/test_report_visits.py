@@ -7,7 +7,7 @@ itself with a full page of output.
 """
 
 from repro.core.linebased import ExternalPST
-from repro.core.linebased.search import classify, HIT, _Bounds
+from repro.core.linebased.search import classify, HIT
 from repro.geometry import HQuery
 from repro.iosim import BlockDevice, Pager
 from repro.workloads import fan, hqueries

@@ -3,7 +3,6 @@
 import math
 
 from repro.core.solution1 import TwoLevelBinaryIndex
-from repro.geometry import VerticalQuery
 from repro.iosim import BlockDevice, Measurement, Pager
 from repro.workloads import grid_segments, segment_queries, stabbing_queries
 

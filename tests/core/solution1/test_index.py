@@ -14,7 +14,6 @@ from repro.workloads import (
     grid_segments_touching,
     mixed_queries,
     monotone_polylines,
-    segment_queries,
     stabbing_queries,
     version_history,
 )

@@ -1,9 +1,8 @@
 """Unit tests for the segment tree G with fractional cascading."""
 
 import random
-from fractions import Fraction
 
-from repro.core.solution2.gtree import BRIDGE_D, GTree
+from repro.core.solution2.gtree import GTree
 from repro.core.solution2.slabs import LongFragment
 from repro.geometry import Segment
 from repro.iosim import BlockDevice, Measurement, Pager

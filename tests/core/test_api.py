@@ -1,6 +1,5 @@
 """Tests for the SegmentDatabase facade."""
 
-from fractions import Fraction
 
 import pytest
 

@@ -1,6 +1,5 @@
 """The plane sweep at workload scale (where brute force is infeasible)."""
 
-import pytest
 
 from repro.geometry import Segment, find_crossing_sweep, validate_nct
 from repro.workloads import (

@@ -1,0 +1,99 @@
+"""Worker→parent telemetry merge: pooled reports equal synchronous ones.
+
+PR 5 regression under test: the pooled ``io_report()`` used to keep only
+the raw IOStats diff, silently dropping the buffer / filter / fault
+sub-dicts that the synchronous path reported.  Both back ends now
+capture per-batch :class:`~repro.serving.ShardBatchStats` deltas through
+the same helper, so the merged pooled report must equal the ``workers=0``
+report field for field.
+"""
+
+import pytest
+
+from repro import ShardedSegmentDatabase
+from repro.serving import ShardBatchStats
+from repro.workloads import grid_segments, segment_queries
+
+
+def serve(directory, queries, workers, buffer_pages=None, batches=2):
+    with ShardedSegmentDatabase.open(directory, workers=workers,
+                                     buffer_pages=buffer_pages) as served:
+        for _ in range(batches):
+            served.query_batch(queries)
+        return served.io_report()
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    segments = grid_segments(400, seed=81)
+    queries = list(segment_queries(segments, 32, seed=82))
+    directory = str(tmp_path_factory.mktemp("merge") / "snap")
+    ShardedSegmentDatabase.bulk_load(
+        segments, shards=3, block_capacity=16).save(directory)
+    return directory, queries
+
+
+def test_pooled_report_equals_sync_report(snapshot):
+    """workers=2, no buffer: io and filter counters must match exactly."""
+    directory, queries = snapshot
+    sync = serve(directory, queries, workers=0)
+    pooled = serve(directory, queries, workers=2)
+    assert pooled == sync
+
+
+def test_pooled_report_equals_sync_report_with_buffer(snapshot):
+    """workers=1 with a buffer pool: every sub-dict must survive the
+    worker→parent merge — buffer hits/misses included (single worker, so
+    per-process pool state matches the single-process run)."""
+    directory, queries = snapshot
+    sync = serve(directory, queries, workers=0, buffer_pages=8)
+    pooled = serve(directory, queries, workers=1, buffer_pages=8)
+    assert pooled == sync
+    for shard in pooled["shards"]:
+        assert shard["buffer"] is not None
+        assert shard["buffer"]["capacity"] == 8
+        assert shard["buffer"]["hits"] + shard["buffer"]["misses"] > 0
+
+
+def test_report_carries_full_counter_family(snapshot):
+    directory, queries = snapshot
+    report = serve(directory, queries, workers=2)
+    for block in report["shards"] + [report["combined"]]:
+        assert {"reads", "writes", "allocs", "frees", "total", "buffer",
+                "filter", "faults", "degraded_queries",
+                "quarantined"} <= set(block)
+    combined = report["combined"]
+    assert combined["total"] == sum(s["total"] for s in report["shards"])
+    assert combined["filter"]["fast_hits"] == sum(
+        s["filter"]["fast_hits"] for s in report["shards"])
+    # The generated workload exercises the float fast path.
+    assert combined["filter"]["fast_hits"] > 0
+
+
+def test_shard_batch_stats_add_is_fieldwise():
+    a = ShardBatchStats(buffer_hits=3, buffer_misses=1, buffer_capacity=8,
+                        filter_fast=10, filter_exact=2,
+                        faults={"faults_injected": 1, "state": "armed"},
+                        degraded_queries=1)
+    b = ShardBatchStats(buffer_hits=2, buffer_misses=2, buffer_capacity=8,
+                        buffer_pinned=1, filter_fast=5,
+                        faults={"faults_injected": 2, "state": "armed"},
+                        quarantined=True)
+    c = a + b
+    assert c.buffer_hits == 5 and c.buffer_misses == 3
+    assert c.buffer_pinned == 1          # point-in-time: latest wins
+    assert c.filter_fast == 15 and c.filter_exact == 2
+    assert c.faults == {"faults_injected": 3, "state": "armed"}
+    assert c.degraded_queries == 1
+    assert c.quarantined is True
+    report = c.to_report()
+    assert report["buffer"]["hit_rate"] == pytest.approx(5 / 8)
+    assert report["filter"]["hit_rate"] == pytest.approx(15 / 17)
+
+
+def test_stats_without_buffer_report_none():
+    stats = ShardBatchStats(filter_fast=1)
+    report = stats.to_report()
+    assert report["buffer"] is None
+    assert report["faults"] is None
+    assert report["quarantined"] is False

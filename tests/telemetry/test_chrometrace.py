@@ -1,0 +1,98 @@
+"""Chrome-trace export: schema validity, lanes, ids, phase totals."""
+
+import json
+
+from repro.telemetry import (
+    SpanRecord,
+    WallTracer,
+    phase_totals,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def tracer_with_spans():
+    tracer = WallTracer()
+    with tracer.span("serve-batch", category="serving", batch=0):
+        with tracer.span("query", category="engine", shard=1):
+            pass
+    tracer.add("dispatch", 100.0, 0.25, category="ipc", shard=1)
+    return tracer
+
+
+def test_export_is_schema_valid():
+    tracer = tracer_with_spans()
+    doc = to_chrome_trace(tracer.records)
+    assert validate_chrome_trace(doc) == []
+    assert doc["displayTimeUnit"] == "ms"
+    json.dumps(doc)  # JSON-serializable end to end
+
+
+def test_complete_events_carry_trace_and_span_ids():
+    tracer = tracer_with_spans()
+    doc = to_chrome_trace(tracer.records)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == 3
+    assert {e["args"]["trace_id"] for e in complete} == {tracer.trace_id}
+    span_ids = [e["args"]["span_id"] for e in complete]
+    assert len(set(span_ids)) == len(span_ids)  # unique per span
+    by_name = {e["name"]: e for e in complete}
+    # The nested span's parent is the enclosing span.
+    assert (by_name["query"]["args"]["parent_id"]
+            == by_name["serve-batch"]["args"]["span_id"])
+
+
+def test_timestamps_are_relative_nonnegative_microseconds():
+    tracer = tracer_with_spans()
+    doc = to_chrome_trace(tracer.records)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert min(e["ts"] for e in complete) == 0.0
+    assert all(e["dur"] >= 0 for e in complete)
+    origin = doc["otherData"]["origin_epoch_s"]
+    assert origin == min(r.start for r in tracer.records)
+
+
+def test_process_lanes_are_named():
+    records = [
+        SpanRecord(name="a", trace_id="t", span_id="1", parent_id=None,
+                   pid=10, tid=1, start=0.0, duration=0.5),
+        SpanRecord(name="b", trace_id="t", span_id="2", parent_id=None,
+                   pid=20, tid=1, start=0.1, duration=0.2),
+    ]
+    doc = to_chrome_trace(records, parent_pid=10)
+    meta = {e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert meta == {10: "parent", 20: "worker-20"}
+
+
+def test_validate_flags_broken_events():
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    bad = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1,
+                            "ts": -5, "dur": 1.0}]}
+    problems = validate_chrome_trace(bad)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("bad ts" in p for p in problems)
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    tracer = tracer_with_spans()
+    path = str(tmp_path / "trace.json")
+    doc = write_chrome_trace(path, tracer.records, parent_pid=123,
+                             metadata={"command": "test"})
+    with open(path) as fh:
+        on_disk = json.load(fh)
+    assert validate_chrome_trace(on_disk) == []
+    assert on_disk["otherData"]["command"] == "test"
+    assert len(on_disk["traceEvents"]) == len(doc["traceEvents"])
+
+
+def test_phase_totals_sums_by_name():
+    tracer = WallTracer()
+    tracer.add("query", 0.0, 0.5)
+    tracer.add("query", 1.0, 0.25)
+    tracer.add("dispatch", 2.0, 0.125)
+    totals = phase_totals(tracer.to_dicts(), ("query", "dispatch", "absent"))
+    assert totals["query"] == 0.75
+    assert totals["dispatch"] == 0.125
+    assert totals["absent"] == 0.0

@@ -1,0 +1,143 @@
+"""LatencyHistogram: bucket geometry, percentile error bounds, merging.
+
+The histogram's contract (DESIGN.md §12): log-spaced buckets give every
+quantile a *relative* error bounded by sqrt(gamma) - 1 regardless of the
+distribution, memory stays bounded by the fixed bucket universe, and
+merge is associative — the precondition for shipping per-worker
+histograms across process boundaries and folding them in any order.
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.telemetry import LatencyHistogram
+
+
+def exact_percentile(values, p):
+    """Nearest-rank percentile over the raw sample (the reference)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def lognormal_sample(n, seed):
+    rng = random.Random(seed)
+    return [math.exp(rng.gauss(-6.0, 1.5)) for _ in range(n)]
+
+
+def test_percentiles_within_relative_error_bound():
+    h = LatencyHistogram("t")
+    values = lognormal_sample(5000, seed=7)
+    for v in values:
+        h.observe(v)
+    bound = h.relative_error_bound
+    for p in (50, 90, 95, 99):
+        estimate = h.percentile(p)
+        exact = exact_percentile(values, p)
+        assert abs(estimate - exact) / exact <= bound, (
+            f"p{p}: {estimate} vs exact {exact} exceeds {bound:.4f}"
+        )
+
+
+def test_extremes_are_exact():
+    h = LatencyHistogram("t")
+    values = lognormal_sample(500, seed=11)
+    for v in values:
+        h.observe(v)
+    assert h.percentile(0) == min(values)
+    assert h.percentile(100) == max(values)
+    assert h.min == min(values)
+    assert h.max == max(values)
+
+
+def test_empty_histogram_has_no_percentiles():
+    h = LatencyHistogram("t")
+    assert h.count == 0
+    assert h.percentile(50) is None
+    assert h.summary()["p99_ms"] is None
+
+
+def test_bucket_count_is_bounded():
+    h = LatencyHistogram("t")
+    rng = random.Random(3)
+    for _ in range(20000):
+        # Spray the full representable range plus outliers on both sides.
+        h.observe(10 ** rng.uniform(-9, 4))
+    assert h.bucket_count <= h.max_buckets
+    assert h.count == 20000
+
+
+def test_underflow_and_overflow_clamp():
+    h = LatencyHistogram("t", min_value=1e-6, max_value=1.0)
+    h.observe(1e-12)
+    h.observe(100.0)
+    assert h.count == 2
+    assert h.percentile(0) == 1e-12    # exact min survives clamping
+    assert h.percentile(100) == 100.0  # exact max survives clamping
+
+
+def test_merge_equals_single_histogram():
+    values = lognormal_sample(3000, seed=13)
+    whole = LatencyHistogram("t")
+    parts = [LatencyHistogram("t") for _ in range(3)]
+    for i, v in enumerate(values):
+        whole.observe(v)
+        parts[i % 3].observe(v)
+    merged = LatencyHistogram.merged(parts, "t")
+    assert merged.count == whole.count
+    assert merged.to_dict()["buckets"] == whole.to_dict()["buckets"]
+    for p in (50, 95, 99):
+        assert merged.percentile(p) == whole.percentile(p)
+
+
+def test_merge_is_associative_bucket_for_bucket():
+    parts = [LatencyHistogram("t") for _ in range(3)]
+    rng = random.Random(17)
+    for _ in range(900):
+        parts[rng.randrange(3)].observe(math.exp(rng.gauss(-5, 2)))
+    a, b, c = (LatencyHistogram.from_dict(p.to_dict()) for p in parts)
+    left = a.merge(b).merge(c)        # (a + b) + c
+    a2, b2, c2 = (LatencyHistogram.from_dict(p.to_dict()) for p in parts)
+    right = a2.merge(b2.merge(c2))    # a + (b + c)
+    # Bucket contents, counts, extremes and every quantile are identical;
+    # only the float `sum` differs by rounding order.
+    assert left.to_dict()["buckets"] == right.to_dict()["buckets"]
+    assert (left.count, left.min, left.max) == (right.count, right.min,
+                                                right.max)
+    for p in (50, 95, 99):
+        assert left.percentile(p) == right.percentile(p)
+    assert left.sum == pytest.approx(right.sum)
+
+
+def test_merge_rejects_mismatched_geometry():
+    a = LatencyHistogram("t", buckets_per_octave=8)
+    b = LatencyHistogram("t", buckets_per_octave=4)
+    with pytest.raises(ValueError, match="geometry"):
+        a.merge(b)
+
+
+def test_roundtrips_through_pickle_and_dict():
+    h = LatencyHistogram("t")
+    for v in lognormal_sample(200, seed=23):
+        h.observe(v)
+    via_dict = LatencyHistogram.from_dict(h.to_dict())
+    via_pickle = pickle.loads(pickle.dumps(h))
+    for other in (via_dict, via_pickle):
+        assert other.count == h.count
+        assert other.percentile(99) == h.percentile(99)
+        assert other.to_dict() == h.to_dict()
+
+
+def test_summary_shape():
+    h = LatencyHistogram("t")
+    h.observe(0.010)
+    h.observe(0.020)
+    s = h.summary()
+    assert s["count"] == 2
+    assert set(s) == {"count", "mean_ms", "min_ms", "max_ms",
+                      "p50_ms", "p95_ms", "p99_ms"}
+    assert s["min_ms"] == 10.0
+    assert s["max_ms"] == 20.0

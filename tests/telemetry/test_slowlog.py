@@ -1,0 +1,87 @@
+"""SlowQueryLog: thresholding, lazy explain, ring bound, worker absorb."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import SlowQueryLog
+
+
+def test_fast_operations_are_not_logged():
+    log = SlowQueryLog(threshold_s=0.5)
+    assert log.record("query", "q1", 0.1) is None
+    assert len(log) == 0
+    assert log.recorded == 0
+
+
+def test_slow_operations_capture_query_latency_and_explain():
+    log = SlowQueryLog(threshold_s=0.01)
+    entry = log.record("query", "x=3", 0.02,
+                       explain=lambda: {"phases": {"descent": 4}},
+                       results=7)
+    assert entry is not None
+    assert entry["kind"] == "query"
+    assert entry["description"] == "x=3"
+    assert entry["latency_s"] == 0.02
+    assert entry["explain"] == {"phases": {"descent": 4}}
+    assert entry["results"] == 7
+    assert log.entries() == [entry]
+
+
+def test_explain_callback_runs_only_past_threshold():
+    calls = []
+    log = SlowQueryLog(threshold_s=0.5)
+    log.record("query", "fast", 0.1, explain=lambda: calls.append(1))
+    assert calls == []
+    log.record("query", "slow", 0.9, explain=lambda: calls.append(1) or {})
+    assert calls == [1]
+
+
+def test_explain_exception_is_captured_not_raised():
+    log = SlowQueryLog(threshold_s=0.0)
+
+    def boom():
+        raise RuntimeError("diagnosis failed")
+
+    entry = log.record("query", "q", 1.0, explain=boom)
+    assert entry["explain"] == {"error": "RuntimeError: diagnosis failed"}
+
+
+def test_ring_is_bounded_and_counts_drops():
+    log = SlowQueryLog(threshold_s=0.0, capacity=3)
+    for i in range(5):
+        log.record("query", f"q{i}", 1.0)
+    assert len(log) == 3
+    assert log.recorded == 5
+    assert log.dropped == 2
+    assert [e["description"] for e in log.entries()] == ["q2", "q3", "q4"]
+
+
+def test_drain_clears_and_absorb_adopts():
+    worker = SlowQueryLog(threshold_s=0.0)
+    worker.record("query_batch", "batch", 1.0)
+    shipped = worker.drain()
+    assert len(worker) == 0
+    assert pickle.loads(pickle.dumps(shipped)) == shipped  # crosses processes
+    parent = SlowQueryLog(threshold_s=0.0)
+    parent.absorb(shipped)
+    assert [e["description"] for e in parent.entries()] == ["batch"]
+    assert parent.recorded == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="threshold_s"):
+        SlowQueryLog(threshold_s=-1.0)
+    with pytest.raises(ValueError, match="capacity"):
+        SlowQueryLog(threshold_s=0.1, capacity=0)
+
+
+def test_to_dict_shape():
+    log = SlowQueryLog(threshold_s=0.25, capacity=8)
+    log.record("query", "q", 0.5)
+    d = log.to_dict()
+    assert d["threshold_s"] == 0.25
+    assert d["capacity"] == 8
+    assert d["recorded"] == 1
+    assert d["dropped"] == 0
+    assert len(d["entries"]) == 1

@@ -1,6 +1,5 @@
 """Tests for the span/trace core: scoping, attribution, zero-cost off."""
 
-import pytest
 
 from repro.iosim import BlockDevice, LRUBufferPool, Pager
 from repro.telemetry import trace

@@ -4,7 +4,7 @@ import pytest
 
 from repro.__main__ import main
 from repro.workloads import grid_segments
-from repro.workloads.files import dump, dumps
+from repro.workloads.files import dump
 
 
 @pytest.fixture
@@ -218,6 +218,46 @@ def test_serve_bench_json_with_workers(capsys):
     assert summary["queries"] == 12
     assert summary["queries_per_s"] > 0
     assert summary["io"]["combined"]["total"] > 0
+
+
+def test_serve_bench_trace_and_slow_log(tmp_path, capsys):
+    import json
+    import os
+
+    trace_path = str(tmp_path / "out.json")
+    assert main(["serve-bench", "--shards", "2", "--workers", "2",
+                 "--segments", "200", "--count", "12", "--batch-size", "4",
+                 "--trace", trace_path, "--slow-ms", "0", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["trace"]["path"] == trace_path
+    assert summary["trace"]["events"] > 0
+    assert summary["latency"]["batches"]["count"] == 3
+    assert summary["slow_queries"]["recorded"] > 0
+
+    from repro.telemetry import validate_chrome_trace
+
+    with open(trace_path) as fh:
+        doc = json.load(fh)
+    assert validate_chrome_trace(doc) == []
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # One trace id spanning parent and worker processes.
+    assert {e["args"]["trace_id"] for e in complete} \
+        == {summary["trace"]["trace_id"]}
+    assert len({e["pid"] for e in complete}) >= 2
+    assert os.getpid() in {e["pid"] for e in complete}
+
+
+def test_trace_command_writes_default_file(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "--shards", "2", "--workers", "0",
+                 "--segments", "150", "--count", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "trace.json" in out
+    with open(tmp_path / "trace.json") as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
 
 
 def test_serve_bench_keeps_snapshot_dir(tmp_path, capsys):

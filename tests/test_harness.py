@@ -63,6 +63,12 @@ def test_build_engine_with_buffer_pages():
     assert pager.device.pinned_count == 0
 
 
+def strip_stamps(payload):
+    """An experiment payload minus the per-run schema-v4 stamps."""
+    return {k: v for k, v in payload.items()
+            if k not in ("commit", "generated_at")}
+
+
 def test_write_perf_json(tmp_path):
     path = str(tmp_path / "BENCH_perf.json")
     payload = {"engines": {"scan": {"hit_rate": 0.5}}}
@@ -70,10 +76,15 @@ def test_write_perf_json(tmp_path):
     assert written == path
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
     assert data["generated_by"] == "E15"
     assert data["commit"]
-    assert data["experiments"]["E15"] == payload
+    stored = data["experiments"]["E15"]
+    assert strip_stamps(stored) == payload
+    # v4: every experiment records the commit and UTC time of its own run.
+    assert stored["commit"] == data["commit"]
+    assert stored["generated_at"].endswith("Z")
+    assert payload == {"engines": {"scan": {"hit_rate": 0.5}}}  # not mutated
 
 
 def test_write_perf_json_merges_experiments(tmp_path):
@@ -82,7 +93,8 @@ def test_write_perf_json_merges_experiments(tmp_path):
     write_perf_json("E16", {"n": 4096}, path=path)
     with open(path) as fh:
         data = json.load(fh)
-    assert data["experiments"] == {"E15": {"n": 1024}, "E16": {"n": 4096}}
+    assert {name: strip_stamps(p) for name, p in data["experiments"].items()
+            } == {"E15": {"n": 1024}, "E16": {"n": 4096}}
     assert data["generated_by"] == "E16"
 
 
@@ -94,6 +106,7 @@ def test_write_perf_json_migrates_legacy_schema(tmp_path):
     write_perf_json("E16", {"n": 4096}, path=path)
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 3
+    assert data["schema_version"] == 4
+    # Migrated legacy payloads keep their shape (no stamps injected).
     assert data["experiments"]["E15"] == {"n": 512, "engines": {"scan": {}}}
-    assert data["experiments"]["E16"] == {"n": 4096}
+    assert strip_stamps(data["experiments"]["E16"]) == {"n": 4096}

@@ -4,7 +4,6 @@ from repro import Segment, VerticalQuery
 from repro.core.linebased import ExternalPST
 from repro.core.solution1 import TwoLevelBinaryIndex
 from repro.core.solution2 import TwoLevelIntervalIndex
-from repro.geometry import LineBasedSegment
 from repro.iosim import BlockDevice, Pager
 from repro.viz import (
     Canvas,
