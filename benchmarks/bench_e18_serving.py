@@ -1,0 +1,211 @@
+"""E18 — closing the serving cliff: zero-copy shm arenas vs the pickle pool.
+
+E17 priced the multiprocess serving gap: the worker pool spent its time
+not in the engine but around it — per-process snapshot unpickling
+(``attach``) and per-batch pickling (``dispatch``/``collect``).  This
+experiment measures the fix.  The same shard snapshots are served three
+ways over an identical query stream:
+
+* **sync** — ``workers=0``, the in-process oracle and the qps bar the
+  pool has to clear;
+* **pickle** — the PR 5 pool: every worker cold-opens its shard
+  snapshot, an O(shard) deserialization per process;
+* **shm** — the flat arena mapped into POSIX shared memory once, every
+  worker attaching zero-copy in O(1) and decoding pages lazily out of
+  the shared bytes.
+
+All three must return bit-identical results.  The headline metric is the
+**overhead tax**: the dispatch + attach + deserialize seconds the pool
+charges on top of engine work, summed over tasks.  At full scale
+(``N >= 20000``) the shm transport must cut that tax at least 10× —
+asserted, not just recorded — and on a machine with at least 2 cores the
+pooled path must beat the synchronous qps (the ROADMAP's crossover
+criterion).  ``E18_N`` / ``E18_QUERIES`` / ``E18_WORKERS`` /
+``E18_BATCH`` shrink the run for CI smoke, which skips both gates and
+still records every number in ``BENCH_perf.json`` (schema v4).
+"""
+
+import os
+import time
+
+from harness import archive, table_section, write_perf_json
+from repro.serving import ShardedSegmentDatabase
+from repro.workloads import grid_segments, segment_queries
+
+B = 32
+N = int(os.environ.get("E18_N", "20000"))
+QUERIES = int(os.environ.get("E18_QUERIES", "256"))
+SHARDS = int(os.environ.get("E18_SHARDS", "2"))
+WORKERS = int(os.environ.get("E18_WORKERS", "2"))
+BATCH_SIZE = int(os.environ.get("E18_BATCH", "32"))
+ENGINE = "solution2"
+
+#: The pool's per-batch tax: everything that is not engine work or
+#: shipping results back.  ``attach`` is where the transports differ
+#: structurally (O(shard) unpickle vs O(1) map); dispatch/deserialize
+#: price the payload hop.
+OVERHEAD_PHASES = ("dispatch", "attach", "deserialize")
+
+
+def _labels(results):
+    return [sorted(str(s.label) for s in r) for r in results]
+
+
+def _serve(db, queries):
+    t0 = time.perf_counter()
+    results = []
+    for start in range(0, len(queries), BATCH_SIZE):
+        results.extend(db.query_batch(queries[start:start + BATCH_SIZE]))
+    return time.perf_counter() - t0, results
+
+
+def _run_mode(directory, queries, workers, transport):
+    t0 = time.perf_counter()
+    with ShardedSegmentDatabase.open(directory, workers=workers,
+                                     transport=transport) as served:
+        open_s = time.perf_counter() - t0
+        serve_s, results = _serve(served, queries)
+        report = served.latency_report()
+        shared = served._pool.shared_bytes if workers else 0
+    phases = report["phases_s"]
+    overhead_s = sum(phases.get(p, 0.0) for p in OVERHEAD_PHASES)
+    return {
+        "open_s": round(open_s, 4),
+        "serve_s": round(serve_s, 4),
+        "queries_per_s": round(len(queries) / serve_s, 1) if serve_s else 0.0,
+        "tasks": report["tasks"],
+        "phases_s": phases,
+        "phase_coverage": report["phase_coverage"],
+        "overhead_s": round(overhead_s, 4),
+        "overhead_per_task_ms": round(1000 * overhead_s / report["tasks"], 3)
+                                if report["tasks"] else 0.0,
+        "batch_p50_ms": report["batches"]["p50_ms"],
+        "batch_p99_ms": report["batches"]["p99_ms"],
+        "shared_bytes": shared,
+    }, results
+
+
+def test_e18_zero_copy_serving(tmp_path):
+    segments = grid_segments(N, seed=81)
+    queries = segment_queries(segments, QUERIES, selectivity=0.02, seed=82)
+
+    sharded = ShardedSegmentDatabase.bulk_load(
+        segments, shards=SHARDS, engine=ENGINE, block_capacity=B)
+    directory = str(tmp_path / "snap")
+    sharded.save(directory)
+
+    modes = {}
+    sync_row, oracle = _run_mode(directory, queries, 0, "shm")
+    modes["sync"] = sync_row
+    expected = _labels(oracle)
+    for transport in ("pickle", "shm"):
+        row, results = _run_mode(directory, queries, WORKERS, transport)
+        modes[transport] = row
+        assert _labels(results) == expected, (
+            f"{transport} pool diverged from the synchronous oracle")
+        coverage = row["phase_coverage"]
+        assert coverage is not None and 0.9 <= coverage <= 1.05, (
+            f"{transport}: phases cover {coverage} of the task wall")
+        for phase in OVERHEAD_PHASES:
+            assert phase in row["phases_s"], (
+                f"{transport}: missing phase {phase!r}")
+
+    overhead_reduction = (
+        round(modes["pickle"]["overhead_s"] / modes["shm"]["overhead_s"], 1)
+        if modes["shm"]["overhead_s"] else None)
+    attach_reduction = (
+        round(modes["pickle"]["phases_s"].get("attach", 0.0)
+              / modes["shm"]["phases_s"]["attach"], 1)
+        if modes["shm"]["phases_s"].get("attach") else None)
+
+    cores = os.cpu_count() or 1
+    full_scale = N >= 20000
+    if full_scale:
+        # The tentpole claim: zero-copy attach removes the pool's
+        # per-process deserialization tax, >= 10x on the summed
+        # dispatch + attach + deserialize seconds.
+        assert overhead_reduction is not None and overhead_reduction >= 10, (
+            f"shm transport cut pool overhead only "
+            f"{overhead_reduction}x (pickle "
+            f"{modes['pickle']['overhead_s']}s vs shm "
+            f"{modes['shm']['overhead_s']}s)")
+    if full_scale and cores >= 2:
+        # The ROADMAP crossover: with real cores behind the workers the
+        # pooled path must beat the synchronous one outright.
+        assert modes["shm"]["queries_per_s"] > modes["sync"]["queries_per_s"], (
+            f"no crossover on {cores} cores: shm pool "
+            f"{modes['shm']['queries_per_s']} q/s vs sync "
+            f"{modes['sync']['queries_per_s']} q/s")
+
+    payload = {
+        "n": N,
+        "block_capacity": B,
+        "engine": ENGINE,
+        "queries": len(queries),
+        "batch_size": BATCH_SIZE,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "cores": cores,
+        "gates_armed": {
+            "overhead_10x": full_scale,
+            "qps_crossover": full_scale and cores >= 2,
+        },
+        "modes": modes,
+        "overhead": {
+            "phases": list(OVERHEAD_PHASES),
+            "pickle_s": modes["pickle"]["overhead_s"],
+            "shm_s": modes["shm"]["overhead_s"],
+            "overhead_reduction": overhead_reduction,
+            "attach_reduction": attach_reduction,
+        },
+    }
+    path = write_perf_json("E18", payload)
+
+    phase_names = ("dispatch", "deserialize", "attach", "query",
+                   "serialize", "collect")
+    phase_rows = []
+    for name in ("pickle", "shm"):
+        row = modes[name]
+        phase_rows.append(
+            [name]
+            + [round(row["phases_s"].get(p, 0.0), 4) for p in phase_names]
+            + [row["overhead_s"], row["overhead_per_task_ms"]])
+    qps_rows = [
+        [name, row["open_s"], row["serve_s"], row["queries_per_s"],
+         row["batch_p50_ms"], row["batch_p99_ms"]]
+        for name, row in modes.items()
+    ]
+    archive(
+        "e18_zero_copy_serving",
+        "E18 — Zero-copy shared-memory serving vs the pickle pool",
+        [
+            f"N={N}, B={B}, engine {ENGINE}, K={SHARDS} shards x "
+            f"{WORKERS} workers, {len(queries)} segment queries "
+            f"(2% selectivity) in batches of {BATCH_SIZE}, on {cores} "
+            f"core(s).  Shared arenas: "
+            f"{modes['shm']['shared_bytes']} bytes mapped once.",
+            table_section(
+                "Serving modes (identical results asserted):",
+                ["mode", "open (s)", "serve (s)", "queries/s",
+                 "batch p50 (ms)", "batch p99 (ms)"],
+                qps_rows,
+            ),
+            table_section(
+                "Pooled phase decomposition (seconds summed over tasks; "
+                "overhead = dispatch + attach + deserialize):",
+                ["transport", *phase_names, "overhead (s)",
+                 "overhead/task (ms)"],
+                phase_rows,
+            ),
+            f"Reading: the pickle pool pays an O(shard) snapshot "
+            f"unpickle in every worker process (the attach row) plus "
+            f"per-batch payload hops; mapping the flat arena into shared "
+            f"memory makes attach O(1) and leaves only the hops — "
+            f"{overhead_reduction}x less overhead here "
+            f"({attach_reduction}x on attach alone).  On a 1-core box "
+            f"the engine time still serializes, so the qps win appears "
+            f"only with real cores behind the workers (the crossover "
+            f"gate arms at >= 2).  Machine-readable copy: `"
+            + os.path.basename(path) + "` (schema v4).",
+        ],
+    )

@@ -6,7 +6,14 @@ Compares a current perf artifact against a baseline copy and fails
 * any throughput metric (``queries_per_s`` / ``queries_per_sec`` /
   ``filtered_qps``) drops by more than ``--max-drop`` (default 25%);
 * any ``p99_ms`` latency inflates by more than ``--max-inflation``
-  (default 25%).
+  (default 25%);
+* any pooled-serving overhead-reduction ratio (E18's
+  ``overhead_reduction`` / ``attach_reduction`` — how many times
+  cheaper the shm transport's dispatch+attach+deserialize tax is than
+  the pickle pool's) shrinks by more than ``--max-ratio-drop``
+  (default 50%; ratios of two small timings are the noisiest metrics
+  in the file, but the E17 cliff was a ~30x effect — losing half the
+  win is a structural regression, not jitter).
 
 Only metrics attributed to the paper engines (``solution1`` /
 ``solution2``) gate; baseline metrics are noisy single-shot wall-clock
@@ -44,6 +51,8 @@ GATED_ENGINES = ("solution1", "solution2")
 QPS_KEYS = ("queries_per_s", "queries_per_sec", "filtered_qps")
 #: Leaf keys read as tail latency (lower is better).
 P99_KEYS = ("p99_ms", "batch_p99_ms")
+#: Leaf keys read as overhead-reduction ratios (higher is better, noisy).
+RATIO_KEYS = ("overhead_reduction", "attach_reduction")
 #: Per-run bookkeeping stamps — never metrics.
 SKIP_KEYS = ("commit", "generated_at")
 
@@ -86,6 +95,8 @@ def extract_metrics(data: dict) -> Dict[str, Tuple[str, float]]:
             leaf = path[-1]
             if leaf in P99_KEYS:
                 kind = "p99"
+            elif leaf in RATIO_KEYS:
+                kind = "ratio"
             elif any(part in QPS_KEYS for part in path):
                 # qps metrics may nest one level deeper (per batch size).
                 kind = "qps"
@@ -98,7 +109,7 @@ def extract_metrics(data: dict) -> Dict[str, Tuple[str, float]]:
 
 
 def compare(baseline: dict, current: dict, max_drop: float,
-            max_inflation: float) -> dict:
+            max_inflation: float, max_ratio_drop: float = 0.5) -> dict:
     """The gate verdict: regressions, passes, and unmatched metrics."""
     base = extract_metrics(baseline)
     cur = extract_metrics(current)
@@ -109,15 +120,16 @@ def compare(baseline: dict, current: dict, max_drop: float,
             continue
         _kind, cur_value = cur[key]
         checked += 1
-        if kind == "qps":
+        if kind in ("qps", "ratio"):
             # Zero/absent baselines can't gate (a 0-qps baseline is a
             # degenerate timing, not a target to hold).
             if base_value <= 0:
                 continue
-            floor = base_value * (1.0 - max_drop)
+            tolerance = max_drop if kind == "qps" else max_ratio_drop
+            floor = base_value * (1.0 - tolerance)
             if cur_value < floor:
                 regressions.append({
-                    "metric": key, "kind": "qps",
+                    "metric": key, "kind": kind,
                     "baseline": base_value, "current": cur_value,
                     "limit": round(floor, 3),
                     "change": round(cur_value / base_value - 1.0, 4),
@@ -140,6 +152,7 @@ def compare(baseline: dict, current: dict, max_drop: float,
         "regressions": regressions,
         "max_drop": max_drop,
         "max_inflation": max_inflation,
+        "max_ratio_drop": max_ratio_drop,
     }
 
 
@@ -152,6 +165,7 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     max_drop = 0.25
     max_inflation = 0.25
+    max_ratio_drop = 0.5
     as_json = False
     positional: List[str] = []
     i = 0
@@ -161,6 +175,8 @@ def main(argv=None) -> int:
             max_drop = float(argv[i + 1]); i += 1
         elif token == "--max-inflation":
             max_inflation = float(argv[i + 1]); i += 1
+        elif token == "--max-ratio-drop":
+            max_ratio_drop = float(argv[i + 1]); i += 1
         elif token == "--json":
             as_json = True
         elif token.startswith("--"):
@@ -171,7 +187,8 @@ def main(argv=None) -> int:
         i += 1
     if not positional or len(positional) > 2:
         print("usage: python benchmarks/check_regression.py BASELINE.json "
-              "[CURRENT.json] [--max-drop R] [--max-inflation R] [--json]",
+              "[CURRENT.json] [--max-drop R] [--max-inflation R] "
+              "[--max-ratio-drop R] [--json]",
               file=sys.stderr)
         return 2
     baseline_path = positional[0]
@@ -187,19 +204,21 @@ def main(argv=None) -> int:
         print(f"cannot read current {current_path}: {exc}", file=sys.stderr)
         return 2
 
-    verdict = compare(baseline, current, max_drop, max_inflation)
+    verdict = compare(baseline, current, max_drop, max_inflation,
+                      max_ratio_drop)
     if as_json:
         print(json.dumps(verdict, indent=2))
     else:
         print(f"# {verdict['checked']} gated metrics compared "
               f"(drop tolerance {max_drop:.0%}, "
-              f"p99 inflation tolerance {max_inflation:.0%})")
+              f"p99 inflation tolerance {max_inflation:.0%}, "
+              f"overhead-ratio drop tolerance {max_ratio_drop:.0%})")
         for key in verdict["baseline_only"]:
             print(f"# baseline-only (not gated): {key}")
         for key in verdict["current_only"]:
             print(f"# new metric (not gated): {key}")
         for r in verdict["regressions"]:
-            direction = "dropped" if r["kind"] == "qps" else "inflated"
+            direction = "inflated" if r["kind"] == "p99" else "dropped"
             print(f"REGRESSION {r['metric']}: {direction} "
                   f"{r['baseline']} -> {r['current']} "
                   f"({r['change']:+.1%}; limit {r['limit']})")

@@ -38,12 +38,34 @@ Commands
                     queries/sec, latency percentiles, the cross-process
                     phase decomposition and per-shard I/O (``--shards K``,
                     ``--workers W`` — 0 means in-process synchronous,
+                    ``--transport shm|pickle`` — zero-copy shared-memory
+                    arenas (default) vs per-process snapshot open,
+                    ``--cache-pages N`` to bound each worker's
+                    decoded-page LRU,
                     ``--segments N`` to size the generated workload,
                     ``--count N`` queries, ``--batch-size K``,
                     ``--seed S``, ``--dir PATH`` to keep the snapshot
                     directory, ``--trace PATH`` to export the run as
                     Chrome-trace-event/Perfetto JSON, ``--slow-ms T`` to
                     arm the slow-query log at T milliseconds, ``--json``)
+``serve [DIR|FILE]``
+                    long-lived serving daemon: open a sharded snapshot
+                    directory (or build one from FILE / ``--segments N``
+                    generated segments) behind a worker pool and serve
+                    ``query_batch`` over TCP with request batching and
+                    admission control; prints a JSON ready line with the
+                    bound port, then serves until SIGTERM/SIGINT and
+                    exits 0 with a JSON drain report (``--workers W``,
+                    ``--transport shm|pickle``, ``--cache-pages N`` to
+                    bound each worker's decoded-page LRU, ``--host H``,
+                    ``--port P`` — 0 picks a free port, ``--max-pending``
+                    / ``--max-batch`` / ``--window-ms`` for the batcher,
+                    ``--dir PATH`` to keep a generated snapshot)
+``serve-client --port P [FILE]``
+                    batched client for ``serve``: replay a generated (or
+                    FILE-loaded) query workload against a running daemon
+                    and report throughput (``--count N``,
+                    ``--batch-size K``, ``--seed S``, ``--json``)
 ``trace [FILE]``    run a small serving workload wall-traced and write a
                     Chrome-trace-event/Perfetto JSON timeline (open it at
                     https://ui.perfetto.dev or ``chrome://tracing``);
@@ -87,9 +109,12 @@ def _coord(token: str):
 
 _INT_FLAGS = ("--buffer", "--block", "--batch-size", "--count", "--seed",
               "--seeds", "--updates", "--corrupt-pages", "--retries",
-              "--shards", "--workers", "--segments")
-_FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn", "--slow-ms")
-_STR_FLAGS = ("--engine", "--dump-schedule", "--dir", "--trace", "--out")
+              "--shards", "--workers", "--segments", "--cache-pages",
+              "--port", "--max-pending", "--max-batch")
+_FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn", "--slow-ms",
+                "--window-ms")
+_STR_FLAGS = ("--engine", "--dump-schedule", "--dir", "--trace", "--out",
+              "--transport", "--host")
 
 
 def _pop_flags(args):
@@ -101,7 +126,9 @@ def _pop_flags(args):
              "read-err": 0.0, "corrupt-rate": 0.0, "torn": 0.0,
              "dump-schedule": None, "shards": 2, "workers": 0,
              "segments": 0, "dir": None, "trace": None, "out": None,
-             "slow-ms": None}
+             "slow-ms": None, "transport": "shm", "cache-pages": None,
+             "host": "127.0.0.1", "port": 0, "max-pending": 64,
+             "max-batch": 64, "window-ms": 2.0}
     i = 0
     while i < len(args):
         token = args[i]
@@ -508,7 +535,9 @@ def _run_serve_bench(positional, flags) -> int:
         t0 = time.perf_counter()
         served = stack.enter_context(ShardedSegmentDatabase.open(
             directory, workers=flags["workers"],
-            buffer_pages=flags["buffer"], slow_query_s=slow_s))
+            buffer_pages=flags["buffer"], slow_query_s=slow_s,
+            transport=flags["transport"],
+            cache_pages=flags["cache-pages"]))
         open_s = time.perf_counter() - t0
 
         tracer_cm = (wall_tracing() if flags["trace"]
@@ -602,6 +631,156 @@ def _run_serve_bench(positional, flags) -> int:
     return 0
 
 
+def _serve_workload_dir(positional, flags, stack):
+    """The snapshot directory ``serve`` runs against.
+
+    A positional that is a directory is used as-is (a snapshot saved by
+    ``ShardedSegmentDatabase.save`` or ``serve-bench --dir``); a file is
+    loaded as segments; nothing generates ``--segments`` (default 2000)
+    NCT segments.  Generated/loaded data is sharded and snapshotted into
+    ``--dir`` (or a temp dir owned by ``stack``).
+    """
+    import os
+    import tempfile
+
+    from repro.serving import ShardedSegmentDatabase
+
+    if positional and os.path.isdir(positional[0]):
+        return positional[0]
+    if positional:
+        from repro.workloads.files import load
+
+        segments = load(positional[0])
+    else:
+        from repro.workloads.nct_random import grid_segments
+
+        segments = grid_segments(flags["segments"] or 2000,
+                                 seed=flags["seed"])
+    built = ShardedSegmentDatabase.bulk_load(
+        segments, shards=flags["shards"], engine=flags["engine"],
+        block_capacity=flags["block"], buffer_pages=flags["buffer"],
+    )
+    directory = flags["dir"] or stack.enter_context(
+        tempfile.TemporaryDirectory(prefix="repro-serve-"))
+    built.save(directory)
+    return directory
+
+
+def cmd_serve(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro serve [DIR|FILE] [--workers W] "
+              "[--transport shm|pickle] [--cache-pages N] [--shards K] "
+              "[--segments N] [--engine NAME] [--buffer N] [--block B] "
+              "[--host H] [--port P] [--max-pending N] [--max-batch N] "
+              "[--window-ms T] [--slow-ms T] [--dir PATH] [--seed S]",
+              file=sys.stderr)
+        return 2
+    import contextlib
+    import json
+    import os
+    import threading
+
+    from repro.serving import ServeDaemon, ShardedSegmentDatabase
+
+    slow_s = (flags["slow-ms"] / 1000.0
+              if flags["slow-ms"] is not None else None)
+    with contextlib.ExitStack() as stack:
+        directory = _serve_workload_dir(positional, flags, stack)
+        served = stack.enter_context(ShardedSegmentDatabase.open(
+            directory, workers=flags["workers"],
+            buffer_pages=flags["buffer"], slow_query_s=slow_s,
+            transport=flags["transport"],
+            cache_pages=flags["cache-pages"]))
+        daemon = ServeDaemon(
+            served, host=flags["host"], port=flags["port"],
+            max_pending=flags["max-pending"], max_batch=flags["max-batch"],
+            batch_window_s=flags["window-ms"] / 1000.0)
+
+        def announce():
+            daemon.ready.wait()
+            print(json.dumps({
+                "ready": True,
+                "host": daemon.host,
+                "port": daemon.port,
+                "pid": os.getpid(),
+                "snapshot": directory,
+                "shards": served.shard_count,
+                "workers": flags["workers"],
+                "transport": (served._pool.transport
+                              if served._pool is not None else "sync"),
+            }), flush=True)
+
+        threading.Thread(target=announce, daemon=True).start()
+        report = daemon.run()  # serves until SIGTERM/SIGINT, then drains
+    print(json.dumps(report), flush=True)
+    return 0
+
+
+def cmd_serve_client(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1 or not flags["port"]:
+        print("usage: python -m repro serve-client --port P [FILE] "
+              "[--host H] [--count N] [--batch-size K] [--segments N] "
+              "[--seed S] [--json]", file=sys.stderr)
+        return 2
+    import json
+    import time
+
+    from repro.serving import ServeClient
+    from repro.workloads.queries import segment_queries
+
+    if positional:
+        from repro.workloads.files import load
+
+        segments = load(positional[0])
+    else:
+        from repro.workloads.nct_random import grid_segments
+
+        # Mirrors the daemon's generated workload (same flags, same
+        # seed) so the queries land on populated shards.
+        segments = grid_segments(flags["segments"] or 2000,
+                                 seed=flags["seed"])
+    queries = segment_queries(segments, flags["count"], seed=flags["seed"])
+    batch_size = flags["batch-size"] or 8
+
+    with ServeClient(host=flags["host"], port=flags["port"]) as client:
+        ping = client.ping()
+        t0 = time.perf_counter()
+        results = 0
+        for start in range(0, len(queries), batch_size):
+            for r in client.query_batch(queries[start:start + batch_size]):
+                results += len(r)
+        elapsed = time.perf_counter() - t0
+        stats = client.stats()
+    summary = {
+        "ok": bool(ping.get("ok")),
+        "queries": len(queries),
+        "batch_size": batch_size,
+        "results": results,
+        "elapsed_s": elapsed,
+        "queries_per_s": len(queries) / elapsed if elapsed else None,
+        "server_batches": stats["metrics"]
+        .get("serve.batches", {}).get("value"),
+    }
+    if flags["json"]:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"# {summary['queries']} queries in {elapsed:.3f}s "
+          f"({summary['queries_per_s']:.0f} q/s), "
+          f"{results} results, "
+          f"server batches {summary['server_batches']}")
+    return 0
+
+
 def cmd_serve_bench(args) -> int:
     try:
         positional, flags = _pop_flags(args)
@@ -679,6 +858,10 @@ def main(argv=None) -> int:
         return cmd_fsck(args)
     if command == "serve-bench":
         return cmd_serve_bench(args)
+    if command == "serve":
+        return cmd_serve(args)
+    if command == "serve-client":
+        return cmd_serve_client(args)
     if command == "trace":
         return cmd_trace(args)
     if command == "version":

@@ -215,21 +215,49 @@ class SegmentDatabase:
         same accounting state ``bulk_load`` leaves behind.
         """
         device, meta = load_device(path)
+        return cls.attach_device(device, meta, buffer_pages=buffer_pages,
+                                 validate=validate, source=path)
+
+    @classmethod
+    def attach_device(
+        cls,
+        device: BlockDevice,
+        meta: dict,
+        buffer_pages: Optional[int] = None,
+        validate: bool = False,
+        source: str = "<device>",
+    ) -> "SegmentDatabase":
+        """A queryable database over an already-restored page store.
+
+        ``device`` may be any :class:`~repro.iosim.BlockDevice` — the
+        eager store :func:`~repro.iosim.load_device` returns, or a lazy
+        :class:`~repro.iosim.ArenaBlockDevice` over a shared-memory
+        arena (the warm-worker serving path, where the O(n) page decode
+        never happens up front at all).  ``meta`` is the snapshot
+        metadata dict (``engine`` + ``engine_meta``); the engine is
+        re-attached over the pages without running the builder.
+        """
         try:
             engine = meta["engine"]
             engine_meta = meta["engine_meta"]
         except (TypeError, KeyError) as exc:
-            raise SnapshotFormatError(path, f"missing field: {exc}") from exc
+            raise SnapshotFormatError(source, f"missing field: {exc}") from exc
         db = cls(
             engine=engine,
             block_capacity=device.block_capacity,
             buffer_pages=buffer_pages,
             validate=validate,
         )
-        # __init__ built an empty engine (some engines allocate a page or
-        # two for it); replace the store wholesale with the snapshot's.
-        db.device._pages = device._pages
-        db.device._next_id = device._next_id
+        # __init__ built an empty engine over a scratch device (some
+        # engines allocate a page or two for it); swap in the restored
+        # store wholesale and re-point the buffer pool and pager at it.
+        db.device = device
+        db.buffer_pool = (
+            LRUBufferPool(device, buffer_pages)
+            if buffer_pages is not None
+            else None
+        )
+        db.pager = Pager(db.buffer_pool or device)
         db._index = db._engine_class().attach(db.pager, engine_meta)
         db.device.reset_counters()
         return db

@@ -6,6 +6,13 @@ written.  See DESIGN.md §5 for the accounting conventions and §10 for
 the fault model and crash-consistency protocol.
 """
 
+from .arena import (
+    ARENA_VERSION,
+    ArenaBlockDevice,
+    ArenaView,
+    build_arena,
+    restricted_loads,
+)
 from .buffer import LRUBufferPool
 from .disk import BlockDevice
 from .errors import (
@@ -24,11 +31,15 @@ from .faults import FaultSchedule, FaultyBlockDevice, RetryPolicy, page_fingerpr
 from .page import HEADER_SLOTS, Page
 from .pager import Pager
 from .snapshot import FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION
-from .snapshot import load_device, save_device
+from .snapshot import load_device, read_arena, save_device
 from .stats import IOStats, Measurement
 
 __all__ = [
+    "ARENA_VERSION",
+    "ArenaBlockDevice",
+    "ArenaView",
     "BlockDevice",
+    "build_arena",
     "ChecksumError",
     "DanglingPageError",
     "DoubleFreeError",
@@ -51,5 +62,7 @@ __all__ = [
     "TransientIOError",
     "load_device",
     "page_fingerprint",
+    "read_arena",
+    "restricted_loads",
     "save_device",
 ]

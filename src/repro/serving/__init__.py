@@ -13,22 +13,39 @@ This package adds that layer without touching the engines:
   directory of files that serving processes ``open()`` in O(pages) instead
   of rebuilding in O(N log N);
 * a :class:`ShardWorkerPool` executes shard sub-batches across OS
-  processes, each worker opening its shard snapshot once and keeping it
-  warm; ``workers=0`` runs the identical routing code synchronously.
+  processes: on the shared-memory transport the parent maps each shard's
+  flat page arena into POSIX shm once and warm workers attach zero-copy
+  (:mod:`repro.serving.shm`); the legacy pickle transport has each
+  worker open its shard snapshot once and keep it warm.  ``workers=0``
+  runs the identical routing code synchronously;
+* a :class:`ServeDaemon` fronts a pool-backed database with an asyncio
+  socket server — request batching, bounded-queue admission control,
+  graceful drain — driven by ``python -m repro serve``.
 
 See DESIGN.md §11 for how shard count and worker count interact with the
-paper's per-query I/O bounds.
+paper's per-query I/O bounds, and §13 for the arena layout and the
+warm-worker attach protocol.
 """
 
+from .daemon import ServeClient, ServeDaemon, ServeRejected
 from .reporting import ShardBatchStats, capture_batch
 from .sharded import ShardedSegmentDatabase
-from .workers import TASK_PHASES, ShardWorkerPool, WorkerTaskResult
+from .shm import AttachedArena, SharedShardArenas, segment_name, shm_available
+from .workers import TASK_PHASES, TRANSPORTS, ShardWorkerPool, WorkerTaskResult
 
 __all__ = [
+    "AttachedArena",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeRejected",
     "ShardBatchStats",
     "ShardWorkerPool",
     "ShardedSegmentDatabase",
+    "SharedShardArenas",
     "TASK_PHASES",
+    "TRANSPORTS",
     "WorkerTaskResult",
     "capture_batch",
+    "segment_name",
+    "shm_available",
 ]

@@ -1,0 +1,340 @@
+"""``repro serve``: an asyncio daemon in front of a sharded database.
+
+The worker pool makes batch *execution* parallel; this module makes it a
+*service*.  One :class:`ServeDaemon` owns a pool-backed
+:class:`~repro.serving.sharded.ShardedSegmentDatabase` and speaks a tiny
+length-prefixed pickle protocol over TCP:
+
+* **request batching** — concurrent client requests are coalesced (up
+  to ``max_batch`` requests, waiting at most ``batch_window_s`` for
+  stragglers) into one ``query_batch`` call, so the per-batch pool
+  overhead amortizes across clients exactly like it amortizes across
+  queries;
+* **admission control** — at most ``max_pending`` requests queue; past
+  that the daemon answers ``overloaded`` *immediately* instead of
+  building an unbounded backlog (the client can retry; the queue can't
+  melt);
+* **graceful drain** — SIGTERM/SIGINT stop the listener, every queued
+  request still executes and answers, the worker pool shuts down (which
+  unlinks the shared-memory segments), and the daemon exits 0 with a
+  JSON drain report.
+
+Observability reuses the session's primitives: a
+:class:`~repro.telemetry.MetricsRegistry` holds ``serve.request_s`` /
+``serve.batch_s`` latency histograms plus request/query/reject counters,
+and batch execution runs under a ``timed_span`` so an installed
+:func:`~repro.telemetry.wall_tracing` tracer sees daemon batches next to
+the pool's dispatch/attach/query spans.
+
+Wire format: 4-byte big-endian frame length, then a pickled dict.
+Inbound frames are decoded with the snapshot layer's *restricted*
+unpickler — a network peer gets the same allowlist a snapshot file gets.
+:class:`ServeClient` is the blocking client used by the CLI and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import signal
+import socket
+import struct
+import threading
+from time import perf_counter
+from typing import Any, List, Optional
+
+from ..iosim import restricted_loads
+from ..telemetry import MetricsRegistry, timed_span
+
+_FRAME = struct.Struct(">I")
+#: Upper bound on one frame; anything larger is damage, not data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ServeRejected(RuntimeError):
+    """The daemon refused a request (overloaded or draining)."""
+
+
+def _encode_frame(obj: Any) -> bytes:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME_BYTES}-byte cap")
+    return _FRAME.pack(len(payload)) + payload
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Any:
+    header = await reader.readexactly(_FRAME.size)
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"peer announced a {length}-byte frame "
+                         f"(cap {MAX_FRAME_BYTES})")
+    payload = await reader.readexactly(length)
+    return restricted_loads(payload)
+
+
+class ServeDaemon:
+    """Serve ``db.query_batch`` over TCP with batching and backpressure.
+
+    ``db`` is any object with a ``query_batch(queries)`` method — in
+    production a pool-backed sharded database, in tests whatever stub
+    the scenario needs.  ``port=0`` binds an ephemeral port; the bound
+    port is published on :attr:`port` before ``on_ready`` fires.
+    """
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
+                 max_pending: int = 64, max_batch: int = 64,
+                 batch_window_s: float = 0.002,
+                 registry: Optional[MetricsRegistry] = None):
+        if max_pending < 1 or max_batch < 1:
+            raise ValueError("max_pending and max_batch must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+        self.ready = threading.Event()  # set once the port is bound
+        self.drain_report: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self, install_signal_handlers: bool = True) -> dict:
+        """Serve until stopped; returns (and stores) the drain report."""
+        return asyncio.run(self._main(install_signal_handlers))
+
+    def request_stop(self) -> None:
+        """Ask a running daemon to drain and exit (thread-safe)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _main(self, install_signal_handlers: bool) -> dict:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        self._stop = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(sig, self._stop.set)
+                except (NotImplementedError, ValueError,
+                        RuntimeError):  # platform or non-main thread
+                    pass
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        batcher = asyncio.create_task(self._batcher())
+        self.ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            # Drain: no new connections, no new admissions; everything
+            # already admitted executes AND answers — the idle event only
+            # sets once the last in-flight response is on the wire.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            await self._queue.join()
+            await self._idle.wait()
+            batcher.cancel()
+            try:
+                await batcher
+            except asyncio.CancelledError:
+                pass
+        self.drain_report = {
+            "drained": True,
+            "host": self.host,
+            "port": self.port,
+            "requests": self.registry.counter("serve.requests").value,
+            "queries": self.registry.counter("serve.queries").value,
+            "batches": self.registry.counter("serve.batches").value,
+            "rejected": self.registry.counter("serve.rejected").value,
+            "request_s": self.registry.latency("serve.request_s").summary(),
+            "batch_s": self.registry.latency("serve.batch_s").summary(),
+        }
+        return self.drain_report
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break  # peer hung up
+                except Exception as exc:  # undecodable frame: answer, drop
+                    writer.write(_encode_frame(
+                        {"ok": False, "error": f"bad frame: {exc}"}))
+                    await writer.drain()
+                    break
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    response = await self._respond(request)
+                    writer.write(_encode_frame(response))
+                    await writer.drain()
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                if self._draining:
+                    break  # one answer per connection once draining
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer raced us
+                pass
+
+    async def _respond(self, request: Any) -> dict:
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a dict"}
+        kind = request.get("kind")
+        if kind == "ping":
+            return {"ok": True, "draining": self._draining}
+        if kind == "stats":
+            stats = {"metrics": self.registry.to_dict()}
+            latency = getattr(self.db, "latency_report", None)
+            if callable(latency):
+                stats["latency"] = latency()
+            return {"ok": True, "stats": stats}
+        if kind != "query":
+            return {"ok": False, "error": f"unknown request kind {kind!r}"}
+
+        queries = request.get("queries") or []
+        self.registry.counter("serve.requests").inc()
+        self.registry.counter("serve.queries").inc(len(queries))
+        if not queries:
+            return {"ok": True, "results": []}
+        if self._draining:
+            return {"ok": False, "error": "draining"}
+        future = self._loop.create_future()
+        try:
+            self._queue.put_nowait((queries, future))
+        except asyncio.QueueFull:
+            self.registry.counter("serve.rejected").inc()
+            return {"ok": False, "error": "overloaded"}
+        t0 = perf_counter()
+        try:
+            results = await future
+        except Exception as exc:
+            return {"ok": False, "error": f"query failed: {exc}"}
+        self.registry.latency("serve.request_s").observe(perf_counter() - t0)
+        return {"ok": True, "results": results}
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+    async def _batcher(self) -> None:
+        """Pull admitted requests, coalesce, execute, scatter back."""
+        while True:
+            batch = [await self._queue.get()]
+            deadline = self._loop.time() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0 and self.batch_window_s > 0:
+                    break
+                try:
+                    if self.batch_window_s > 0:
+                        batch.append(await asyncio.wait_for(
+                            self._queue.get(), timeout=max(remaining, 0)))
+                    else:
+                        batch.append(self._queue.get_nowait())
+                except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                    break
+            await self._execute(batch)
+
+    async def _execute(self, batch: List) -> None:
+        flat: List = []
+        bounds: List[int] = []
+        for queries, _future in batch:
+            flat.extend(queries)
+            bounds.append(len(flat))
+        t0 = perf_counter()
+        try:
+            with timed_span("serve.batch", category="daemon",
+                            requests=len(batch), queries=len(flat)):
+                results = await self._loop.run_in_executor(
+                    None, self.db.query_batch, flat)
+        except Exception as exc:
+            for _queries, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError(str(exc) or type(exc).__name__))
+            return
+        finally:
+            self.registry.latency("serve.batch_s").observe(
+                perf_counter() - t0)
+            self.registry.counter("serve.batches").inc()
+            for _item in batch:
+                self._queue.task_done()
+        start = 0
+        for (_queries, future), end in zip(batch, bounds):
+            if not future.done():
+                future.set_result(results[start:end])
+            start = end
+
+
+class ServeClient:
+    """Blocking client for :class:`ServeDaemon` (CLI and tests)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, payload: dict) -> dict:
+        """One raw round trip; returns the response dict verbatim."""
+        self._sock.sendall(_encode_frame(payload))
+        header = self._recv_exact(_FRAME.size)
+        (length,) = _FRAME.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"daemon announced a {length}-byte frame")
+        return restricted_loads(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ConnectionError("daemon closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def query_batch(self, queries) -> List:
+        response = self.request({"kind": "query", "queries": list(queries)})
+        if not response.get("ok"):
+            raise ServeRejected(response.get("error", "rejected"))
+        return response["results"]
+
+    def ping(self) -> dict:
+        return self.request({"kind": "ping"})
+
+    def stats(self) -> dict:
+        response = self.request({"kind": "stats"})
+        if not response.get("ok"):
+            raise ServeRejected(response.get("error", "rejected"))
+        return response["stats"]
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

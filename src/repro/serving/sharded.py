@@ -411,13 +411,18 @@ class ShardedSegmentDatabase:
         workers: int = 0,
         buffer_pages: Optional[int] = None,
         slow_query_s: Optional[float] = None,
+        transport: str = "shm",
+        cache_pages: Optional[int] = None,
     ) -> "ShardedSegmentDatabase":
         """Restore a sharded database saved by :meth:`save`.
 
         ``workers=0`` opens every shard in this process; ``workers>0``
         hands the snapshot paths to a
         :class:`~repro.serving.workers.ShardWorkerPool` and shards are
-        opened (once each) inside the worker processes instead.
+        attached (once each) inside the worker processes instead —
+        zero-copy out of shared memory on ``transport="shm"`` (the
+        default; ``cache_pages`` bounds each worker's decoded-page LRU),
+        or by per-process snapshot open on ``transport="pickle"``.
         ``slow_query_s`` arms a slow-query log at that threshold on
         every shard (worker-side in pool mode, entries shipped back with
         each batch) merged into ``self.slow_log``.
@@ -443,7 +448,9 @@ class ShardedSegmentDatabase:
                  for name in manifest["shard_files"]]
         if workers > 0:
             pool = ShardWorkerPool(paths, workers, buffer_pages=buffer_pages,
-                                   slow_query_s=slow_query_s)
+                                   slow_query_s=slow_query_s,
+                                   transport=transport,
+                                   cache_pages=cache_pages)
             db = cls(manifest["engine"], boundaries, pool=pool,
                      segment_count=manifest["segment_count"],
                      replicated=manifest["replicated"])

@@ -1,0 +1,188 @@
+"""POSIX shared-memory transport for shard arenas.
+
+The pickle transport re-serializes nothing per batch, but every worker
+still pays a full ``SegmentDatabase.open()`` — an O(shard) unpickle —
+on first touch of each shard, and one process's decode work helps no
+other process.  The arena format removes that tax: the parent maps each
+shard's container-verified arena (:func:`~repro.iosim.read_arena`) into
+one :mod:`multiprocessing.shared_memory` segment, and every worker
+attaches in O(1), slicing pages zero-copy through an
+:class:`~repro.iosim.ArenaView` over the segment's buffer.
+
+Ownership protocol:
+
+* the **parent** creates the segments (one per shard, sized exactly to
+  the arena) and is the only process that ever ``unlink``s them —
+  on pool shutdown or parent exit (the stdlib resource tracker backstops
+  a parent that dies without cleanup);
+* **workers** attach by name, *untracked* — Python's resource tracker
+  would otherwise unlink a segment when the first worker exits,
+  destroying it for the parent and every sibling (bpo-39959); on 3.13+
+  we pass ``track=False``, earlier versions unregister after attach;
+* a worker that crashes mid-batch leaks nothing: the OS drops its
+  mapping, and the parent's unlink removes the name.
+
+Segment names are deterministic — a digest of the snapshot's absolute
+path plus the shard index — so a segment leaked by a crashed *parent*
+(SIGKILL, no atexit) is found and reclaimed by the next pool serving
+the same snapshot, instead of accumulating in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Sequence, Tuple
+
+from ..iosim import ArenaView
+from ..iosim.snapshot import read_arena
+
+try:  # absent on platforms without POSIX shm (then transport="pickle")
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exercised only on exotic builds
+    resource_tracker = None
+    shared_memory = None
+
+
+def shm_available() -> bool:
+    """Whether this platform can serve through shared memory."""
+    return shared_memory is not None
+
+
+def segment_name(snapshot_path: str, shard_index: int) -> str:
+    """Deterministic shm segment name for one shard of one snapshot.
+
+    Deterministic on purpose: a stale segment left by a crashed parent
+    collides with the next pool's create, which reclaims it (see
+    :func:`create_segment`).  Kept short — POSIX caps shm names well
+    below filesystem limits on some platforms.
+    """
+    digest = hashlib.sha256(
+        os.path.abspath(snapshot_path).encode()
+    ).hexdigest()[:12]
+    return f"rpr-{digest}-{shard_index}"
+
+
+def attach_segment(name: str):
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Attaching must never make this process responsible for the segment's
+    lifetime: before 3.13 (``track=False``), plain attach *registers*
+    the name with the session's resource tracker (bpo-39959), and the
+    tracker's cache is shared — an unregister from a worker silently
+    cancels the parent's registration for the same name, and an exiting
+    worker's tracker would unlink the segment under every sibling.  So
+    on older Pythons the registration is suppressed at the source.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def create_segment(name: str, size: int):
+    """Create a segment, reclaiming a stale one left by a dead parent."""
+    try:
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+    except FileExistsError:
+        stale = attach_segment(name)
+        stale.close()
+        try:
+            # Balance the unlink's tracker unregister (the stale name
+            # belongs to a dead process, so nobody has it registered).
+            resource_tracker.register(stale._name, "shared_memory")
+            stale.unlink()
+        except FileNotFoundError:  # lost a race with another reclaimer
+            pass
+        return shared_memory.SharedMemory(name=name, create=True, size=size)
+
+
+class SharedShardArenas:
+    """Parent-owned shm segments holding one arena per shard.
+
+    ``descriptors`` — ``[(segment_name, arena_size), ...]`` by shard
+    index — is the only thing workers need (the segment may be page-
+    rounded, so the exact arena size travels with the name).  The parent
+    must call :meth:`unlink` exactly once when serving ends.
+    """
+
+    def __init__(self, segments: List, descriptors: List[Tuple[str, int]]):
+        self._segments = segments
+        self.descriptors = descriptors
+
+    @classmethod
+    def create(cls, shard_paths: Sequence[str]) -> "SharedShardArenas":
+        """Map every shard snapshot's arena into its own segment.
+
+        Each path is read through :func:`~repro.iosim.read_arena`, so a
+        damaged file fails *here*, in the process that owns it — workers
+        only ever see container-verified bytes.  Legacy v1 snapshots are
+        converted to arenas once, in the parent.
+        """
+        if not shm_available():  # pragma: no cover - platform-dependent
+            raise RuntimeError(
+                "multiprocessing.shared_memory is unavailable on this "
+                "platform; use transport='pickle'"
+            )
+        segments: List = []
+        descriptors: List[Tuple[str, int]] = []
+        try:
+            for index, path in enumerate(shard_paths):
+                arena = read_arena(path)
+                shm = create_segment(segment_name(path, index), len(arena))
+                shm.buf[: len(arena)] = arena
+                segments.append(shm)
+                descriptors.append((shm.name, len(arena)))
+        except BaseException:
+            for shm in segments:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+            raise
+        return cls(segments, descriptors)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _name, size in self.descriptors)
+
+    def unlink(self) -> None:
+        """Close and destroy every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class AttachedArena:
+    """One worker's zero-copy view of a shard arena.
+
+    Owns the attach-side resources in release order: the
+    :class:`~repro.iosim.ArenaView`'s exported slices, the sized
+    buffer slice, then the segment handle — a segment cannot close while
+    any memoryview over it is alive.
+    """
+
+    def __init__(self, name: str, size: int, source: str):
+        self._shm = attach_segment(name)
+        self._buf = self._shm.buf[:size]
+        try:
+            self.view = ArenaView(self._buf, source=source)
+        except BaseException:
+            self._buf.release()
+            self._shm.close()
+            raise
+
+    def close(self) -> None:
+        self.view.release()
+        self._buf.release()
+        self._shm.close()

@@ -1,24 +1,42 @@
 """Multi-process batch execution over shard snapshots.
 
-Each worker process holds a module-level cache of opened shards: the first
-task touching shard ``i`` pays the ``SegmentDatabase.open()`` cost once,
-and every later task against that shard reuses the warm instance (buffer
-pool contents included).  Workers ship back the query results *and* a
+Each worker process is *warm*: it holds a module-level cache of attached
+shards, so the first task touching shard ``i`` pays the attach cost once
+and every later task reuses the live instance — buffer pool contents,
+decoded pages and all.  Workers ship back the query results *and* a
 :class:`~repro.serving.reporting.ShardBatchStats` telemetry delta, so the
 parent's aggregated report sums to exactly what a single-process run
 would have charged — buffer, filter and fault sub-counters included.
 
+Two transports share the task protocol:
+
+* ``"shm"`` (default) — the parent maps each shard's flat arena into a
+  POSIX shared-memory segment once (:mod:`repro.serving.shm`); a worker
+  attaches in O(1) via :class:`~repro.iosim.ArenaView` and serves
+  through an :class:`~repro.iosim.ArenaBlockDevice`, decoding pages
+  lazily out of the shared bytes into a bounded per-worker LRU.  No
+  per-process snapshot unpickle, no per-batch state transfer.
+* ``"pickle"`` — the PR 5 behavior, kept for comparison (benchmark E18)
+  and platforms without shared memory: each worker cold-opens the
+  snapshot file, paying a full O(shard) deserialization per process.
+
 Latency observability (the E17 cliff, made visible).  The worker protocol
-pickles the batch payload *explicitly*: the parent times ``dumps`` on the
-way out, the worker times ``loads``/``dumps`` around its work, and the
-parent times the final ``loads`` — so the serialization tax that the
+serializes the batch payload *explicitly*: the parent times ``dumps`` on
+the way out, the worker times ``loads``/``dumps`` around its work, and
+the parent times the final ``loads`` — so the serialization tax that the
 ``ProcessPoolExecutor`` machinery normally hides becomes four measured
-phases.  Every task carries a :class:`~repro.telemetry.SpanContext`; the
+phases.  Worker responses are *encoded* exactly once: the serialize
+phase pickles the results with protocol 5, extracting buffer-protocol
+objects out-of-band, and the executor hop then carries opaque bytes it
+can only memcpy — the old double encoding (results pickled inside a
+response that gets pickled again) is gone.  Every task carries a
+:class:`~repro.telemetry.SpanContext`; the
 worker opens a :class:`~repro.telemetry.WallTracer` that *continues the
 parent's trace id* and records timed spans for
 
 * ``deserialize`` — unpickling the query batch,
-* ``attach``      — cold-opening the shard snapshot (first touch only),
+* ``attach``      — first touch of the shard (shm: O(1) arena attach;
+  pickle: the full snapshot open),
 * ``query``       — the engine work proper,
 * ``serialize``   — pickling the results,
 
@@ -26,47 +44,92 @@ and the parent derives the boundary-crossing phases from the shared
 epoch clock: ``dispatch`` (submit → worker start, argument pickling
 included) and ``collect`` (worker end → result in hand).  The six phases
 sum to the parent-observed task wall-clock by construction, which is the
-identity the E17 decomposition asserts.
+identity the E17/E18 decompositions assert.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..iosim import IOStats
+from ..iosim import ArenaBlockDevice, IOStats, restricted_loads
 from ..telemetry import SpanContext, WallTracer, spans as wallspans
 from .reporting import ShardBatchStats, capture_batch
+from .shm import AttachedArena, SharedShardArenas, shm_available
 
 #: Phase names of one pooled task, in timeline order.
 TASK_PHASES = ("dispatch", "deserialize", "attach", "query", "serialize",
                "collect")
 
+#: Transports a pool can run on.
+TRANSPORTS = ("shm", "pickle")
+
 # Per-process state, set by the pool initializer and filled lazily.
+_TRANSPORT: str = "pickle"
 _SHARD_PATHS: Optional[List[str]] = None
+_SEGMENTS: Optional[List[Tuple[str, int]]] = None
 _BUFFER_PAGES: Optional[int] = None
 _SLOW_QUERY_S: Optional[float] = None
+_CACHE_PAGES: Optional[int] = None
 _OPENED: Dict[int, object] = {}
+_ATTACHED: Dict[int, AttachedArena] = {}
 
 
-def _init_worker(shard_paths: List[str], buffer_pages: Optional[int],
-                 slow_query_s: Optional[float]) -> None:
-    global _SHARD_PATHS, _BUFFER_PAGES, _SLOW_QUERY_S
+def _detach_all() -> None:
+    """Worker exit hook: drop every shm attachment cleanly.
+
+    Releasing the memoryviews before closing the segments is mandatory —
+    a segment with exported buffers cannot unmap — and closing them at
+    all keeps worker exit silent under the resource tracker.
+    """
+    _OPENED.clear()
+    for arena in list(_ATTACHED.values()):
+        try:
+            arena.close()
+        except BufferError:  # a live db still holds pages; OS cleans up
+            pass
+    _ATTACHED.clear()
+
+
+def _init_worker(transport: str, shard_paths: List[str],
+                 segments: Optional[List[Tuple[str, int]]],
+                 buffer_pages: Optional[int],
+                 slow_query_s: Optional[float],
+                 cache_pages: Optional[int]) -> None:
+    global _TRANSPORT, _SHARD_PATHS, _SEGMENTS, _BUFFER_PAGES
+    global _SLOW_QUERY_S, _CACHE_PAGES
+    _TRANSPORT = transport
     _SHARD_PATHS = list(shard_paths)
+    _SEGMENTS = list(segments) if segments is not None else None
     _BUFFER_PAGES = buffer_pages
     _SLOW_QUERY_S = slow_query_s
+    _CACHE_PAGES = cache_pages
     _OPENED.clear()
+    _ATTACHED.clear()
+    atexit.register(_detach_all)
 
 
 def _open_shard(index: int):
     from ..core.api import SegmentDatabase
 
-    db = SegmentDatabase.open(_SHARD_PATHS[index], buffer_pages=_BUFFER_PAGES)
+    if _TRANSPORT == "shm":
+        name, size = _SEGMENTS[index]
+        arena = AttachedArena(name, size, source=f"shm://{name}")
+        _ATTACHED[index] = arena
+        device = ArenaBlockDevice(arena.view, cache_pages=_CACHE_PAGES)
+        db = SegmentDatabase.attach_device(
+            device, arena.view.meta, buffer_pages=_BUFFER_PAGES,
+            source=f"shm://{name}",
+        )
+    else:
+        db = SegmentDatabase.open(_SHARD_PATHS[index],
+                                  buffer_pages=_BUFFER_PAGES)
     if _SLOW_QUERY_S is not None:
         db.enable_slow_query_log(_SLOW_QUERY_S)
     return db
@@ -77,10 +140,13 @@ def _run_task(kind: str, index: int, payload: bytes,
     """Execute one shard batch in a worker; returns the wire response.
 
     ``kind`` is ``"query"`` or ``"explain"``; ``payload`` is the pickled
-    query list.  The response dict is plain picklable data: the pickled
-    result payload, the telemetry delta, the worker's span records
-    (carrying the parent's trace id), slow-query-log entries, and the
-    epoch timestamps the parent needs to derive dispatch/collect.
+    query list.  The response dict is plain picklable data: the result
+    payload (protocol-5 bytes plus its out-of-band buffers, both wrapped
+    in :class:`pickle.PickleBuffer` so the executor's pickling pass
+    appends rather than re-encodes them), the telemetry delta, the
+    worker's span records (carrying the parent's trace id), slow-query-
+    log entries, and the epoch timestamps the parent needs to derive
+    dispatch/collect.
     """
     started = time.time()
     ctx = SpanContext.from_dict(span_ctx)
@@ -94,6 +160,7 @@ def _run_task(kind: str, index: int, payload: bytes,
     db = _OPENED.get(index)
     if db is None:
         with tracer.span("attach", category="snapshot", shard=index,
+                         transport=_TRANSPORT,
                          path=os.path.basename(_SHARD_PATHS[index])):
             db = _open_shard(index)
         _OPENED[index] = db
@@ -104,11 +171,14 @@ def _run_task(kind: str, index: int, payload: bytes,
         result, stats = capture_batch(db, lambda: runner(queries))
 
     with tracer.span("serialize", category="ipc", shard=index):
-        result_payload = pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+        buffers: List[pickle.PickleBuffer] = []
+        result_payload = pickle.dumps(result, protocol=5,
+                                      buffer_callback=buffers.append)
 
     slow_entries = db.slow_log.drain() if db.slow_log is not None else []
     return {
         "payload": result_payload,
+        "buffers": [bytes(b.raw()) for b in buffers],
         "stats": stats,
         "spans": tracer.to_dicts(),
         "phases": tracer.by_name(),
@@ -142,7 +212,16 @@ class ShardWorkerPool:
     two entry points mirror the private execution hooks of
     :class:`~repro.serving.sharded.ShardedSegmentDatabase`, taking a
     ``{shard_index: queries}`` mapping and returning
-    ``{shard_index: WorkerTaskResult}``.
+    ``{shard_index: WorkerTaskResult}``.  Shards whose sub-batch is
+    empty never cross the process boundary at all — no pickling, no
+    executor submit, an immediately-empty result.
+
+    ``transport="shm"`` (the default where available) maps every shard
+    arena into shared memory up front and workers attach zero-copy;
+    ``transport="pickle"`` is the legacy per-process snapshot open.  The
+    parent owns the segments: :meth:`shutdown` (or the context manager)
+    unlinks them after the workers drain, including when a worker
+    crashed mid-batch.
 
     When a :func:`~repro.telemetry.wall_tracing` tracer is installed in
     the parent, every task inherits its trace id; worker spans are
@@ -153,17 +232,41 @@ class ShardWorkerPool:
 
     def __init__(self, shard_paths: Sequence[str], workers: int,
                  buffer_pages: Optional[int] = None,
-                 slow_query_s: Optional[float] = None):
+                 slow_query_s: Optional[float] = None,
+                 transport: str = "shm",
+                 cache_pages: Optional[int] = None):
         if workers < 1:
             raise ValueError("ShardWorkerPool needs workers >= 1 "
                              "(use the synchronous path for workers=0)")
+        if transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"pick one of {TRANSPORTS}")
+        if transport == "shm" and not shm_available():  # pragma: no cover
+            transport = "pickle"
         self._paths = list(shard_paths)
         self.workers = workers
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(self._paths, buffer_pages, slow_query_s),
-        )
+        self.transport = transport
+        self._arenas: Optional[SharedShardArenas] = None
+        segments = None
+        if transport == "shm":
+            self._arenas = SharedShardArenas.create(self._paths)
+            segments = self._arenas.descriptors
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(transport, self._paths, segments, buffer_pages,
+                          slow_query_s, cache_pages),
+            )
+        except BaseException:
+            if self._arenas is not None:
+                self._arenas.unlink()
+            raise
+
+    @property
+    def shared_bytes(self) -> int:
+        """Total shm bytes this pool mapped (0 on the pickle transport)."""
+        return self._arenas.total_bytes if self._arenas is not None else 0
 
     def query_batches(self, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
         return self._gather("query", batches)
@@ -173,8 +276,18 @@ class ShardWorkerPool:
 
     def _gather(self, kind: str, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
         tracer = wallspans.active()
+        out: Dict[int, WorkerTaskResult] = {}
         pending = {}
         for index, queries in batches.items():
+            if not queries:
+                # An empty sub-batch answers itself: an empty result and
+                # a zero telemetry delta, no worker round-trip.  Explain
+                # omits the shard entirely (its report enumerates only
+                # shards that did work).
+                if kind == "query":
+                    out[index] = WorkerTaskResult(payload=[],
+                                                  stats=ShardBatchStats())
+                continue
             ctx = tracer.context().to_dict() if tracer is not None else None
             t0 = perf_counter()
             payload = pickle.dumps(list(queries), pickle.HIGHEST_PROTOCOL)
@@ -183,11 +296,11 @@ class ShardWorkerPool:
             future = self._executor.submit(_run_task, kind, index, payload, ctx)
             pending[index] = (future, submitted, pickle_s)
 
-        out: Dict[int, WorkerTaskResult] = {}
         for index, (future, submitted, pickle_s) in pending.items():
             raw = future.result()
             t0 = perf_counter()
-            payload = pickle.loads(raw["payload"])
+            payload = restricted_loads(raw["payload"],
+                                       buffers=raw["buffers"] or None)
             unpickle_s = perf_counter() - t0
             done = time.time()
             # Boundary-crossing phases from the shared epoch clock
@@ -214,7 +327,19 @@ class ShardWorkerPool:
         return out
 
     def shutdown(self) -> None:
-        self._executor.shutdown(wait=True)
+        """Drain the workers, then destroy the shared segments.
+
+        Order matters: segments unlink only after every worker had its
+        chance to detach.  A worker that already crashed holds no
+        mapping (the OS dropped it), so the unlink is safe — and
+        unconditional, so a broken pool never leaks ``/dev/shm``.
+        """
+        try:
+            self._executor.shutdown(wait=True)
+        finally:
+            if self._arenas is not None:
+                self._arenas.unlink()
+                self._arenas = None
 
     def __enter__(self) -> "ShardWorkerPool":
         return self

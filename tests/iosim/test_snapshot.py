@@ -1,4 +1,9 @@
-"""Unit tests for the binary snapshot format (save_device/load_device)."""
+"""Unit tests for the binary snapshot container (save_device/load_device).
+
+Format version 2 (current) carries a flat page arena; version 1 (legacy)
+one object-graph pickle.  Both must round-trip through ``load_device``;
+the arena-specific failure modes live in ``test_arena.py``.
+"""
 
 import pickle
 import struct
@@ -13,7 +18,9 @@ from repro.iosim import (
     load_device,
     save_device,
 )
-from repro.iosim.snapshot import _HEADER, MAGIC
+from repro.iosim.snapshot import _HEADER, MAGIC, SUPPORTED_VERSIONS
+
+VERSIONS = SUPPORTED_VERSIONS
 
 
 def make_device(pages=5, capacity=8):
@@ -28,10 +35,12 @@ def make_device(pages=5, capacity=8):
     return device
 
 
-def test_round_trip_preserves_pages_and_meta(tmp_path):
+@pytest.mark.parametrize("version", VERSIONS)
+def test_round_trip_preserves_pages_and_meta(tmp_path, version):
     device = make_device()
     path = str(tmp_path / "dev.snap")
-    nbytes = save_device(path, device, {"engine": "x", "root": 3})
+    nbytes = save_device(path, device, {"engine": "x", "root": 3},
+                         format_version=version)
     assert nbytes == (tmp_path / "dev.snap").stat().st_size
 
     restored, meta = load_device(path)
@@ -49,7 +58,43 @@ def test_round_trip_preserves_pages_and_meta(tmp_path):
     assert restored.snapshot().total == 0
 
 
-def test_shared_items_stay_shared_after_round_trip(tmp_path):
+def test_default_format_is_arena(tmp_path):
+    path = tmp_path / "dev.snap"
+    save_device(str(path), make_device(), {})
+    _magic, version, _length, _crc = _HEADER.unpack(
+        path.read_bytes()[:_HEADER.size])
+    assert version == SNAPSHOT_FORMAT_VERSION == 2
+
+
+def test_v1_files_still_load(tmp_path):
+    """Old-format files written before the arena stay readable."""
+    device = make_device()
+    path = str(tmp_path / "legacy.snap")
+    save_device(path, device, {"engine": "x"}, format_version=1)
+    restored, meta = load_device(path)
+    assert meta == {"engine": "x"}
+    assert sorted(restored._pages) == sorted(device._pages)
+
+
+def test_shared_items_stay_shared_after_v1_round_trip(tmp_path):
+    """The legacy object-graph payload preserves cross-page identity
+    (the arena trades that for independently decodable pages — see
+    test_arena.py for the v2 contract)."""
+    device = BlockDevice(8)
+    shared = ["payload"]
+    a, b = device.alloc(), device.alloc()
+    a.items = [shared]
+    b.items = [shared]
+    device.write(a)
+    device.write(b)
+    path = str(tmp_path / "dev.snap")
+    save_device(path, device, {}, format_version=1)
+    restored, _meta = load_device(path)
+    ra, rb = restored._pages[a.page_id], restored._pages[b.page_id]
+    assert ra.items[0] is rb.items[0], "object identity lost in snapshot"
+
+
+def test_v2_duplicates_cross_page_items_but_preserves_content(tmp_path):
     device = BlockDevice(8)
     shared = ["payload"]
     a, b = device.alloc(), device.alloc()
@@ -61,7 +106,13 @@ def test_shared_items_stay_shared_after_round_trip(tmp_path):
     save_device(path, device, {})
     restored, _meta = load_device(path)
     ra, rb = restored._pages[a.page_id], restored._pages[b.page_id]
-    assert ra.items[0] is rb.items[0], "object identity lost in snapshot"
+    assert ra.items == rb.items == [["payload"]]
+
+
+def test_unknown_write_version_rejected(tmp_path):
+    with pytest.raises(ValueError, match="cannot write snapshot format"):
+        save_device(str(tmp_path / "dev.snap"), make_device(), {},
+                    format_version=7)
 
 
 def test_missing_file_and_short_file(tmp_path):
@@ -93,18 +144,20 @@ def test_future_version_rejected(tmp_path):
         load_device(str(path))
 
 
-def test_truncated_payload(tmp_path):
+@pytest.mark.parametrize("version", VERSIONS)
+def test_truncated_payload(tmp_path, version):
     path = tmp_path / "dev.snap"
-    save_device(str(path), make_device(), {})
+    save_device(str(path), make_device(), {}, format_version=version)
     blob = path.read_bytes()
     path.write_bytes(blob[:-10])
     with pytest.raises(SnapshotFormatError, match="truncated"):
         load_device(str(path))
 
 
-def test_flipped_payload_byte_fails_crc(tmp_path):
+@pytest.mark.parametrize("version", VERSIONS)
+def test_flipped_payload_byte_fails_crc(tmp_path, version):
     path = tmp_path / "dev.snap"
-    save_device(str(path), make_device(), {})
+    save_device(str(path), make_device(), {}, format_version=version)
     blob = bytearray(path.read_bytes())
     blob[-1] ^= 0x01
     path.write_bytes(bytes(blob))
@@ -112,32 +165,31 @@ def test_flipped_payload_byte_fails_crc(tmp_path):
         load_device(str(path))
 
 
-def _repack(path, payload_obj):
-    """Write a snapshot with a valid header around an arbitrary payload."""
+def _repack_v1(path, payload_obj):
+    """Write a v1 snapshot with a valid header around an arbitrary payload."""
     payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
     path.write_bytes(
-        _HEADER.pack(MAGIC, SNAPSHOT_FORMAT_VERSION, len(payload),
-                     zlib.crc32(payload)) + payload
+        _HEADER.pack(MAGIC, 1, len(payload), zlib.crc32(payload)) + payload
     )
 
 
-def test_page_fingerprint_mismatch_detected(tmp_path):
+def test_v1_page_fingerprint_mismatch_detected(tmp_path):
     """Content tampering behind a recomputed file CRC still fails: the
     per-page fingerprints are the second, independent verification layer."""
     device = make_device()
     path = tmp_path / "dev.snap"
-    save_device(str(path), device, {})
+    save_device(str(path), device, {}, format_version=1)
     payload_obj = pickle.loads(path.read_bytes()[_HEADER.size:])
     pid, items, header = payload_obj["pages"][0]
     payload_obj["pages"][0] = (pid, items + [("smuggled",)], header)
-    _repack(path, payload_obj)
+    _repack_v1(path, payload_obj)
     with pytest.raises(SnapshotFormatError, match="checksum mismatch"):
         load_device(str(path))
 
 
 def test_missing_payload_field(tmp_path):
     path = tmp_path / "dev.snap"
-    _repack(path, {"meta": {}, "block_capacity": 8})
+    _repack_v1(path, {"meta": {}, "block_capacity": 8})
     with pytest.raises(SnapshotFormatError, match="missing field"):
         load_device(str(path))
 
@@ -147,8 +199,7 @@ def test_hostile_globals_rejected(tmp_path):
     path = tmp_path / "dev.snap"
     payload = pickle.dumps(struct.pack)  # any non-allowlisted callable
     path.write_bytes(
-        _HEADER.pack(MAGIC, SNAPSHOT_FORMAT_VERSION, len(payload),
-                     zlib.crc32(payload)) + payload
+        _HEADER.pack(MAGIC, 1, len(payload), zlib.crc32(payload)) + payload
     )
     with pytest.raises(SnapshotFormatError, match="undecodable payload"):
         load_device(str(path))

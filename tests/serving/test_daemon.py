@@ -1,0 +1,216 @@
+"""ServeDaemon: batching, admission control, graceful drain.
+
+Most tests run the daemon against a stub database in a background
+thread — the contract under test is the service layer (framing,
+coalescing, backpressure, drain), not the engines.  One integration
+test serves a real pool-backed sharded database end-to-end.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import ShardedSegmentDatabase
+from repro.serving import ServeClient, ServeDaemon, ServeRejected
+from repro.workloads import grid_segments, segment_queries
+
+
+class EchoDB:
+    """query_batch returns each query doubled; records batch sizes."""
+
+    def __init__(self, delay_s=0.0, gate=None):
+        self.batches = []
+        self.delay_s = delay_s
+        self.gate = gate
+
+    def query_batch(self, queries):
+        if self.gate is not None:
+            self.gate.wait(timeout=10)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        self.batches.append(len(queries))
+        return [q * 2 for q in queries]
+
+
+class FailingDB:
+    def query_batch(self, queries):
+        raise RuntimeError("engine exploded")
+
+
+def _start(daemon):
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    assert daemon.ready.wait(timeout=10), "daemon never bound its port"
+    return thread
+
+
+def _stop(daemon, thread):
+    daemon.request_stop()
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "daemon failed to drain"
+    return daemon.drain_report
+
+
+def test_query_round_trip_and_drain_report():
+    db = EchoDB()
+    daemon = ServeDaemon(db)
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            assert client.ping()["ok"]
+            assert client.query_batch([1, 2, 3]) == [2, 4, 6]
+            assert client.query_batch([]) == []
+            stats = client.stats()
+            assert stats["metrics"]["serve.requests"]["value"] == 2
+    finally:
+        report = _stop(daemon, thread)
+    assert report["drained"] is True
+    assert report["requests"] == 2
+    assert report["queries"] == 3
+    assert report["batches"] == 1
+    assert report["rejected"] == 0
+    assert report["request_s"]["count"] == 1
+
+
+def test_concurrent_requests_coalesce_into_batches():
+    db = EchoDB(delay_s=0.01)
+    daemon = ServeDaemon(db, max_batch=8, batch_window_s=0.05)
+    thread = _start(daemon)
+    results = {}
+
+    def one(i):
+        with ServeClient(port=daemon.port) as client:
+            results[i] = client.query_batch([i, i + 100])
+
+    try:
+        clients = [threading.Thread(target=one, args=(i,)) for i in range(6)]
+        for t in clients:
+            t.start()
+        for t in clients:
+            t.join(timeout=10)
+    finally:
+        report = _stop(daemon, thread)
+    # Every client got exactly its own slice back, in order.
+    for i in range(6):
+        assert results[i] == [2 * i, 2 * (i + 100)], i
+    # Coalescing happened: fewer engine batches than requests.
+    assert report["batches"] < report["requests"] == 6
+    assert sum(db.batches) == 12
+
+
+def test_admission_control_rejects_past_max_pending():
+    gate = threading.Event()
+    db = EchoDB(gate=gate)
+    daemon = ServeDaemon(db, max_pending=1, max_batch=1, batch_window_s=0.0)
+    thread = _start(daemon)
+    admitted = []
+
+    def admitted_request(i):
+        with ServeClient(port=daemon.port) as client:
+            admitted.append(client.query_batch([i]))
+
+    try:
+        # First request: pulled by the batcher, blocked on the gate.
+        # Second: sits in the queue (fills max_pending=1).
+        blocked = [threading.Thread(target=admitted_request, args=(i,))
+                   for i in range(2)]
+        for t in blocked:
+            t.start()
+            time.sleep(0.15)
+        # Third: the queue is full — immediate typed rejection.
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(ServeRejected, match="overloaded"):
+                client.query_batch([99])
+        gate.set()
+        for t in blocked:
+            t.join(timeout=10)
+    finally:
+        gate.set()
+        report = _stop(daemon, thread)
+    assert sorted(admitted) == [[0], [2]]
+    assert report["rejected"] == 1
+
+
+def test_engine_failure_answers_instead_of_hanging():
+    daemon = ServeDaemon(FailingDB())
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(ServeRejected, match="engine exploded"):
+                client.query_batch([1])
+            # The daemon survives the failure.
+            assert client.ping()["ok"]
+    finally:
+        _stop(daemon, thread)
+
+
+def test_malformed_frame_is_answered_not_fatal():
+    daemon = ServeDaemon(EchoDB())
+    thread = _start(daemon)
+    try:
+        import socket
+        import struct
+        with socket.create_connection(("127.0.0.1", daemon.port),
+                                      timeout=10) as sock:
+            junk = b"this is not a pickle"
+            sock.sendall(struct.pack(">I", len(junk)) + junk)
+            header = sock.recv(4)
+            assert len(header) == 4
+        # Daemon still serves afterwards.
+        with ServeClient(port=daemon.port) as client:
+            assert client.query_batch([5]) == [10]
+    finally:
+        _stop(daemon, thread)
+
+
+def test_drain_finishes_inflight_work():
+    db = EchoDB(delay_s=0.2)
+    daemon = ServeDaemon(db, batch_window_s=0.0)
+    thread = _start(daemon)
+    result = {}
+
+    def slow_request():
+        with ServeClient(port=daemon.port) as client:
+            result["got"] = client.query_batch([7])
+
+    t = threading.Thread(target=slow_request)
+    t.start()
+    time.sleep(0.05)           # request admitted, engine mid-flight
+    report = _stop(daemon, thread)
+    t.join(timeout=10)
+    assert result["got"] == [14], "drain dropped an in-flight request"
+    assert report["drained"] is True
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ServeDaemon(EchoDB(), max_pending=0)
+    with pytest.raises(ValueError):
+        ServeDaemon(EchoDB(), max_batch=0)
+    with pytest.raises(ValueError):
+        ServeDaemon(EchoDB(), batch_window_s=-1)
+
+
+def test_serves_a_real_sharded_database(tmp_path):
+    segments = grid_segments(240, seed=61)
+    queries = list(segment_queries(segments, 12, seed=62))
+    directory = str(tmp_path / "snap")
+    ShardedSegmentDatabase.bulk_load(
+        segments, shards=2, block_capacity=16).save(directory)
+    with ShardedSegmentDatabase.open(directory, workers=0) as sync:
+        expected = sync.query_batch(queries)
+    served = ShardedSegmentDatabase.open(directory, workers=1,
+                                         transport="shm")
+    daemon = ServeDaemon(served)
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            got = client.query_batch(queries)
+            stats = client.stats()
+    finally:
+        _stop(daemon, thread)
+        served.close()
+    assert [sorted(s.label for s in r) for r in got] == \
+           [sorted(s.label for s in r) for r in expected]
+    assert "latency" in stats  # the pool's phase decomposition rode along

@@ -12,7 +12,7 @@ sys.path.insert(
 from check_regression import compare, extract_metrics, main  # noqa: E402
 
 
-def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0):
+def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0, reduction=30.0):
     """A minimal schema-v4 artifact shaped like the real one."""
     return {
         "schema_version": 4,
@@ -45,6 +45,15 @@ def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0):
                     "4": {"2": {"queries_per_s": qps, "batch_p99_ms": p99}},
                 },
             },
+            "E18": {
+                "engine": "solution2",
+                "overhead": {
+                    "pickle_s": 3.0,
+                    "shm_s": 3.0 / reduction,
+                    "overhead_reduction": reduction,
+                    "attach_reduction": reduction * 2,
+                },
+            },
         },
     }
 
@@ -60,6 +69,42 @@ def test_extracts_only_gated_metrics():
     assert not any("commit" in k or "generated_at" in k for k in metrics)
     # exact_qps is not a gated throughput key.
     assert not any(k.endswith("exact_qps") for k in metrics)
+
+
+def test_extracts_overhead_ratios():
+    metrics = extract_metrics(perf_file())
+    assert metrics["E18.overhead.overhead_reduction"] == ("ratio", 30.0)
+    assert metrics["E18.overhead.attach_reduction"] == ("ratio", 60.0)
+    # The raw overhead seconds are inputs, not gated metrics.
+    assert not any(k.endswith("pickle_s") or k.endswith("shm_s")
+                   for k in metrics)
+
+
+def test_overhead_ratio_drop_beyond_tolerance_fails():
+    verdict = compare(perf_file(reduction=30.0), perf_file(reduction=10.0),
+                      0.25, 0.25, max_ratio_drop=0.5)
+    ratio_regressions = [r for r in verdict["regressions"]
+                         if r["kind"] == "ratio"]
+    assert {r["metric"] for r in ratio_regressions} == {
+        "E18.overhead.overhead_reduction",
+        "E18.overhead.attach_reduction",
+    }
+
+
+def test_overhead_ratio_within_tolerance_passes():
+    # Half the win gone is the (loose) limit; 60% retained passes.
+    verdict = compare(perf_file(reduction=30.0), perf_file(reduction=18.0),
+                      0.25, 0.25, max_ratio_drop=0.5)
+    assert [r for r in verdict["regressions"] if r["kind"] == "ratio"] == []
+
+
+def test_max_ratio_drop_flag(tmp_path):
+    base = tmp_path / "base.json"
+    cur = tmp_path / "cur.json"
+    base.write_text(json.dumps(perf_file(reduction=30.0)))
+    cur.write_text(json.dumps(perf_file(reduction=24.0)))
+    assert main([str(base), str(cur), "--max-ratio-drop", "0.1"]) == 1
+    assert main([str(base), str(cur), "--max-ratio-drop", "0.3"]) == 0
 
 
 def test_identical_files_pass():

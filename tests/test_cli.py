@@ -286,3 +286,73 @@ def test_console_script_entry_point():
     __import__(module)
     entry = getattr(sys.modules[module], func)
     assert entry(["version"]) == 0
+
+
+def test_serve_bench_pickle_transport(capsys):
+    import json
+
+    assert main(["serve-bench", "--shards", "2", "--workers", "1",
+                 "--segments", "200", "--count", "12",
+                 "--transport", "pickle", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["queries"] == 12
+    assert "attach" in summary["latency"]["phases_s"]
+
+
+def test_serve_bench_cache_pages(capsys):
+    assert main(["serve-bench", "--shards", "2", "--workers", "1",
+                 "--segments", "200", "--count", "12",
+                 "--cache-pages", "8"]) == 0
+    assert "shards" in capsys.readouterr().out
+
+
+def test_serve_client_requires_port(capsys):
+    assert main(["serve-client"]) == 2
+    assert "--port" in capsys.readouterr().err
+
+
+def test_serve_daemon_lifecycle(tmp_path):
+    """Full daemon smoke over a subprocess: ready line, batched client,
+    SIGTERM, clean drain report, exit 0."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--segments", "300",
+         "--workers", "1", "--shards", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        ready = json.loads(proc.stdout.readline())
+        assert ready["ready"] is True
+        assert ready["transport"] == "shm"
+        port = ready["port"]
+
+        client = subprocess.run(
+            [sys.executable, "-m", "repro", "serve-client",
+             "--port", str(port), "--segments", "300",
+             "--count", "12", "--batch-size", "4", "--json"],
+            capture_output=True, env=env, text=True, timeout=60)
+        assert client.returncode == 0, client.stderr
+        summary = json.loads(client.stdout)
+        assert summary["ok"] is True
+        assert summary["queries"] == 12
+        assert summary["results"] > 0
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0, err
+        report = json.loads(out.splitlines()[-1])
+        assert report["drained"] is True
+        assert report["queries"] == 12
+        assert report["rejected"] == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
