@@ -49,10 +49,17 @@ DEFAULT_CURRENT = os.path.join(
 GATED_ENGINES = ("solution1", "solution2")
 #: Leaf keys read as throughput (higher is better).
 QPS_KEYS = ("queries_per_s", "queries_per_sec", "filtered_qps")
-#: Leaf keys read as tail latency (lower is better).
-P99_KEYS = ("p99_ms", "batch_p99_ms")
+#: Leaf keys read as tail latency (lower is better).  ``mttr_ms`` — how
+#: long E19's supervisor takes to notice a killed worker and respawn it
+#: — gates like a tail latency: recovery slowing past tolerance is an
+#: availability regression even when steady-state qps holds.
+P99_KEYS = ("p99_ms", "batch_p99_ms", "mttr_ms")
 #: Leaf keys read as overhead-reduction ratios (higher is better, noisy).
-RATIO_KEYS = ("overhead_reduction", "attach_reduction")
+#: ``supervised_qps_ratio`` (E19) is supervised/unsupervised fault-free
+#: throughput — near 1.0 by design; losing half of it means supervision
+#: started taxing the healthy path.
+RATIO_KEYS = ("overhead_reduction", "attach_reduction",
+              "supervised_qps_ratio")
 #: Per-run bookkeeping stamps — never metrics.
 SKIP_KEYS = ("commit", "generated_at")
 

@@ -151,21 +151,26 @@ def write_perf_json(experiment: str, payload: dict,
 
     The harness owns the writer so every benchmark emits the same shape;
     the file lands at the repo root (``BENCH_perf.json``) where future
-    PRs diff it as the perf scoreboard.  Schema (version 4)::
+    PRs diff it as the perf scoreboard.  Schema (version 5)::
 
-        {"schema_version": 4, "commit": "<short sha>",
+        {"schema_version": 5, "commit": "<short sha>",
          "generated_by": "<last experiment written>",
          "experiments": {"E15": {..., "commit": "<short sha>",
                                  "generated_at": "<UTC ISO-8601>"},
                          "E16": {...}, "E17": {...}}}
 
-    Version 4 stamps every experiment payload with the commit and UTC
-    timestamp of *its own* run: experiments merge instead of clobbering
-    each other, so after partial re-runs the top-level commit only
-    describes the last writer — the per-run stamps say which numbers are
-    stale.  (Version 3 added wall-clock fields over v2; a version-1 file
-    is one flat payload with an ``experiment`` key.  Older files migrate
-    in place.)  Latency quantiles live next to their qps numbers as
+    Version 5 adds the resilience vocabulary for E19: ``mttr_ms``
+    (mean time to recover a killed worker, gated like a latency
+    quantile), ``supervised_qps_ratio`` (supervision's fault-free
+    throughput tax, gated like a reduction ratio) and
+    ``degraded_fraction`` under each chaos operating point.  (Version 4
+    made experiments merge instead of clobbering each other, stamping
+    each payload with the commit and UTC timestamp of *its own* run —
+    after partial re-runs the top-level commit only describes the last
+    writer, and the per-run stamps say which numbers are stale; version
+    3 added wall-clock fields over v2; a version-1 file is one flat
+    payload with an ``experiment`` key.  Older files migrate in place.)
+    Latency quantiles live next to their qps numbers as
     ``p50_ms``/``p99_ms`` pairs — ``check_regression.py`` gates on both.
     """
     data: dict = {}
@@ -179,7 +184,7 @@ def write_perf_json(experiment: str, payload: dict,
         legacy_name = data.pop("experiment", None)
         data = {"experiments": {legacy_name: data} if legacy_name else {}}
     commit = _git_commit()
-    data["schema_version"] = 4
+    data["schema_version"] = 5
     data["commit"] = commit
     data["generated_by"] = experiment
     payload = dict(payload)

@@ -21,7 +21,7 @@ reproduction of every complexity claim.
 from .core.api import DirectedSegmentDatabase, ENGINES, SegmentDatabase
 from .core.extensions import ArbitraryQueryIndex, TombstoneDeletions
 from .core.linebased import BlockedPST, ExternalPST, LineBasedIndex
-from .core.recovery import DegradedResult, FsckReport
+from .core.recovery import DegradedBatch, DegradedResult, FsckReport
 from .core.solution1 import TwoLevelBinaryIndex
 from .core.solution2 import TwoLevelIntervalIndex
 from .geometry import (
@@ -60,6 +60,7 @@ __all__ = [
     "BlockedPST",
     "ChecksumError",
     "CrossingError",
+    "DegradedBatch",
     "DegradedResult",
     "DirectedSegmentDatabase",
     "ENGINES",

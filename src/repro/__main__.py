@@ -65,7 +65,31 @@ Commands
                     batched client for ``serve``: replay a generated (or
                     FILE-loaded) query workload against a running daemon
                     and report throughput (``--count N``,
-                    ``--batch-size K``, ``--seed S``, ``--json``)
+                    ``--batch-size K``, ``--seed S``,
+                    ``--connect-timeout S`` / ``--request-timeout S``
+                    socket deadlines, ``--retries K`` jittered reconnect
+                    attempts, ``--deadline-ms T`` server-side per-request
+                    deadline, ``--json``); connection failures exit 1
+                    with a one-line typed error, never a traceback
+``chaos-serve [FILE]``
+                    run the serving chaos suite: for each seed, serve a
+                    snapshot through a supervised worker pool with
+                    seeded worker SIGKILLs plus a fault-injecting TCP
+                    proxy (delayed/truncated/corrupted frames, resets),
+                    and check every response against a fault-free sync
+                    oracle — exact, degraded-but-subset with an honest
+                    coverage map, or a typed error; exits nonzero on any
+                    silently wrong answer (``--seeds N``, ``--seed S``,
+                    ``--kill-rate R``, ``--max-kills N``,
+                    ``--frame-corrupt R``, ``--frame-truncate R``,
+                    ``--frame-delay R``, ``--conn-reset R``,
+                    ``--deadline-ms T``, ``--dump-schedule PATH``,
+                    ``--json``; with no rates given a default fault mix
+                    is applied)
+``health --port P`` probe a running ``serve`` daemon: admission-queue
+                    depth, drain state, degraded/deadline counters and
+                    per-shard worker-pool health including breaker
+                    states (``--json`` for the full structure)
 ``trace [FILE]``    run a small serving workload wall-traced and write a
                     Chrome-trace-event/Perfetto JSON timeline (open it at
                     https://ui.perfetto.dev or ``chrome://tracing``);
@@ -110,9 +134,11 @@ def _coord(token: str):
 _INT_FLAGS = ("--buffer", "--block", "--batch-size", "--count", "--seed",
               "--seeds", "--updates", "--corrupt-pages", "--retries",
               "--shards", "--workers", "--segments", "--cache-pages",
-              "--port", "--max-pending", "--max-batch")
+              "--port", "--max-pending", "--max-batch", "--max-kills")
 _FLOAT_FLAGS = ("--read-err", "--corrupt-rate", "--torn", "--slow-ms",
-                "--window-ms")
+                "--window-ms", "--connect-timeout", "--request-timeout",
+                "--deadline-ms", "--kill-rate", "--frame-corrupt",
+                "--frame-truncate", "--frame-delay", "--conn-reset")
 _STR_FLAGS = ("--engine", "--dump-schedule", "--dir", "--trace", "--out",
               "--transport", "--host")
 
@@ -128,7 +154,11 @@ def _pop_flags(args):
              "segments": 0, "dir": None, "trace": None, "out": None,
              "slow-ms": None, "transport": "shm", "cache-pages": None,
              "host": "127.0.0.1", "port": 0, "max-pending": 64,
-             "max-batch": 64, "window-ms": 2.0}
+             "max-batch": 64, "window-ms": 2.0,
+             "connect-timeout": 5.0, "request-timeout": 30.0,
+             "deadline-ms": None, "kill-rate": 0.0, "max-kills": 0,
+             "frame-corrupt": 0.0, "frame-truncate": 0.0,
+             "frame-delay": 0.0, "conn-reset": 0.0}
     i = 0
     while i < len(args):
         token = args[i]
@@ -730,12 +760,14 @@ def cmd_serve_client(args) -> int:
     if len(positional) > 1 or not flags["port"]:
         print("usage: python -m repro serve-client --port P [FILE] "
               "[--host H] [--count N] [--batch-size K] [--segments N] "
-              "[--seed S] [--json]", file=sys.stderr)
+              "[--seed S] [--connect-timeout S] [--request-timeout S] "
+              "[--retries K] [--deadline-ms T] [--json]", file=sys.stderr)
         return 2
     import json
     import time
 
-    from repro.serving import ServeClient
+    from repro.serving import (ServeClient, ServeConnectionError,
+                               ServeRejected)
     from repro.workloads.queries import segment_queries
 
     if positional:
@@ -752,15 +784,38 @@ def cmd_serve_client(args) -> int:
     queries = segment_queries(segments, flags["count"], seed=flags["seed"])
     batch_size = flags["batch-size"] or 8
 
-    with ServeClient(host=flags["host"], port=flags["port"]) as client:
-        ping = client.ping()
-        t0 = time.perf_counter()
-        results = 0
-        for start in range(0, len(queries), batch_size):
-            for r in client.query_batch(queries[start:start + batch_size]):
-                results += len(r)
-        elapsed = time.perf_counter() - t0
-        stats = client.stats()
+    degraded = 0
+    rejected = 0
+    try:
+        with ServeClient(host=flags["host"], port=flags["port"],
+                         connect_timeout=flags["connect-timeout"],
+                         request_timeout=flags["request-timeout"],
+                         retries=flags["retries"],
+                         seed=flags["seed"]) as client:
+            ping = client.ping()
+            t0 = time.perf_counter()
+            results = 0
+            for start in range(0, len(queries), batch_size):
+                try:
+                    batch = client.query_batch(
+                        queries[start:start + batch_size],
+                        timeout_ms=flags["deadline-ms"])
+                except ServeRejected as exc:
+                    rejected += 1
+                    print(f"# rejected ({exc.error_type}): {exc}",
+                          file=sys.stderr)
+                    continue
+                if getattr(batch, "degraded", False):
+                    degraded += 1
+                for r in batch:
+                    results += len(r)
+            elapsed = time.perf_counter() - t0
+            stats = client.stats()
+    except ServeConnectionError as exc:
+        # The typed failure surface: one line naming host, port, and
+        # what broke — never a traceback.
+        print(f"serve-client: connection failed: {exc}", file=sys.stderr)
+        return 1
     summary = {
         "ok": bool(ping.get("ok")),
         "queries": len(queries),
@@ -768,6 +823,8 @@ def cmd_serve_client(args) -> int:
         "results": results,
         "elapsed_s": elapsed,
         "queries_per_s": len(queries) / elapsed if elapsed else None,
+        "degraded_batches": degraded,
+        "rejected_batches": rejected,
         "server_batches": stats["metrics"]
         .get("serve.batches", {}).get("value"),
     }
@@ -777,7 +834,238 @@ def cmd_serve_client(args) -> int:
     print(f"# {summary['queries']} queries in {elapsed:.3f}s "
           f"({summary['queries_per_s']:.0f} q/s), "
           f"{results} results, "
-          f"server batches {summary['server_batches']}")
+          f"server batches {summary['server_batches']}"
+          + (f", {degraded} degraded" if degraded else "")
+          + (f", {rejected} rejected" if rejected else ""))
+    return 0
+
+
+def _run_chaos_serve_seed(directory, queries, expected, seed, flags):
+    """One serving-chaos round: daemon + chaos proxy vs the sync oracle.
+
+    Mirrors ``_run_chaos_seed``'s contract at the RPC layer: every
+    response must be exactly right, a typed degraded partial whose
+    entries are subsets of the oracle answer, or a typed error — a
+    silently wrong answer fails the round.
+    """
+    import threading
+
+    from repro.serving import (ChaosProxy, RpcChaosSchedule, ServeClient,
+                               ServeConnectionError, ServeDaemon,
+                               ServeRejected, ShardedSegmentDatabase,
+                               SupervisorPolicy)
+
+    kill_schedule = RpcChaosSchedule(
+        seed=seed,
+        worker_kill_rate=flags["kill-rate"],
+        max_kills=flags["max-kills"] or None,
+    )
+    frame_schedule = RpcChaosSchedule(
+        seed=seed + 1,
+        frame_corrupt_rate=flags["frame-corrupt"],
+        frame_truncate_rate=flags["frame-truncate"],
+        frame_delay_rate=flags["frame-delay"],
+        conn_reset_rate=flags["conn-reset"],
+    )
+    policy = SupervisorPolicy(max_retries=3, backoff_s=0.02,
+                              task_timeout_s=30.0, breaker_cooldown_s=0.2,
+                              seed=seed)
+    stats = {"seed": seed, "batches": 0, "exact": 0, "degraded": 0,
+             "typed_errors": 0, "wrong": 0, "inaccurate_coverage": 0}
+    wrong_queries = []
+    batch_size = flags["batch-size"] or 8
+    with ShardedSegmentDatabase.open(
+            directory, workers=flags["workers"],
+            transport=flags["transport"], supervisor=policy,
+            chaos=kill_schedule) as served:
+        daemon = ServeDaemon(served, port=0,
+                             batch_window_s=flags["window-ms"] / 1000.0)
+        thread = threading.Thread(
+            target=daemon.run, kwargs={"install_signal_handlers": False},
+            daemon=True)
+        thread.start()
+        if not daemon.ready.wait(30):
+            raise RuntimeError("daemon did not come up")
+        with ChaosProxy("127.0.0.1", daemon.port, frame_schedule) as proxy:
+            with ServeClient(port=proxy.port,
+                             connect_timeout=flags["connect-timeout"],
+                             request_timeout=min(flags["request-timeout"],
+                                                 10.0),
+                             retries=4, retry_backoff_s=0.02,
+                             seed=seed) as client:
+                for start in range(0, len(queries), batch_size):
+                    stats["batches"] += 1
+                    want = expected[start:start + batch_size]
+                    try:
+                        got = client.query_batch(
+                            queries[start:start + batch_size],
+                            timeout_ms=flags["deadline-ms"])
+                    except (ServeRejected, ServeConnectionError):
+                        stats["typed_errors"] += 1  # loud: acceptable
+                        continue
+                    batch_degraded = getattr(got, "degraded", False)
+                    bad = False
+                    for offset, (result, labels) in enumerate(zip(got, want)):
+                        answer = sorted(str(s.label) for s in result)
+                        if getattr(result, "degraded", False):
+                            if not set(answer) <= set(labels):
+                                bad = True  # degraded must under-report only
+                        elif answer != labels:
+                            bad = True
+                        if bad:
+                            wrong_queries.append(str(queries[start + offset]))
+                            break
+                    if batch_degraded and not any(
+                            str(v).startswith("down") for v in
+                            got.shard_coverage.values()):
+                        # A degraded batch must name at least one lost
+                        # shard, or its coverage map is lying.
+                        stats["inaccurate_coverage"] += 1
+                        bad = True
+                    if bad:
+                        stats["wrong"] += 1
+                    elif batch_degraded:
+                        stats["degraded"] += 1
+                    else:
+                        stats["exact"] += 1
+        daemon.request_stop()
+        thread.join(30)
+        stats["respawns"] = (served.health_report().get("pool", {})
+                             .get("respawns", 0))
+    stats["kills"] = kill_schedule.kills_injected
+    stats["frame_faults"] = frame_schedule.frame_faults_injected
+    return stats, {"kills": kill_schedule.to_dict(),
+                   "frames": frame_schedule.to_dict()}, wrong_queries
+
+
+def cmd_chaos_serve(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if len(positional) > 1:
+        print("usage: python -m repro chaos-serve [FILE] [--seeds N] "
+              "[--seed S] [--count N] [--batch-size K] [--shards K] "
+              "[--workers W] [--segments N] [--engine NAME] [--block B] "
+              "[--kill-rate R] [--max-kills N] [--frame-corrupt R] "
+              "[--frame-truncate R] [--frame-delay R] [--conn-reset R] "
+              "[--deadline-ms T] [--dump-schedule PATH] [--json]",
+              file=sys.stderr)
+        return 2
+    import contextlib
+    import tempfile
+
+    from repro.serving import ShardedSegmentDatabase
+    from repro.workloads.queries import segment_queries
+
+    if not (flags["kill-rate"] or flags["frame-corrupt"]
+            or flags["frame-truncate"] or flags["frame-delay"]
+            or flags["conn-reset"]):
+        flags["kill-rate"] = 0.15
+        flags["frame-corrupt"] = 0.05
+        flags["frame-truncate"] = 0.03
+        flags["conn-reset"] = 0.05
+    if flags["workers"] == 0:
+        flags["workers"] = 2
+    segments = _workload_segments(positional, flags)
+    queries = segment_queries(segments, flags["count"], seed=flags["seed"])
+
+    built = ShardedSegmentDatabase.bulk_load(
+        segments, shards=flags["shards"], engine=flags["engine"],
+        block_capacity=flags["block"])
+    # The oracle: the same batch served synchronously, no faults anywhere.
+    expected = [sorted(str(s.label) for s in r)
+                for r in built.query_batch(queries)]
+    rounds = []
+    schedules = {}
+    failures = 0
+    with contextlib.ExitStack() as stack:
+        directory = flags["dir"] or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-chaos-serve-"))
+        built.save(directory)
+        for seed in range(flags["seed"], flags["seed"] + flags["seeds"]):
+            stats, schedule, wrong_queries = _run_chaos_serve_seed(
+                directory, queries, expected, seed, flags)
+            rounds.append(stats)
+            failures += stats["wrong"] + stats["inaccurate_coverage"]
+            schedules[seed] = {
+                "schedules": schedule,
+                "wrong_queries": wrong_queries,
+                "verdict": ("FAIL" if stats["wrong"]
+                            or stats["inaccurate_coverage"] else "ok"),
+            }
+    if flags["dump-schedule"]:
+        import json
+
+        with open(flags["dump-schedule"], "w") as fh:
+            json.dump({"engine": flags["engine"], "rounds": schedules}, fh,
+                      indent=2, default=str)
+    if flags["json"]:
+        import json
+
+        print(json.dumps({"rounds": rounds, "failures": failures}, indent=2))
+    else:
+        for r in rounds:
+            verdict = ("FAIL" if r["wrong"] or r["inaccurate_coverage"]
+                       else "ok")
+            print(f"seed {r['seed']:>4}: {verdict}  "
+                  f"{r['exact']} exact, {r['degraded']} degraded, "
+                  f"{r['typed_errors']} typed errors, {r['wrong']} wrong "
+                  f"of {r['batches']} batches; {r['kills']} kills, "
+                  f"{r['respawns']} respawns, "
+                  f"{r['frame_faults']} frame faults")
+        print(f"# never-silently-wrong: "
+              f"{'FAIL' if failures else 'PASS'} over {len(rounds)} seeds")
+    return 1 if failures else 0
+
+
+def cmd_health(args) -> int:
+    try:
+        positional, flags = _pop_flags(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if positional or not flags["port"]:
+        print("usage: python -m repro health --port P [--host H] "
+              "[--connect-timeout S] [--request-timeout S] [--json]",
+              file=sys.stderr)
+        return 2
+    import json
+
+    from repro.serving import ServeClient, ServeConnectionError
+
+    try:
+        with ServeClient(host=flags["host"], port=flags["port"],
+                         connect_timeout=flags["connect-timeout"],
+                         request_timeout=flags["request-timeout"]) as client:
+            health = client.health()
+    except ServeConnectionError as exc:
+        print(f"health: daemon unreachable: {exc}", file=sys.stderr)
+        return 1
+    if flags["json"]:
+        print(json.dumps(health, indent=2))
+        return 0
+    print(f"# draining={health['draining']} inflight={health['inflight']} "
+          f"pending={health['pending']}/{health['max_pending']} "
+          f"rejected={health['rejected']} "
+          f"deadline_expired={health['deadline_expired']} "
+          f"degraded={health['degraded_requests']}")
+    db = health.get("db")
+    if db:
+        line = (f"# db: mode={db['mode']} shards={db['shards']} "
+                f"degraded_batches={db['degraded_batches']}")
+        pool = db.get("pool")
+        if pool:
+            line += (f"; pool: {pool['alive_workers']}/{pool['workers']} "
+                     f"workers alive, {pool['respawns']} respawns, "
+                     f"{pool['failed_tasks']} failed tasks")
+            open_breakers = {k: v["state"] for k, v in
+                            pool.get("breakers", {}).items()
+                            if v["state"] != "closed"}
+            if open_breakers:
+                line += f", breakers {open_breakers}"
+        print(line)
     return 0
 
 
@@ -862,6 +1150,10 @@ def main(argv=None) -> int:
         return cmd_serve(args)
     if command == "serve-client":
         return cmd_serve_client(args)
+    if command == "chaos-serve":
+        return cmd_chaos_serve(args)
+    if command == "health":
+        return cmd_health(args)
     if command == "trace":
         return cmd_trace(args)
     if command == "version":

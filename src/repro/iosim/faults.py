@@ -100,7 +100,41 @@ class RetryPolicy:
         )
 
 
-class FaultSchedule:
+class ReplayableSchedule:
+    """Seed, history, and arming plumbing shared by every chaos schedule.
+
+    A schedule is a deterministic source of fault decisions: identical
+    seeds replay identical decisions over identical workloads, and every
+    injected fault is appended to :attr:`history` so a failing run ships
+    with its own reproduction recipe.  :class:`FaultSchedule` applies
+    this to the storage layer; the serving layer's
+    :class:`~repro.serving.resilience.RpcChaosSchedule` applies it to
+    worker processes and RPC frames.
+    """
+
+    def __init__(self, seed: int = 0, enabled: bool = True):
+        self.seed = seed
+        self.enabled = enabled
+        self.history: List[dict] = []
+        self._rng = Random(seed)
+
+    def _log(self, kind: str, **details) -> None:
+        event = {"seq": len(self.history), "kind": kind}
+        event.update(details)
+        self.history.append(event)
+
+    @contextmanager
+    def disarmed(self):
+        """Suspend fault injection for the scope (used during bulk_load)."""
+        prev = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = prev
+
+
+class FaultSchedule(ReplayableSchedule):
     """A seeded, replayable schedule of storage faults.
 
     Parameters
@@ -149,15 +183,12 @@ class FaultSchedule:
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
-        self.seed = seed
+        super().__init__(seed=seed, enabled=enabled)
         self.read_error_rate = read_error_rate
         self.corrupt_read_rate = corrupt_read_rate
         self.torn_write_rate = torn_write_rate
         self.crash_after_writes = crash_after_writes
         self.crash_points: Dict[str, int] = dict(crash_points or {})
-        self.enabled = enabled
-        self.history: List[dict] = []
-        self._rng = Random(seed)
         self._point_hits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -204,11 +235,6 @@ class FaultSchedule:
         self._log("crash-point", name=name, hit=hits)
         return True
 
-    def _log(self, kind: str, **details) -> None:
-        event = {"seq": len(self.history), "kind": kind}
-        event.update(details)
-        self.history.append(event)
-
     # ------------------------------------------------------------------
     # reproduction
     # ------------------------------------------------------------------
@@ -240,16 +266,6 @@ class FaultSchedule:
             crash_points=data.get("crash_points"),
             enabled=data.get("enabled", True),
         )
-
-    @contextmanager
-    def disarmed(self):
-        """Suspend fault injection for the scope (used during bulk_load)."""
-        prev = self.enabled
-        self.enabled = False
-        try:
-            yield
-        finally:
-            self.enabled = prev
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -40,19 +40,51 @@ import signal
 import socket
 import struct
 import threading
+import time
+from random import Random
 from time import perf_counter
 from typing import Any, List, Optional
 
+from ..core.recovery import DegradedBatch
 from ..iosim import restricted_loads
 from ..telemetry import MetricsRegistry, timed_span
+from .resilience import ServeConnectionError
 
 _FRAME = struct.Struct(">I")
 #: Upper bound on one frame; anything larger is damage, not data.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: ``error_type`` values a daemon error frame may carry, with whether a
+#: retry can help.  ``overloaded``/``draining`` are transient service
+#: states; the rest describe the request (or the daemon's inability to
+#: serve it at all), which a retry would only repeat.
+ERROR_TYPES = {
+    "bad-frame": False,
+    "bad-request": False,
+    "overloaded": True,
+    "draining": True,
+    "deadline": False,
+    "internal": False,
+}
+
+
+def _error(error_type: str, message: str) -> dict:
+    return {"ok": False, "error": message, "error_type": error_type,
+            "retryable": ERROR_TYPES[error_type]}
+
 
 class ServeRejected(RuntimeError):
-    """The daemon refused a request (overloaded or draining)."""
+    """The daemon refused a request via a structured error frame.
+
+    ``error_type`` is one of :data:`ERROR_TYPES`; ``retryable`` mirrors
+    the daemon's own judgment of whether trying again can succeed.
+    """
+
+    def __init__(self, message: str, error_type: Optional[str] = None,
+                 retryable: bool = False):
+        super().__init__(message)
+        self.error_type = error_type
+        self.retryable = retryable
 
 
 def _encode_frame(obj: Any) -> bytes:
@@ -103,6 +135,7 @@ class ServeDaemon:
         self._draining = False
         self._inflight = 0
         self._idle: Optional[asyncio.Event] = None
+        self._handlers: set = set()  # live _handle tasks, for clean drain
         self.ready = threading.Event()  # set once the port is bound
         self.drain_report: Optional[dict] = None
 
@@ -147,6 +180,15 @@ class ServeDaemon:
             await server.wait_closed()
             await self._queue.join()
             await self._idle.wait()
+            # Idle keep-alive connections would otherwise park their
+            # handler tasks in readexactly until asyncio.run tears the
+            # loop down and cancels them with a logged traceback; hang
+            # up on them explicitly and wait for the handlers to exit.
+            for task in list(self._handlers):
+                task.cancel()
+            if self._handlers:
+                await asyncio.gather(*self._handlers,
+                                     return_exceptions=True)
             batcher.cancel()
             try:
                 await batcher
@@ -160,6 +202,8 @@ class ServeDaemon:
             "queries": self.registry.counter("serve.queries").value,
             "batches": self.registry.counter("serve.batches").value,
             "rejected": self.registry.counter("serve.rejected").value,
+            "deadline_expired": self.registry.counter("serve.deadline").value,
+            "degraded_requests": self.registry.counter("serve.degraded").value,
             "request_s": self.registry.latency("serve.request_s").summary(),
             "batch_s": self.registry.latency("serve.batch_s").summary(),
         }
@@ -170,6 +214,8 @@ class ServeDaemon:
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
         try:
             while True:
                 try:
@@ -178,7 +224,7 @@ class ServeDaemon:
                     break  # peer hung up
                 except Exception as exc:  # undecodable frame: answer, drop
                     writer.write(_encode_frame(
-                        {"ok": False, "error": f"bad frame: {exc}"}))
+                        _error("bad-frame", f"bad frame: {exc}")))
                     await writer.drain()
                     break
                 self._inflight += 1
@@ -193,19 +239,25 @@ class ServeDaemon:
                         self._idle.set()
                 if self._draining:
                     break  # one answer per connection once draining
+        except asyncio.CancelledError:
+            pass  # drain hung up on an idle connection: a clean close
         finally:
+            self._handlers.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except ConnectionError:  # pragma: no cover - peer raced us
+            except (ConnectionError,
+                    asyncio.CancelledError):  # pragma: no cover - raced
                 pass
 
     async def _respond(self, request: Any) -> dict:
         if not isinstance(request, dict):
-            return {"ok": False, "error": "request must be a dict"}
+            return _error("bad-request", "request must be a dict")
         kind = request.get("kind")
         if kind == "ping":
             return {"ok": True, "draining": self._draining}
+        if kind == "health":
+            return {"ok": True, "health": self._health()}
         if kind == "stats":
             stats = {"metrics": self.registry.to_dict()}
             latency = getattr(self.db, "latency_report", None)
@@ -213,28 +265,69 @@ class ServeDaemon:
                 stats["latency"] = latency()
             return {"ok": True, "stats": stats}
         if kind != "query":
-            return {"ok": False, "error": f"unknown request kind {kind!r}"}
+            return _error("bad-request", f"unknown request kind {kind!r}")
 
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is not None and (
+                not isinstance(timeout_ms, (int, float))
+                or isinstance(timeout_ms, bool) or timeout_ms <= 0):
+            return _error("bad-request",
+                          f"timeout_ms must be a positive number, "
+                          f"got {timeout_ms!r}")
         queries = request.get("queries") or []
         self.registry.counter("serve.requests").inc()
         self.registry.counter("serve.queries").inc(len(queries))
         if not queries:
             return {"ok": True, "results": []}
         if self._draining:
-            return {"ok": False, "error": "draining"}
+            return _error("draining", "draining")
         future = self._loop.create_future()
         try:
             self._queue.put_nowait((queries, future))
         except asyncio.QueueFull:
             self.registry.counter("serve.rejected").inc()
-            return {"ok": False, "error": "overloaded"}
+            return _error("overloaded", "overloaded")
         t0 = perf_counter()
         try:
-            results = await future
+            if timeout_ms is not None:
+                # The batcher's future.done() guards make cancellation
+                # safe: an expired request's slot is simply skipped when
+                # results scatter back.
+                results = await asyncio.wait_for(future,
+                                                 timeout=timeout_ms / 1000.0)
+            else:
+                results = await future
+        except asyncio.TimeoutError:
+            self.registry.counter("serve.deadline").inc()
+            return _error("deadline",
+                          f"deadline of {timeout_ms:g}ms exceeded")
         except Exception as exc:
-            return {"ok": False, "error": f"query failed: {exc}"}
+            return _error("internal", f"query failed: {exc}")
         self.registry.latency("serve.request_s").observe(perf_counter() - t0)
-        return {"ok": True, "results": results}
+        response = {"ok": True, "results": results}
+        if getattr(results, "degraded", False):
+            response["degraded"] = True
+            response["coverage"] = results.shard_coverage
+        return response
+
+    def _health(self) -> dict:
+        """The ``health`` frame: daemon liveness plus, when the database
+        exposes one, its ``health_report()`` (pool workers, breakers,
+        degradation counters)."""
+        health = {
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "pending": self._queue.qsize() if self._queue is not None else 0,
+            "max_pending": self.max_pending,
+            "requests": self.registry.counter("serve.requests").value,
+            "rejected": self.registry.counter("serve.rejected").value,
+            "deadline_expired": self.registry.counter("serve.deadline").value,
+            "degraded_requests": self.registry.counter("serve.degraded").value,
+        }
+        db_health = getattr(self.db, "health_report", None)
+        if callable(db_health):
+            health["db"] = db_health()
+        return health
 
     # ------------------------------------------------------------------
     # batching
@@ -283,27 +376,139 @@ class ServeDaemon:
             for _item in batch:
                 self._queue.task_done()
         start = 0
+        degraded = getattr(results, "degraded", False)
         for (_queries, future), end in zip(batch, bounds):
             if not future.done():
-                future.set_result(results[start:end])
+                chunk = results[start:end]
+                if degraded:
+                    # Slicing a DegradedBatch yields a plain list; re-wrap
+                    # so every request in a shard-lossy coalesced batch
+                    # carries the coverage map (the map describes the
+                    # whole serving batch, a superset of what any single
+                    # request routed to).
+                    chunk = DegradedBatch(chunk, results.shard_coverage,
+                                          results.reason)
+                    self.registry.counter("serve.degraded").inc()
+                future.set_result(chunk)
             start = end
 
 
 class ServeClient:
-    """Blocking client for :class:`ServeDaemon` (CLI and tests)."""
+    """Blocking client for :class:`ServeDaemon` (CLI and tests).
+
+    Every way the TCP conversation can die — connect timeout, read
+    timeout, reset, short frame, undecodable response bytes — surfaces
+    as a typed
+    :class:`~repro.serving.resilience.ServeConnectionError` instead of a
+    raw traceback, and the dead socket is dropped so the next call
+    reconnects.  All request kinds are idempotent reads, so with
+    ``retries > 0`` a failed round trip is retried on a fresh
+    connection after jittered exponential backoff (default ``retries=0``
+    keeps every daemon answer — including ``overloaded`` — visible to
+    the caller, which admission-control tests rely on).
+
+    ``timeout`` is the legacy single knob and sets both of the split
+    timeouts when given; prefer ``connect_timeout`` (TCP establishment)
+    and ``request_timeout`` (per-read) directly.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: Optional[float] = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 30.0,
+                 retries: int = 0,
+                 retry_backoff_s: float = 0.05,
+                 seed: int = 0):
+        if timeout is not None:
+            connect_timeout = timeout
+            request_timeout = timeout
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self._rng = Random(seed)
+        self._sock: Optional[socket.socket] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout)
+        except socket.timeout as exc:
+            raise ServeConnectionError(
+                self.host, self.port,
+                f"connect timed out after {self.connect_timeout:g}s",
+            ) from exc
+        except OSError as exc:
+            raise ServeConnectionError(
+                self.host, self.port, f"connect failed: {exc}") from exc
+        self._sock.settimeout(self.request_timeout)
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._sock = None
 
     def request(self, payload: dict) -> dict:
-        """One raw round trip; returns the response dict verbatim."""
-        self._sock.sendall(_encode_frame(payload))
-        header = self._recv_exact(_FRAME.size)
-        (length,) = _FRAME.unpack(header)
-        if length > MAX_FRAME_BYTES:
-            raise ValueError(f"daemon announced a {length}-byte frame")
-        return restricted_loads(self._recv_exact(length))
+        """One round trip; returns the response dict verbatim.
+
+        Connection-level failures are retried up to ``retries`` times on
+        a fresh connection (jittered exponential backoff between
+        attempts); structured daemon answers — including error frames —
+        are returned as-is on the first try.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(payload)
+            except ServeConnectionError:
+                self._drop()
+                if attempt >= self.retries:
+                    raise
+            attempt += 1
+            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            time.sleep(delay * (1.0 + 0.5 * self._rng.random()))
+
+    def _request_once(self, payload: dict) -> dict:
+        if self._sock is None:
+            self._connect()
+        try:
+            self._sock.sendall(_encode_frame(payload))
+            header = self._recv_exact(_FRAME.size)
+            (length,) = _FRAME.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ServeConnectionError(
+                    self.host, self.port,
+                    f"daemon announced a {length}-byte frame "
+                    f"(cap {MAX_FRAME_BYTES}); treating as wire damage")
+            data = self._recv_exact(length)
+        except socket.timeout as exc:
+            raise ServeConnectionError(
+                self.host, self.port,
+                f"read timed out after {self.request_timeout:g}s",
+            ) from exc
+        except ServeConnectionError:
+            raise
+        except (ConnectionError, OSError) as exc:
+            raise ServeConnectionError(
+                self.host, self.port,
+                str(exc) or type(exc).__name__) from exc
+        try:
+            return restricted_loads(data)
+        except Exception as exc:
+            # Corrupted pickle bytes fail in arbitrary ways (truncation,
+            # flipped opcodes, allowlist rejections) — all of them mean
+            # the same thing here: the frame did not survive the wire.
+            raise ServeConnectionError(
+                self.host, self.port,
+                f"undecodable response frame: {exc!r}") from exc
 
     def _recv_exact(self, n: int) -> bytes:
         chunks = []
@@ -315,10 +520,18 @@ class ServeClient:
             n -= len(chunk)
         return b"".join(chunks)
 
-    def query_batch(self, queries) -> List:
-        response = self.request({"kind": "query", "queries": list(queries)})
+    def query_batch(self, queries, timeout_ms: Optional[float] = None) -> List:
+        """Query via the daemon; ``timeout_ms`` sets a per-request
+        deadline enforced daemon-side (a ``deadline`` error frame comes
+        back when it expires)."""
+        request = {"kind": "query", "queries": list(queries)}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        response = self.request(request)
         if not response.get("ok"):
-            raise ServeRejected(response.get("error", "rejected"))
+            raise ServeRejected(response.get("error", "rejected"),
+                                error_type=response.get("error_type"),
+                                retryable=response.get("retryable", False))
         return response["results"]
 
     def ping(self) -> dict:
@@ -327,11 +540,21 @@ class ServeClient:
     def stats(self) -> dict:
         response = self.request({"kind": "stats"})
         if not response.get("ok"):
-            raise ServeRejected(response.get("error", "rejected"))
+            raise ServeRejected(response.get("error", "rejected"),
+                                error_type=response.get("error_type"),
+                                retryable=response.get("retryable", False))
         return response["stats"]
 
+    def health(self) -> dict:
+        response = self.request({"kind": "health"})
+        if not response.get("ok"):
+            raise ServeRejected(response.get("error", "rejected"),
+                                error_type=response.get("error_type"),
+                                retryable=response.get("retryable", False))
+        return response["health"]
+
     def close(self) -> None:
-        self._sock.close()
+        self._drop()
 
     def __enter__(self) -> "ServeClient":
         return self

@@ -27,6 +27,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.api import ENGINES, SegmentDatabase
+from ..core.recovery import DegradedBatch, DegradedResult
 from ..geometry import Segment, VerticalQuery
 from ..iosim import SnapshotFormatError
 from ..telemetry import (
@@ -36,7 +37,8 @@ from ..telemetry import (
     timed_span,
 )
 from .reporting import ShardBatchStats, capture_batch
-from .workers import ShardWorkerPool
+from .resilience import RpcChaosSchedule, ShardDownError, SupervisorPolicy
+from .workers import _DEFAULT_SUPERVISOR, ShardWorkerPool
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -98,6 +100,10 @@ class ShardedSegmentDatabase:
         self._task_wall_s = 0.0
         self._tasks = 0
         self.slow_log: Optional[SlowQueryLog] = None
+        # Degradation bookkeeping: batches that lost at least one shard
+        # and the individual queries served with partial coverage.
+        self.degraded_batches = 0
+        self.degraded_queries = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -181,37 +187,73 @@ class ShardedSegmentDatabase:
         return self.query_batch([q])[0]
 
     def query_batch(
-        self, queries: Sequence[VerticalQuery]
+        self, queries: Sequence[VerticalQuery], degrade: bool = True
     ) -> List[List[Segment]]:
         """Route, execute per shard, and merge back into input order.
 
         Replicated boundary-crossers are deduplicated by label during the
         merge (ascending shard order, first occurrence wins), so results
         match an unsharded database up to ordering within a query.
+
+        When a supervised pool reports shards down (retries exhausted or
+        circuit open) and ``degrade`` is true, the batch is still
+        answered: queries routed to a dead shard come back as
+        :class:`~repro.core.recovery.DegradedResult` entries holding
+        what the live shards contributed, and the batch itself is a
+        :class:`~repro.core.recovery.DegradedBatch` whose
+        ``shard_coverage`` names exactly which routed shards served.
+        A fault-free batch returns a plain list — bit-identical to the
+        unsupervised result.  ``degrade=False`` raises
+        :class:`~repro.serving.resilience.ShardDownError` instead.
         """
         queries = list(queries)
         if not queries:
             return []
         t0 = perf_counter()
         batches, routes = self._route(queries)
-        executed = self._execute_query_batches(batches)
+        executed, failures = self._execute_query_batches(batches)
+        if failures and not degrade:
+            raise ShardDownError(failures)
         out: List[List[Segment]] = []
+        degraded = 0
         for pos, q in enumerate(queries):
             hit = routes[pos]
-            if len(hit) == 1:
+            down = [index for index, _ in hit if index in failures]
+            if not down and len(hit) == 1:
                 index, offset = hit[0]
                 out.append(executed[index][offset])
                 continue
             seen = set()
             merged: List[Segment] = []
             for index, offset in hit:
+                if index in failures:
+                    continue
                 for s in executed[index][offset]:
                     if s.label not in seen:
                         seen.add(s.label)
                         merged.append(s)
-            out.append(merged)
+            if down:
+                reason = "; ".join(f"shard {index}: {failures[index][0]}"
+                                   for index in down)
+                out.append(DegradedResult(merged, reason=reason,
+                                          source="shard-down"))
+                degraded += 1
+            else:
+                out.append(merged)
         self.batch_latency.observe(perf_counter() - t0)
-        return out
+        if not failures:
+            return out
+        routed = sorted({index for hit in routes for index, _ in hit})
+        coverage = {
+            index: ("ok" if index not in failures
+                    else f"down: {failures[index][0]}: {failures[index][1]}")
+            for index in routed
+        }
+        self.degraded_batches += 1
+        self.degraded_queries += degraded
+        summary = (f"{len(failures)} of {len(routed)} routed shards down "
+                   f"({degraded} of {len(queries)} queries degraded)")
+        return DegradedBatch(out, coverage, summary)
 
     def explain_batch(
         self, queries: Sequence[VerticalQuery]
@@ -224,7 +266,11 @@ class ShardedSegmentDatabase:
         if not queries:
             return []
         batches, _routes = self._route(queries)
-        reports = self._execute_explain_batches(batches)
+        reports, failures = self._execute(batches, explain=True)
+        if failures:
+            # Explain is a diagnostic: a partial anatomy would silently
+            # under-report the batch's cost, so shard loss raises.
+            raise ShardDownError(failures)
         out = []
         for index in sorted(reports):
             report = reports[index]
@@ -256,23 +302,22 @@ class ShardedSegmentDatabase:
     # ------------------------------------------------------------------
     def _execute_query_batches(
         self, batches: Dict[int, List[VerticalQuery]]
-    ) -> Dict[int, List[List[Segment]]]:
+    ) -> Tuple[Dict[int, List[List[Segment]]], Dict[int, Tuple[str, str]]]:
         return self._execute(batches, explain=False)
 
-    def _execute_explain_batches(
-        self, batches: Dict[int, List[VerticalQuery]]
-    ) -> Dict[int, ExplainReport]:
-        return self._execute(batches, explain=True)
-
     def _execute(self, batches: Dict[int, List[VerticalQuery]],
-                 explain: bool) -> Dict:
+                 explain: bool) -> Tuple[Dict, Dict[int, Tuple[str, str]]]:
         """Run per-shard sub-batches on the active back end.
 
         Both back ends capture the same :class:`ShardBatchStats` delta
         per sub-batch and feed the same phase/latency accumulators, so
-        every report this class renders is back-end-agnostic.
+        every report this class renders is back-end-agnostic.  Returns
+        the per-shard results plus ``{shard: (kind, reason)}`` for the
+        shards a supervised pool could not serve (always empty in
+        synchronous mode, where there is no process to lose).
         """
         out = {}
+        failures: Dict[int, Tuple[str, str]] = {}
         if self._pool is None:
             for index, queries in batches.items():
                 db = self._shards[index]
@@ -287,16 +332,20 @@ class ShardedSegmentDatabase:
                 if db.slow_log is not None and self.slow_log is not None:
                     self.slow_log.absorb(db.slow_log.drain())
                 out[index] = result
-            return out
+            return out, failures
         gather = (self._pool.explain_batches if explain
                   else self._pool.query_batches)
         for index, task in gather(batches).items():
+            if not task.ok:
+                failures[index] = (task.failure,
+                                   task.error or task.failure)
+                continue
             self._shard_stats[index] = self._shard_stats[index] + task.stats
             self._note_task(task.phases, task.wall_s)
             if self.slow_log is not None and task.slow_log:
                 self.slow_log.absorb(task.slow_log)
             out[index] = task.payload
-        return out
+        return out, failures
 
     def _note_task(self, phases: Dict[str, float], wall_s: float) -> None:
         for name, seconds in phases.items():
@@ -351,6 +400,20 @@ class ShardedSegmentDatabase:
                                if self._task_wall_s else None),
             "batches": self.batch_latency.summary(),
         }
+
+    def health_report(self) -> dict:
+        """Serving health: execution mode, degradation counters, and (in
+        pool mode) worker liveness, respawn counts, and breaker states —
+        the payload behind the daemon's ``health`` frame."""
+        report = {
+            "mode": "pool" if self._pool is not None else "sync",
+            "shards": self.shard_count,
+            "degraded_batches": self.degraded_batches,
+            "degraded_queries": self.degraded_queries,
+        }
+        if self._pool is not None:
+            report["pool"] = self._pool.health()
+        return report
 
     def enable_slow_query_log(self, threshold_s: float,
                               capacity: int = 128) -> SlowQueryLog:
@@ -413,6 +476,8 @@ class ShardedSegmentDatabase:
         slow_query_s: Optional[float] = None,
         transport: str = "shm",
         cache_pages: Optional[int] = None,
+        supervisor: Optional[SupervisorPolicy] = _DEFAULT_SUPERVISOR,
+        chaos: Optional[RpcChaosSchedule] = None,
     ) -> "ShardedSegmentDatabase":
         """Restore a sharded database saved by :meth:`save`.
 
@@ -425,7 +490,10 @@ class ShardedSegmentDatabase:
         or by per-process snapshot open on ``transport="pickle"``.
         ``slow_query_s`` arms a slow-query log at that threshold on
         every shard (worker-side in pool mode, entries shipped back with
-        each batch) merged into ``self.slow_log``.
+        each batch) merged into ``self.slow_log``.  ``supervisor`` and
+        ``chaos`` forward to the pool: supervision is on by default
+        (worker death degrades instead of raising); pass
+        ``supervisor=None`` for the legacy raise-through surface.
         """
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         try:
@@ -450,7 +518,9 @@ class ShardedSegmentDatabase:
             pool = ShardWorkerPool(paths, workers, buffer_pages=buffer_pages,
                                    slow_query_s=slow_query_s,
                                    transport=transport,
-                                   cache_pages=cache_pages)
+                                   cache_pages=cache_pages,
+                                   supervisor=supervisor,
+                                   chaos=chaos)
             db = cls(manifest["engine"], boundaries, pool=pool,
                      segment_count=manifest["segment_count"],
                      replicated=manifest["replicated"])

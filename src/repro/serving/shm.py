@@ -26,13 +26,30 @@ Segment names are deterministic — a digest of the snapshot's absolute
 path plus the shard index — so a segment leaked by a crashed *parent*
 (SIGKILL, no atexit) is found and reclaimed by the next pool serving
 the same snapshot, instead of accumulating in ``/dev/shm``.
+
+Reclaim is guarded by a per-snapshot **owner lock** (an ``flock`` on a
+deterministic lock file): only the pool holding the lock may use the
+deterministic names and reclaim colliding segments.  Without the guard,
+two pools starting concurrently over the same snapshot raced — the
+second's "stale" reclaim unlinked segments the first had just created
+and was actively serving from.  A pool that finds the lock held falls
+back to unique (pid-suffixed) segment names and never reclaims
+anything.  ``flock`` rather than an ``O_EXCL`` probe file because the
+kernel releases the lock when the owner dies — including SIGKILL — so a
+crashed owner cannot leave a stale lock that blocks every future pool,
+which is exactly the failure mode O_EXCL lock files have.  The empty
+lock files themselves are never unlinked (removing one while a peer
+holds its flock would let a third pool lock a fresh inode at the same
+path and reintroduce the two-owners race); they are zero bytes,
+deterministic, and bounded by the number of distinct snapshots.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from typing import List, Sequence, Tuple
+import tempfile
+from typing import List, Optional, Sequence, Tuple
 
 from ..iosim import ArenaView
 from ..iosim.snapshot import read_arena
@@ -42,6 +59,11 @@ try:  # absent on platforms without POSIX shm (then transport="pickle")
 except ImportError:  # pragma: no cover - exercised only on exotic builds
     resource_tracker = None
     shared_memory = None
+
+try:  # POSIX-only; on other platforms pools never reclaim (safe default)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 
 def shm_available() -> bool:
@@ -61,6 +83,48 @@ def segment_name(snapshot_path: str, shard_index: int) -> str:
         os.path.abspath(snapshot_path).encode()
     ).hexdigest()[:12]
     return f"rpr-{digest}-{shard_index}"
+
+
+def owner_lock_path(snapshot_path: str) -> str:
+    """The lock file whose ``flock`` holder owns this snapshot's
+    deterministic segment names."""
+    digest = hashlib.sha256(
+        os.path.abspath(snapshot_path).encode()
+    ).hexdigest()[:12]
+    return os.path.join(tempfile.gettempdir(), f"rpr-{digest}.lock")
+
+
+def acquire_owner_lock(snapshot_path: str) -> Optional[int]:
+    """Try to become the owning pool for one snapshot's segments.
+
+    Returns an open fd holding an exclusive non-blocking ``flock`` —
+    kept for the pool's lifetime, auto-released by the kernel on any
+    exit including SIGKILL — or ``None`` when a live owner exists (or
+    the platform has no ``flock``), in which case the caller must use
+    unique segment names and must not reclaim.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        return None
+    fd = os.open(owner_lock_path(snapshot_path),
+                 os.O_CREAT | os.O_RDWR, 0o600)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        os.close(fd)
+        return None
+    return fd
+
+
+def release_owner_lock(fd: Optional[int]) -> None:
+    """Release a lock from :func:`acquire_owner_lock` (idempotent-safe
+    for ``None``).  Closing the fd drops the flock; the lock file stays
+    (see the module docstring for why unlinking it would be a bug)."""
+    if fd is None:
+        return
+    try:
+        os.close(fd)
+    except OSError:  # pragma: no cover - already closed
+        pass
 
 
 def attach_segment(name: str):
@@ -85,11 +149,21 @@ def attach_segment(name: str):
             resource_tracker.register = original
 
 
-def create_segment(name: str, size: int):
-    """Create a segment, reclaiming a stale one left by a dead parent."""
+def create_segment(name: str, size: int, allow_reclaim: bool = True):
+    """Create a segment, reclaiming a stale one left by a dead parent.
+
+    ``allow_reclaim=True`` requires the caller to hold the snapshot's
+    owner lock: a colliding name then provably belongs to a dead pool
+    (a live one would hold the lock) and is destroyed and recreated.
+    Callers without the lock pass ``allow_reclaim=False`` — their names
+    are unique by construction, so a collision is a real error, not
+    staleness.
+    """
     try:
         return shared_memory.SharedMemory(name=name, create=True, size=size)
     except FileExistsError:
+        if not allow_reclaim:
+            raise
         stale = attach_segment(name)
         stale.close()
         try:
@@ -111,9 +185,11 @@ class SharedShardArenas:
     must call :meth:`unlink` exactly once when serving ends.
     """
 
-    def __init__(self, segments: List, descriptors: List[Tuple[str, int]]):
+    def __init__(self, segments: List, descriptors: List[Tuple[str, int]],
+                 lock_fds: Optional[List[int]] = None):
         self._segments = segments
         self.descriptors = descriptors
+        self._lock_fds = list(lock_fds or [])
 
     @classmethod
     def create(cls, shard_paths: Sequence[str]) -> "SharedShardArenas":
@@ -123,6 +199,12 @@ class SharedShardArenas:
         damaged file fails *here*, in the process that owns it — workers
         only ever see container-verified bytes.  Legacy v1 snapshots are
         converted to arenas once, in the parent.
+
+        Per shard path, the owner lock decides the naming scheme: lock
+        acquired → deterministic name, stale collisions reclaimed; lock
+        held elsewhere (a live pool is serving the same snapshot) →
+        pid-suffixed unique name, no reclaim.  Workers are indifferent —
+        they attach by whatever name the descriptor carries.
         """
         if not shm_available():  # pragma: no cover - platform-dependent
             raise RuntimeError(
@@ -131,10 +213,18 @@ class SharedShardArenas:
             )
         segments: List = []
         descriptors: List[Tuple[str, int]] = []
+        lock_fds: List[int] = []
         try:
             for index, path in enumerate(shard_paths):
                 arena = read_arena(path)
-                shm = create_segment(segment_name(path, index), len(arena))
+                lock_fd = acquire_owner_lock(path)
+                if lock_fd is not None:
+                    lock_fds.append(lock_fd)
+                    name = segment_name(path, index)
+                else:
+                    name = f"{segment_name(path, index)}-{os.getpid()}"
+                shm = create_segment(name, len(arena),
+                                     allow_reclaim=lock_fd is not None)
                 shm.buf[: len(arena)] = arena
                 segments.append(shm)
                 descriptors.append((shm.name, len(arena)))
@@ -145,15 +235,19 @@ class SharedShardArenas:
                     shm.unlink()
                 except FileNotFoundError:
                     pass
+            for fd in lock_fds:
+                release_owner_lock(fd)
             raise
-        return cls(segments, descriptors)
+        return cls(segments, descriptors, lock_fds)
 
     @property
     def total_bytes(self) -> int:
         return sum(size for _name, size in self.descriptors)
 
     def unlink(self) -> None:
-        """Close and destroy every segment (idempotent)."""
+        """Close and destroy every segment (idempotent), then release
+        the owner locks so the next pool over this snapshot can claim
+        the deterministic names."""
         segments, self._segments = self._segments, []
         for shm in segments:
             shm.close()
@@ -161,6 +255,9 @@ class SharedShardArenas:
                 shm.unlink()
             except FileNotFoundError:
                 pass
+        lock_fds, self._lock_fds = self._lock_fds, []
+        for fd in lock_fds:
+            release_owner_lock(fd)
 
 
 class AttachedArena:

@@ -54,13 +54,18 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from random import Random
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..iosim import ArenaBlockDevice, IOStats, restricted_loads
 from ..telemetry import SpanContext, WallTracer, spans as wallspans
 from .reporting import ShardBatchStats, capture_batch
+from .resilience import (CircuitBreaker, RpcChaosSchedule, SupervisorPolicy,
+                         chaos_kill_point)
 from .shm import AttachedArena, SharedShardArenas, shm_available
 
 #: Phase names of one pooled task, in timeline order.
@@ -69,6 +74,12 @@ TASK_PHASES = ("dispatch", "deserialize", "attach", "query", "serialize",
 
 #: Transports a pool can run on.
 TRANSPORTS = ("shm", "pickle")
+
+#: Sentinel: "no supervisor argument given" — distinct from an explicit
+#: ``supervisor=None``, which opts back into the legacy raise-through
+#: failure surface.  Exposed so wrappers (sharded open, the daemon CLI)
+#: can forward "use the default" without constructing a policy.
+_DEFAULT_SUPERVISOR = SupervisorPolicy()
 
 # Per-process state, set by the pool initializer and filled lazily.
 _TRANSPORT: str = "pickle"
@@ -136,7 +147,8 @@ def _open_shard(index: int):
 
 
 def _run_task(kind: str, index: int, payload: bytes,
-              span_ctx: Optional[dict]) -> dict:
+              span_ctx: Optional[dict],
+              chaos_kill: Optional[str] = None) -> dict:
     """Execute one shard batch in a worker; returns the wire response.
 
     ``kind`` is ``"query"`` or ``"explain"``; ``payload`` is the pickled
@@ -147,8 +159,15 @@ def _run_task(kind: str, index: int, payload: bytes,
     worker's span records (carrying the parent's trace id), slow-query-
     log entries, and the epoch timestamps the parent needs to derive
     dispatch/collect.
+
+    ``chaos_kill`` is a named kill point from
+    :data:`~repro.serving.resilience.WORKER_KILL_POINTS` (or ``None``):
+    the parent tags the task per its :class:`RpcChaosSchedule` and the
+    worker SIGKILLs itself at that point — an abrupt death the executor
+    sees exactly as a real OOM-kill or segfault.
     """
     started = time.time()
+    chaos_kill_point("worker.start", chaos_kill)
     ctx = SpanContext.from_dict(span_ctx)
     tracer = (WallTracer(ctx.trace_id, ctx.parent_id) if ctx is not None
               else WallTracer())
@@ -164,10 +183,12 @@ def _run_task(kind: str, index: int, payload: bytes,
                          path=os.path.basename(_SHARD_PATHS[index])):
             db = _open_shard(index)
         _OPENED[index] = db
+    chaos_kill_point("worker.after-attach", chaos_kill)
 
     runner = (db.query_batch if kind == "query" else db.explain_batch)
     with tracer.span("query", category="engine", shard=index,
                      queries=len(queries)):
+        chaos_kill_point("worker.mid-query", chaos_kill)
         result, stats = capture_batch(db, lambda: runner(queries))
 
     with tracer.span("serialize", category="ipc", shard=index):
@@ -176,6 +197,7 @@ def _run_task(kind: str, index: int, payload: bytes,
                                       buffer_callback=buffers.append)
 
     slow_entries = db.slow_log.drain() if db.slow_log is not None else []
+    chaos_kill_point("worker.before-reply", chaos_kill)
     return {
         "payload": result_payload,
         "buffers": [bytes(b.raw()) for b in buffers],
@@ -191,7 +213,15 @@ def _run_task(kind: str, index: int, payload: bytes,
 
 @dataclass
 class WorkerTaskResult:
-    """One shard batch's results plus its full latency/telemetry record."""
+    """One shard batch's results plus its full latency/telemetry record.
+
+    A shard that could not serve (supervision exhausted its retries or
+    the circuit is open) still yields a result — with ``payload=None``,
+    ``failure`` naming the kind (``"worker-died"`` / ``"timeout"`` /
+    ``"circuit-open"``), and ``error`` carrying the detail — so the
+    caller can degrade per shard instead of losing the whole batch.
+    ``ok`` is the uniform health check.
+    """
 
     payload: object                 # query results or an ExplainReport
     stats: ShardBatchStats          # telemetry delta (io, buffer, filter, …)
@@ -199,6 +229,13 @@ class WorkerTaskResult:
     wall_s: float = 0.0             # parent-observed task wall-clock
     worker_pid: Optional[int] = None
     slow_log: List[dict] = field(default_factory=list)
+    failure: Optional[str] = None   # None when served; else the failure kind
+    error: Optional[str] = None     # human-readable failure detail
+    attempts: int = 1               # submissions consumed (retries included)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     @property
     def io(self) -> IOStats:
@@ -228,13 +265,36 @@ class ShardWorkerPool:
     adopted back into the parent tracer together with synthetic
     ``dispatch``/``collect`` spans for the boundary crossings, so one
     Chrome-trace export shows the whole multi-process timeline.
+
+    **Supervision** (default-on).  A worker that dies or hangs breaks
+    every pending future in the executor — unsupervised, that surfaced
+    as a raw ``BrokenProcessPool`` to the caller.  With a
+    :class:`~repro.serving.resilience.SupervisorPolicy` the pool instead
+    respawns a fresh executor (the parent-owned shm segments survive, so
+    workers re-attach zero-copy in O(1)) and resubmits only the failed
+    sub-batches, with exponential backoff plus seeded jitter, up to
+    ``max_retries`` rounds.  Retries exhausted — or a per-shard
+    :class:`~repro.serving.resilience.CircuitBreaker` open — yield a
+    *failure-shaped* :class:`WorkerTaskResult` (``ok == False``) rather
+    than an exception, so the caller degrades shard-by-shard.  Pass
+    ``supervisor=None`` for the legacy raise-through behavior.  A fault-
+    free batch takes exactly the legacy code path — same submission
+    order, same collection math — so results and telemetry stay
+    bit-identical with supervision enabled.
+
+    ``chaos`` accepts an
+    :class:`~repro.serving.resilience.RpcChaosSchedule`; each submission
+    consults it in the parent (deterministic, replayable) and tags the
+    task with a kill point the worker honors via SIGKILL.
     """
 
     def __init__(self, shard_paths: Sequence[str], workers: int,
                  buffer_pages: Optional[int] = None,
                  slow_query_s: Optional[float] = None,
                  transport: str = "shm",
-                 cache_pages: Optional[int] = None):
+                 cache_pages: Optional[int] = None,
+                 supervisor: Optional[SupervisorPolicy] = _DEFAULT_SUPERVISOR,
+                 chaos: Optional[RpcChaosSchedule] = None):
         if workers < 1:
             raise ValueError("ShardWorkerPool needs workers >= 1 "
                              "(use the synchronous path for workers=0)")
@@ -243,25 +303,74 @@ class ShardWorkerPool:
                              f"pick one of {TRANSPORTS}")
         if transport == "shm" and not shm_available():  # pragma: no cover
             transport = "pickle"
+        if supervisor is _DEFAULT_SUPERVISOR:
+            supervisor = SupervisorPolicy()
         self._paths = list(shard_paths)
         self.workers = workers
         self.transport = transport
+        self.supervisor = supervisor
+        self.chaos = chaos
+        self._retry_rng = Random(supervisor.seed) if supervisor else Random(0)
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self.respawns = 0
+        self.retried_tasks = 0
+        self.failed_tasks = 0
+        self.shed_tasks = 0
         self._arenas: Optional[SharedShardArenas] = None
         segments = None
         if transport == "shm":
             self._arenas = SharedShardArenas.create(self._paths)
             segments = self._arenas.descriptors
+        self._initargs = (transport, self._paths, segments, buffer_pages,
+                          slow_query_s, cache_pages)
         try:
-            self._executor = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(transport, self._paths, segments, buffer_pages,
-                          slow_query_s, cache_pages),
-            )
+            self._executor = self._spawn_executor()
         except BaseException:
             if self._arenas is not None:
                 self._arenas.unlink()
             raise
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=self._initargs,
+        )
+
+    def _respawn(self) -> None:
+        """Replace a broken/hung executor with a fresh one.
+
+        The shm segments are parent-owned and untouched, so the new
+        workers re-attach in O(1) — recovery cost is process spawn, not
+        shard-sized state transfer.  Leftover processes (a hung worker
+        after a task timeout) are terminated explicitly; ``shutdown``
+        on a broken executor does not reap them.
+        """
+        old = self._executor
+        procs = list((getattr(old, "_processes", None) or {}).values())
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - already torn down
+            pass
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - terminate ignored
+                proc.kill()
+                proc.join(timeout=5)
+        self._executor = self._spawn_executor()
+        self.respawns += 1
+
+    def _breaker(self, index: int) -> CircuitBreaker:
+        breaker = self._breakers.get(index)
+        if breaker is None:
+            policy = self.supervisor or SupervisorPolicy()
+            breaker = CircuitBreaker(threshold=policy.breaker_threshold,
+                                     cooldown_s=policy.breaker_cooldown_s)
+            self._breakers[index] = breaker
+        return breaker
 
     @property
     def shared_bytes(self) -> int:
@@ -277,7 +386,7 @@ class ShardWorkerPool:
     def _gather(self, kind: str, batches: Dict[int, List]) -> Dict[int, WorkerTaskResult]:
         tracer = wallspans.active()
         out: Dict[int, WorkerTaskResult] = {}
-        pending = {}
+        todo: Dict[int, List] = {}
         for index, queries in batches.items():
             if not queries:
                 # An empty sub-batch answers itself: an empty result and
@@ -288,43 +397,132 @@ class ShardWorkerPool:
                     out[index] = WorkerTaskResult(payload=[],
                                                   stats=ShardBatchStats())
                 continue
-            ctx = tracer.context().to_dict() if tracer is not None else None
-            t0 = perf_counter()
-            payload = pickle.dumps(list(queries), pickle.HIGHEST_PROTOCOL)
-            pickle_s = perf_counter() - t0
-            submitted = time.time()
-            future = self._executor.submit(_run_task, kind, index, payload, ctx)
-            pending[index] = (future, submitted, pickle_s)
+            if self.supervisor is not None:
+                breaker = self._breakers.get(index)
+                if breaker is not None and not breaker.allow():
+                    # Open circuit: fail fast instead of feeding a retry
+                    # storm to a shard that just exhausted its retries.
+                    self.shed_tasks += 1
+                    out[index] = WorkerTaskResult(
+                        payload=None, stats=ShardBatchStats(),
+                        failure="circuit-open",
+                        error=breaker.last_error or "circuit open",
+                        attempts=0)
+                    continue
+            todo[index] = list(queries)
 
-        for index, (future, submitted, pickle_s) in pending.items():
-            raw = future.result()
-            t0 = perf_counter()
-            payload = restricted_loads(raw["payload"],
-                                       buffers=raw["buffers"] or None)
-            unpickle_s = perf_counter() - t0
-            done = time.time()
-            # Boundary-crossing phases from the shared epoch clock
-            # (same-host processes; negative residues are clock noise).
-            dispatch_s = max(0.0, raw["started"] - submitted) + pickle_s
-            collect_s = max(0.0, done - raw["ended"]) + unpickle_s
-            phases = {"dispatch": dispatch_s, "collect": collect_s}
-            phases.update(raw["phases"])
-            wall_s = pickle_s + max(0.0, done - submitted) + unpickle_s
-            if tracer is not None:
-                tracer.add("dispatch", submitted - pickle_s, dispatch_s,
-                           category="ipc", shard=index)
-                tracer.extend(raw["spans"])
-                tracer.add("collect", raw["ended"], collect_s,
-                           category="ipc", shard=index)
-            out[index] = WorkerTaskResult(
-                payload=payload,
-                stats=raw["stats"],
-                phases=phases,
-                wall_s=wall_s,
-                worker_pid=raw["pid"],
-                slow_log=raw["slow_log"],
-            )
+        attempt = 1
+        while todo:
+            pending: Dict[int, Tuple] = {}
+            failures: Dict[int, Tuple[str, str]] = {}
+            for index, queries in todo.items():
+                try:
+                    pending[index] = self._submit_one(kind, index, queries,
+                                                      tracer)
+                except BrokenProcessPool as exc:
+                    if self.supervisor is None:
+                        raise
+                    failures[index] = ("worker-died",
+                                       str(exc) or "executor broken at submit")
+            broken = bool(failures)
+            timeout_s = (self.supervisor.task_timeout_s
+                         if self.supervisor is not None else None)
+            for index, (future, submitted, pickle_s) in pending.items():
+                try:
+                    raw = future.result(timeout=timeout_s)
+                except FutureTimeoutError:
+                    future.cancel()
+                    failures[index] = (
+                        "timeout", f"task exceeded {timeout_s:g}s deadline")
+                    broken = True  # the worker is hung; replace the pool
+                except BrokenProcessPool as exc:
+                    if self.supervisor is None:
+                        raise
+                    failures[index] = ("worker-died",
+                                       str(exc) or "worker died abruptly")
+                    broken = True
+                else:
+                    out[index] = self._collect_one(index, raw, submitted,
+                                                   pickle_s, tracer)
+                    if index in self._breakers:
+                        self._breakers[index].record_success()
+            if not failures:
+                break
+            # Only reachable supervised: unsupervised failures raise above.
+            if broken:
+                self._respawn()
+            if attempt > self.supervisor.max_retries:
+                for index, (failkind, reason) in sorted(failures.items()):
+                    self.failed_tasks += 1
+                    self._breaker(index).record_failure(reason)
+                    out[index] = WorkerTaskResult(
+                        payload=None, stats=ShardBatchStats(),
+                        failure=failkind, error=reason, attempts=attempt)
+                break
+            self.retried_tasks += len(failures)
+            time.sleep(self.supervisor.delay_s(attempt, self._retry_rng))
+            todo = {index: todo[index] for index in failures}
+            attempt += 1
         return out
+
+    def _submit_one(self, kind: str, index: int, queries: List,
+                    tracer) -> Tuple:
+        ctx = tracer.context().to_dict() if tracer is not None else None
+        chaos_kill = (self.chaos.next_worker_kill(index)
+                      if self.chaos is not None else None)
+        t0 = perf_counter()
+        payload = pickle.dumps(list(queries), pickle.HIGHEST_PROTOCOL)
+        pickle_s = perf_counter() - t0
+        submitted = time.time()
+        future = self._executor.submit(_run_task, kind, index, payload, ctx,
+                                       chaos_kill)
+        return future, submitted, pickle_s
+
+    def _collect_one(self, index: int, raw: dict, submitted: float,
+                     pickle_s: float, tracer) -> WorkerTaskResult:
+        t0 = perf_counter()
+        payload = restricted_loads(raw["payload"],
+                                   buffers=raw["buffers"] or None)
+        unpickle_s = perf_counter() - t0
+        done = time.time()
+        # Boundary-crossing phases from the shared epoch clock
+        # (same-host processes; negative residues are clock noise).
+        dispatch_s = max(0.0, raw["started"] - submitted) + pickle_s
+        collect_s = max(0.0, done - raw["ended"]) + unpickle_s
+        phases = {"dispatch": dispatch_s, "collect": collect_s}
+        phases.update(raw["phases"])
+        wall_s = pickle_s + max(0.0, done - submitted) + unpickle_s
+        if tracer is not None:
+            tracer.add("dispatch", submitted - pickle_s, dispatch_s,
+                       category="ipc", shard=index)
+            tracer.extend(raw["spans"])
+            tracer.add("collect", raw["ended"], collect_s,
+                       category="ipc", shard=index)
+        return WorkerTaskResult(
+            payload=payload,
+            stats=raw["stats"],
+            phases=phases,
+            wall_s=wall_s,
+            worker_pid=raw["pid"],
+            slow_log=raw["slow_log"],
+        )
+
+    def health(self) -> dict:
+        """Liveness and supervision counters for the health frame."""
+        procs = (getattr(self._executor, "_processes", None) or {})
+        return {
+            "workers": self.workers,
+            "alive_workers": sum(1 for p in procs.values()
+                                 if p is not None and p.is_alive()),
+            "transport": self.transport,
+            "supervised": self.supervisor is not None,
+            "respawns": self.respawns,
+            "retried_tasks": self.retried_tasks,
+            "failed_tasks": self.failed_tasks,
+            "shed_tasks": self.shed_tasks,
+            "breakers": {index: breaker.to_dict()
+                         for index, breaker in sorted(self._breakers.items())},
+        }
 
     def shutdown(self) -> None:
         """Drain the workers, then destroy the shared segments.

@@ -214,3 +214,183 @@ def test_serves_a_real_sharded_database(tmp_path):
     assert [sorted(s.label for s in r) for r in got] == \
            [sorted(s.label for s in r) for r in expected]
     assert "latency" in stats  # the pool's phase decomposition rode along
+
+
+class SlowDB:
+    """query_batch stalls long enough to blow any small deadline."""
+
+    def __init__(self, delay_s=0.5):
+        self.delay_s = delay_s
+
+    def query_batch(self, queries):
+        time.sleep(self.delay_s)
+        return [q for q in queries]
+
+
+def test_deadline_expiry_is_a_typed_error_and_daemon_survives():
+    daemon = ServeDaemon(SlowDB(delay_s=0.4), batch_window_s=0.0)
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(ServeRejected, match="deadline") as excinfo:
+                client.query_batch([1, 2], timeout_ms=50)
+            assert excinfo.value.error_type == "deadline"
+            assert excinfo.value.retryable is False
+            # The daemon is not poisoned by the expired request.
+            assert client.ping()["ok"]
+            assert client.query_batch([3], timeout_ms=5000) == [3]
+    finally:
+        report = _stop(daemon, thread)
+    assert report["deadline_expired"] == 1
+
+
+def test_bad_timeout_values_are_typed_bad_requests():
+    daemon = ServeDaemon(EchoDB())
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            for bad in (-1, 0, "soon", True):
+                response = client.request(
+                    {"kind": "query", "queries": [1], "timeout_ms": bad})
+                assert response["ok"] is False, bad
+                assert response["error_type"] == "bad-request", bad
+                assert response["retryable"] is False, bad
+    finally:
+        _stop(daemon, thread)
+
+
+def test_error_frames_carry_type_and_retryability():
+    daemon = ServeDaemon(EchoDB())
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            response = client.request({"kind": "no-such-kind"})
+            assert response["error_type"] == "bad-request"
+            assert response["retryable"] is False
+            response = client.request(["not", "a", "dict"])
+            assert response["error_type"] == "bad-request"
+    finally:
+        _stop(daemon, thread)
+
+
+def test_overload_rejection_is_marked_retryable():
+    gate = threading.Event()
+    db = EchoDB(gate=gate)
+    daemon = ServeDaemon(db, max_pending=1, max_batch=1, batch_window_s=0.0)
+    thread = _start(daemon)
+    try:
+        blocked = [threading.Thread(
+            target=lambda i=i: ServeClient(port=daemon.port).query_batch([i]))
+            for i in range(2)]
+        for t in blocked:
+            t.start()
+            time.sleep(0.15)
+        with ServeClient(port=daemon.port) as client:
+            with pytest.raises(ServeRejected) as excinfo:
+                client.query_batch([99])
+            assert excinfo.value.error_type == "overloaded"
+            assert excinfo.value.retryable is True
+        gate.set()
+        for t in blocked:
+            t.join(timeout=10)
+    finally:
+        gate.set()
+        _stop(daemon, thread)
+
+
+def test_health_frame_reports_daemon_and_db_state():
+    daemon = ServeDaemon(EchoDB())
+    thread = _start(daemon)
+    try:
+        with ServeClient(port=daemon.port) as client:
+            client.query_batch([1])
+            health = client.health()
+        for key in ("draining", "inflight", "pending", "max_pending",
+                    "requests", "rejected", "deadline_expired",
+                    "degraded_requests"):
+            assert key in health, key
+        assert health["draining"] is False
+        assert health["requests"] >= 1
+        assert "db" not in health  # EchoDB has no health_report
+    finally:
+        _stop(daemon, thread)
+
+
+def test_drain_answers_every_request_of_a_coalesced_inflight_batch():
+    """SIGTERM-style stop while several clients sit coalesced in ONE
+    engine batch: every one of them still gets its exact slice back."""
+    db = EchoDB(delay_s=0.3)
+    daemon = ServeDaemon(db, max_batch=8, batch_window_s=0.15)
+    thread = _start(daemon)
+    results = {}
+
+    def one(i):
+        with ServeClient(port=daemon.port) as client:
+            results[i] = client.query_batch([i, i + 10])
+
+    clients = [threading.Thread(target=one, args=(i,)) for i in range(4)]
+    for t in clients:
+        t.start()
+    time.sleep(0.05)            # all admitted, window still open
+    report = _stop(daemon, thread)   # drain while the batch is in flight
+    for t in clients:
+        t.join(timeout=10)
+    for i in range(4):
+        assert results.get(i) == [2 * i, 2 * (i + 10)], i
+    assert report["drained"] is True
+    assert report["batches"] < report["requests"] == 4, \
+        "the drain scenario must actually have coalesced"
+
+
+def test_worker_death_mid_batch_serves_degraded_over_the_wire(tmp_path):
+    """A worker SIGKILLed under the daemon: the client receives a typed
+    DegradedBatch whose coverage map crossed the wire intact."""
+    from repro.serving import RpcChaosSchedule, SupervisorPolicy
+
+    segments = grid_segments(240, seed=63)
+    queries = list(segment_queries(segments, 8, seed=64))
+    directory = str(tmp_path / "snap")
+    ShardedSegmentDatabase.bulk_load(
+        segments, shards=2, block_capacity=16).save(directory)
+    policy = SupervisorPolicy(max_retries=0, backoff_s=0.01)
+    chaos = RpcChaosSchedule(seed=0, worker_kill_rate=1.0)
+    with ShardedSegmentDatabase.open(directory, workers=2,
+                                     supervisor=policy,
+                                     chaos=chaos) as served:
+        daemon = ServeDaemon(served)
+        thread = _start(daemon)
+        try:
+            with ServeClient(port=daemon.port) as client:
+                got = client.query_batch(queries)
+                health = client.health()
+        finally:
+            report = _stop(daemon, thread)
+    assert getattr(got, "degraded", False), "loss must be typed, not hidden"
+    assert any(str(v).startswith("down") for v in got.shard_coverage.values())
+    assert health["db"]["pool"]["failed_tasks"] > 0
+    assert report["degraded_requests"] >= 1
+
+
+def test_client_rejects_oversized_response_frames():
+    import socket
+    import struct
+
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+
+    def bogus_server():
+        conn, _addr = listener.accept()
+        with conn:
+            conn.recv(65536)
+            conn.sendall(struct.pack(">I", 1 << 31))  # absurd announcement
+
+    server = threading.Thread(target=bogus_server, daemon=True)
+    server.start()
+    from repro.serving import ServeConnectionError
+    try:
+        with ServeClient(port=port, retries=0) as client:
+            with pytest.raises(ServeConnectionError, match="wire damage"):
+                client.ping()
+    finally:
+        listener.close()
+        server.join(timeout=5)

@@ -209,3 +209,54 @@ def test_all_empty_batch_never_touches_workers(snapshot):
         pool._executor.submit = None  # any submit would raise
         out = pool.query_batches({0: [], 1: []})
         assert out[0].payload == [] and out[1].payload == []
+
+
+def test_concurrent_pools_do_not_reclaim_each_other(single_snap):
+    """Regression: two live pools over the same snapshot.  Before the
+    owner lock, the second pool's stale-reclaim unlinked the first's
+    deterministic segments mid-serve; now the second must fall back to
+    unique names and reclaim nothing."""
+    deterministic = segment_name(single_snap, 0)
+    first = SharedShardArenas.create([single_snap])
+    try:
+        assert first.descriptors[0][0] == deterministic
+        second = SharedShardArenas.create([single_snap])
+        try:
+            second_name = second.descriptors[0][0]
+            assert second_name != deterministic, (
+                "a non-owner pool must not take the deterministic name")
+            assert second_name.startswith(deterministic + "-")
+        finally:
+            second.unlink()
+        # The first pool's segment survived the second's full lifecycle.
+        name, size = first.descriptors[0]
+        attached = AttachedArena(name, size, source=name)
+        assert attached.view.page_ids
+        attached.close()
+    finally:
+        first.unlink()
+    # With the owner gone, the next pool claims the deterministic name
+    # again (and reclaims any stale leftovers under it).
+    third = SharedShardArenas.create([single_snap])
+    try:
+        assert third.descriptors[0][0] == deterministic
+    finally:
+        third.unlink()
+    assert deterministic not in _dev_shm_segments()
+
+
+def test_owner_lock_survives_only_while_held(single_snap):
+    from repro.serving.shm import (acquire_owner_lock, owner_lock_path,
+                                   release_owner_lock)
+
+    fd = acquire_owner_lock(single_snap)
+    assert fd is not None, "first claimant must win the lock"
+    assert acquire_owner_lock(single_snap) is None, (
+        "a held lock must refuse a second claimant")
+    release_owner_lock(fd)
+    fd2 = acquire_owner_lock(single_snap)
+    assert fd2 is not None, "a released lock must be claimable again"
+    release_owner_lock(fd2)
+    # The lock file itself stays — unlinking it would reintroduce the
+    # two-owners race (see repro.serving.shm module docstring).
+    assert os.path.exists(owner_lock_path(single_snap))

@@ -12,10 +12,11 @@ sys.path.insert(
 from check_regression import compare, extract_metrics, main  # noqa: E402
 
 
-def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0, reduction=30.0):
-    """A minimal schema-v4 artifact shaped like the real one."""
+def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0, reduction=30.0,
+              mttr=120.0, supervised_ratio=0.98):
+    """A minimal schema-v5 artifact shaped like the real one."""
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "commit": "abc1234",
         "experiments": {
             "E15": {
@@ -53,6 +54,15 @@ def perf_file(qps=1000.0, p99=2.0, exact_qps=100.0, reduction=30.0):
                     "overhead_reduction": reduction,
                     "attach_reduction": reduction * 2,
                 },
+            },
+            "E19": {
+                "engine": "solution2",
+                "mttr_ms": mttr,
+                "supervised_qps_ratio": supervised_ratio,
+                "chaos_sweep": [
+                    {"kill_rate": 0.15, "degraded_fraction": 0.05,
+                     "stall_p99_ms": 500.0},
+                ],
             },
         },
     }
@@ -105,6 +115,31 @@ def test_max_ratio_drop_flag(tmp_path):
     cur.write_text(json.dumps(perf_file(reduction=24.0)))
     assert main([str(base), str(cur), "--max-ratio-drop", "0.1"]) == 1
     assert main([str(base), str(cur), "--max-ratio-drop", "0.3"]) == 0
+
+
+def test_extracts_resilience_metrics():
+    metrics = extract_metrics(perf_file())
+    assert metrics["E19.mttr_ms"] == ("p99", 120.0)
+    assert metrics["E19.supervised_qps_ratio"] == ("ratio", 0.98)
+    # Chaos operating-point numbers are recorded, never gated — one
+    # respawn stall IS the p99 at smoke sizes.
+    assert not any("stall_p99_ms" in k or "degraded_fraction" in k
+                   for k in metrics)
+
+
+def test_mttr_inflation_beyond_tolerance_fails():
+    verdict = compare(perf_file(mttr=100.0), perf_file(mttr=200.0),
+                      0.25, 0.25)
+    assert any(r["metric"] == "E19.mttr_ms" and r["kind"] == "p99"
+               for r in verdict["regressions"])
+
+
+def test_supervised_ratio_halving_fails():
+    verdict = compare(perf_file(supervised_ratio=1.0),
+                      perf_file(supervised_ratio=0.4),
+                      0.25, 0.25, max_ratio_drop=0.5)
+    assert any(r["metric"] == "E19.supervised_qps_ratio"
+               and r["kind"] == "ratio" for r in verdict["regressions"])
 
 
 def test_identical_files_pass():

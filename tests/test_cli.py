@@ -356,3 +356,85 @@ def test_serve_daemon_lifecycle(tmp_path):
         if proc.poll() is None:
             proc.kill()
             proc.communicate()
+
+
+def test_chaos_serve_oracle_passes(capsys):
+    assert main(["chaos-serve", "--seeds", "2", "--count", "16",
+                 "--batch-size", "4", "--segments", "150",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "never-silently-wrong: PASS" in out
+    assert "seed" in out
+
+
+def test_chaos_serve_json_and_dump_schedule(tmp_path, capsys):
+    import json
+
+    dump_path = str(tmp_path / "schedules.json")
+    assert main(["chaos-serve", "--seeds", "1", "--count", "8",
+                 "--batch-size", "4", "--segments", "150",
+                 "--workers", "2", "--kill-rate", "0.9",
+                 "--dump-schedule", dump_path, "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["failures"] == 0
+    round0 = summary["rounds"][0]
+    assert round0["batches"] == 2
+    assert round0["wrong"] == 0
+    assert round0["exact"] + round0["degraded"] + \
+        round0["typed_errors"] == round0["batches"]
+    with open(dump_path) as fh:
+        schedules = json.load(fh)
+    assert schedules["rounds"]["0"]["verdict"] == "ok"
+    assert "kills" in schedules["rounds"]["0"]["schedules"]
+
+
+def test_chaos_serve_bad_args(capsys):
+    assert main(["chaos-serve", "a", "b"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_health_requires_port(capsys):
+    assert main(["health"]) == 2
+    assert "--port" in capsys.readouterr().err
+
+
+def test_health_unreachable_daemon_is_typed(capsys):
+    assert main(["health", "--port", "1", "--connect-timeout", "0.5"]) == 1
+    err = capsys.readouterr().err
+    assert "daemon unreachable" in err
+    assert "Traceback" not in err
+
+
+def test_serve_client_connection_failure_is_typed(capsys):
+    assert main(["serve-client", "--port", "1",
+                 "--connect-timeout", "0.5", "--count", "4"]) == 1
+    err = capsys.readouterr().err
+    assert "connection failed" in err
+    assert "Traceback" not in err
+
+
+def test_health_against_live_daemon(capsys):
+    import json
+    import threading
+
+    from repro.serving import ServeDaemon, ShardedSegmentDatabase
+    from repro.workloads import grid_segments
+
+    db = ShardedSegmentDatabase.bulk_load(
+        grid_segments(150, seed=5), shards=2, block_capacity=16)
+    daemon = ServeDaemon(db)
+    thread = threading.Thread(
+        target=daemon.run, kwargs={"install_signal_handlers": False},
+        daemon=True)
+    thread.start()
+    assert daemon.ready.wait(10)
+    try:
+        assert main(["health", "--port", str(daemon.port), "--json"]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["draining"] is False
+        assert health["db"]["mode"] == "sync"
+        assert main(["health", "--port", str(daemon.port)]) == 0
+        assert "draining=False" in capsys.readouterr().out
+    finally:
+        daemon.request_stop()
+        thread.join(timeout=10)
