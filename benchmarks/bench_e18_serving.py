@@ -146,6 +146,7 @@ def test_e18_zero_copy_serving(tmp_path):
         "shards": SHARDS,
         "workers": WORKERS,
         "cores": cores,
+        "cpu_count": cores,
         "gates_armed": {
             "overhead_10x": full_scale,
             # False = not full scale; a skip marker = the machine, not

@@ -208,6 +208,7 @@ def test_e19_serving_resilience(tmp_path):
         "shards": SHARDS,
         "workers": WORKERS,
         "cores": os.cpu_count() or 1,
+        "cpu_count": os.cpu_count() or 1,
         "policy": POLICY.to_dict(),
         "gates_armed": {
             "supervision_overhead": full_scale,

@@ -151,15 +151,22 @@ def write_perf_json(experiment: str, payload: dict,
 
     The harness owns the writer so every benchmark emits the same shape;
     the file lands at the repo root (``BENCH_perf.json``) where future
-    PRs diff it as the perf scoreboard.  Schema (version 5)::
+    PRs diff it as the perf scoreboard.  Schema (version 6)::
 
-        {"schema_version": 5, "commit": "<short sha>",
+        {"schema_version": 6, "commit": "<short sha>",
          "generated_by": "<last experiment written>",
          "experiments": {"E15": {..., "commit": "<short sha>",
                                  "generated_at": "<UTC ISO-8601>"},
                          "E16": {...}, "E17": {...}}}
 
-    Version 5 adds the resilience vocabulary for E19: ``mttr_ms``
+    Version 6 adds the kernel vocabulary for E20: per-engine
+    ``scalar_qps``/``columnar_qps`` and ``kernel_speedup_ratio``
+    (columnar over scalar, in-process, gated like a reduction ratio), a
+    ``pre_pr`` block recording the committed pre-refactor baselines and
+    the ``vs_pre_pr`` wall-clock ratios against them, a ``cpu_count``
+    stamp (also retrofitted onto E18/E19 so single-core runs are
+    recognisably ungated), and a scalar-vs-columnar ``sweep`` over
+    (N, B).  Version 5 added the resilience vocabulary for E19: ``mttr_ms``
     (mean time to recover a killed worker, gated like a latency
     quantile), ``supervised_qps_ratio`` (supervision's fault-free
     throughput tax, gated like a reduction ratio) and
@@ -184,7 +191,7 @@ def write_perf_json(experiment: str, payload: dict,
         legacy_name = data.pop("experiment", None)
         data = {"experiments": {legacy_name: data} if legacy_name else {}}
     commit = _git_commit()
-    data["schema_version"] = 5
+    data["schema_version"] = 6
     data["commit"] = commit
     data["generated_by"] = experiment
     payload = dict(payload)

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from ..geometry import Segment, VerticalQuery, vs_intersects
+from ..geometry import Segment, VerticalQuery
+from ..geometry.kernels import page_query_hits
 from ..iosim import Pager, StorageError
 from ..storage.chain import PageChain
 
@@ -33,7 +34,10 @@ class FullScanIndex:
     def query(self, q: VerticalQuery) -> List[Segment]:
         with self.pager.operation():
             with self.pager.device.tagged("scan"):
-                return [s for s in self.chain if vs_intersects(s, q)]
+                out: List[Segment] = []
+                for page in self.chain.iter_pages():
+                    out.extend(page_query_hits(page, q))
+                return out
 
     def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
         """Sequential loop fallback: a full scan has no descent to share."""

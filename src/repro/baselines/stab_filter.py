@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..geometry import Segment, VerticalQuery, vs_intersects
+from ..geometry.kernels import list_query_hits
 from ..iosim import Pager, StorageError
 from ..storage.interval_tree import ExternalIntervalTree
 
@@ -38,7 +39,11 @@ class StabFilterIndex:
                 stabbed = self.tree.stab(q.x)
         # The y filter is free in I/Os (in-memory), exactly the point of
         # the baseline: it has already paid for every stabbed segment.
-        return [s for _l, _r, s in stabbed if vs_intersects(s, q)]
+        segs = [s for _l, _r, s in stabbed]
+        hits = list_query_hits(segs, q)
+        if hits is None:
+            return [s for s in segs if vs_intersects(s, q)]
+        return hits
 
     def query_batch(self, queries: Iterable[VerticalQuery]) -> List[List[Segment]]:
         """Sequential loop fallback (uniform batch API, no shared descent)."""

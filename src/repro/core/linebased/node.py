@@ -63,7 +63,7 @@ class ChildRef:
 class NodeView:
     """An in-memory view of one PST node (items + routing)."""
 
-    __slots__ = ("pid", "items", "children", "low", "routing_pid")
+    __slots__ = ("pid", "items", "children", "low", "routing_pid", "page")
 
     def __init__(
         self,
@@ -72,12 +72,16 @@ class NodeView:
         children: List[ChildRef],
         low: Any,
         routing_pid: Optional[int],
+        page: Optional[Page] = None,
     ):
         self.pid = pid
         self.items = items  # sorted by base_order_key
         self.children = children
         self.low = low  # separator height: max apex height below this node
         self.routing_pid = routing_pid
+        # The backing items page, kept so scan kernels can reuse its
+        # columnar cache (``items`` is a copy; row order matches).
+        self.page = page
 
     @property
     def is_leaf(self) -> bool:
@@ -114,7 +118,7 @@ def write_node(
         page.set_header("routing", routing.page_id)
         routing_pid = routing.page_id
     pager.write(page)
-    return NodeView(page.page_id, list(items), children, low, routing_pid)
+    return NodeView(page.page_id, list(items), children, low, routing_pid, page)
 
 
 def read_node(pager: Pager, pid: int) -> NodeView:
@@ -127,7 +131,40 @@ def read_node(pager: Pager, pid: int) -> NodeView:
     else:
         raw = pager.fetch(routing_pid).items
     children = [ChildRef.from_tuple(t) for t in raw]
-    return NodeView(pid, list(page.items), children, low, routing_pid)
+    return NodeView(pid, list(page.items), children, low, routing_pid, page)
+
+
+def read_node_cached(pager: Pager, pid: int) -> NodeView:
+    """:func:`read_node` with the decode memoised on the page.
+
+    Query paths re-read hot nodes constantly; the block fetches (and
+    their I/O charges) still happen on every call — only the routing
+    decode and the items copy are reused.  The decode is a pure function
+    of page content, and ``write_node`` always goes through
+    ``put_items``/``set_header``, which drop ``page.views`` — so a
+    cached view can never outlive the bytes it decodes.  Update paths
+    must keep using :func:`read_node`: they mutate the returned view's
+    lists in place, which must never alias a cached copy.
+    """
+    page = pager.fetch(pid)
+    views = page.views
+    if views is None:
+        views = page.views = {}
+    node = views.get("pst")
+    if node is not None:
+        if node.routing_pid is not None:
+            pager.fetch(node.routing_pid)  # same I/O as the uncached read
+        return node
+    low = page.get_header("low")
+    routing_pid = page.get_header("routing")
+    if routing_pid is None:
+        raw = page.get_header("children") or []
+    else:
+        raw = pager.fetch(routing_pid).items
+    children = [ChildRef.from_tuple(t) for t in raw]
+    node = NodeView(pid, list(page.items), children, low, routing_pid, page)
+    views["pst"] = node
+    return node
 
 
 def free_node(pager: Pager, node: NodeView) -> None:

@@ -35,7 +35,14 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ...geometry import HQuery, LineBasedSegment
 from ...iosim import Pager
-from .node import ChildRef, NodeView, free_node, read_node, write_node
+from .node import (
+    ChildRef,
+    NodeView,
+    free_node,
+    read_node,
+    read_node_cached,
+    write_node,
+)
 from .search import pst_find, pst_report
 
 
@@ -139,7 +146,10 @@ class ExternalPST:
         return read_node(self.pager, self.root_pid)
 
     def read(self, pid: int) -> NodeView:
-        return read_node(self.pager, pid)
+        # Query-path reads (the search module) come through here and may
+        # reuse the page-cached decode; update paths call ``read_node``
+        # directly because they mutate the view's lists in place.
+        return read_node_cached(self.pager, pid)
 
     def height(self) -> int:
         """Tree height in nodes (diagnostics; walks the leftmost path)."""

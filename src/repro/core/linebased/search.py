@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ...geometry import HQuery, LineBasedSegment
+from ...geometry import kernels as _kernels
 from ...geometry.filtered import compare_u_at
 from ...telemetry import trace
 
@@ -111,13 +112,30 @@ def _report_visit(tree, pid: int, query: HQuery, bounds: _Bounds, hits: List) ->
     reads_before = span.reads if span is not None else 0
     node = tree.read(pid)
     reported = False
-    for segment in node.items:
-        side = classify(segment, query)
-        if side == HIT:
-            hits.append(segment)
+    summary = _kernels.page_classify_summary(node.page, query, node.items)
+    if summary is None:
+        for segment in node.items:
+            side = classify(segment, query)
+            if side == HIT:
+                hits.append(segment)
+                reported = True
+            else:
+                bounds.absorb(segment, side)
+    else:
+        # Witness reduction: items are sorted by base key, so the last
+        # LEFT row carries the page's tightest left witness and the first
+        # RIGHT row the tightest right witness — absorbing just those two
+        # yields the same final bounds as absorbing every non-hit row.
+        items = node.items
+        hit_rows, last_left, first_right = summary
+        if hit_rows:
             reported = True
-        else:
-            bounds.absorb(segment, side)
+            for i in hit_rows:
+                hits.append(items[i])
+        if last_left is not None:
+            bounds.absorb(items[last_left], LEFT)
+        if first_right is not None:
+            bounds.absorb(items[first_right], RIGHT)
     if span is not None:
         span.move("report" if reported else "descent",
                   reads=span.reads - reads_before)
@@ -173,13 +191,26 @@ def _find_visit(tree, pid, query, bounds: _Bounds, best: List, side: str) -> Non
     node = tree.read(pid)
     if span is not None:
         span.move("descent", reads=span.reads - reads_before)
-    for segment in node.items:
-        kind = classify(segment, query)
-        if kind == HIT:
+    summary = _kernels.page_classify_summary(node.page, query, node.items)
+    if summary is None:
+        for segment in node.items:
+            kind = classify(segment, query)
+            if kind == HIT:
+                if _improves(segment.base_order_key(), best[0], side):
+                    best[0] = (segment, pid)
+            else:
+                bounds.absorb(segment, kind)
+    else:
+        items = node.items
+        hit_rows, last_left, first_right = summary
+        for i in hit_rows:
+            segment = items[i]
             if _improves(segment.base_order_key(), best[0], side):
                 best[0] = (segment, pid)
-        else:
-            bounds.absorb(segment, kind)
+        if last_left is not None:
+            bounds.absorb(items[last_left], LEFT)
+        if first_right is not None:
+            bounds.absorb(items[first_right], RIGHT)
     for child in node.children:
         kind = classify(child.top, query)
         if kind != HIT:

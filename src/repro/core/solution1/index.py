@@ -32,8 +32,8 @@ from ...geometry import (
     Segment,
     VerticalBaseFrame,
     VerticalQuery,
-    vs_intersects,
 )
+from ...geometry.kernels import page_query_hits
 from ...iosim import Pager, StorageError
 from ...storage.disjoint import DisjointIntervalIndex
 from ..linebased.index import LineBasedIndex
@@ -177,6 +177,48 @@ class TwoLevelBinaryIndex:
     def _lr_index(self, page, side: str) -> LineBasedIndex:
         return LineBasedIndex.attach(self.pager, page.get_header(f"{side}_meta"))
 
+    # Read-only paths additionally memoise the attached views on the
+    # page (``page.views``) — the decode is pure and header-driven, and
+    # the cache is dropped on every header write, so a cached view can
+    # never outlive the routing words it decodes.  Update paths must NOT
+    # use these: they mutate the attached object in memory, and a
+    # mid-operation crash rolls the pages back but could not un-mutate a
+    # cached view.  Attached views also bind the pager they charge I/O
+    # through, so the pager is part of the key (a re-attached engine
+    # over the same device must not reuse a view whose operation scopes
+    # live on the old pager).  Queries revisit hot nodes constantly;
+    # re-attaching per visit was a measurable tax.
+
+    def _c_index_cached(self, page) -> DisjointIntervalIndex:
+        views = page.views
+        if views is None:
+            views = page.views = {}
+        key = ("c", self.pager)
+        index = views.get(key)
+        if index is None:
+            index = views[key] = self._c_index(page)
+        return index
+
+    def _lr_index_cached(self, page, side: str) -> LineBasedIndex:
+        views = page.views
+        if views is None:
+            views = page.views = {}
+        key = (side, self.pager)
+        index = views.get(key)
+        if index is None:
+            index = views[key] = self._lr_index(page, side)
+        return index
+
+    def _frame(self, page, side: str) -> VerticalBaseFrame:
+        views = page.views
+        if views is None:
+            views = page.views = {}
+        frame = views.get(("frame", side))
+        if frame is None:
+            frame = VerticalBaseFrame(page.get_header("x"), side)
+            views[("frame", side)] = frame
+        return frame
+
     def _sync_node(self, page, c_index, l_index, r_index) -> None:
         page.set_header("c_root", c_index.root_pid)
         page.set_header("l_meta", l_index.metadata())
@@ -199,7 +241,7 @@ class TwoLevelBinaryIndex:
                     page = self.pager.fetch(pid)
                 if page.get_header("kind") == "leaf":
                     with tagged("leaf"):
-                        out.extend(s for s in page.items if vs_intersects(s, q))
+                        out.extend(page_query_hits(page, q))
                     return out
                 c = page.get_header("x")
                 if q.x == c:
@@ -207,13 +249,13 @@ class TwoLevelBinaryIndex:
                     return out
                 with tagged("PST"):
                     if q.x < c:
-                        frame = VerticalBaseFrame(c, "left")
-                        hits = self._lr_index(page, "l").query(frame.to_hquery(q))
+                        frame = self._frame(page, "left")
+                        hits = self._lr_index_cached(page, "l").query(frame.to_hquery(q))
                         out.extend(h.payload for h in hits)
                         pid = page.get_header("left")
                     else:
-                        frame = VerticalBaseFrame(c, "right")
-                        hits = self._lr_index(page, "r").query(frame.to_hquery(q))
+                        frame = self._frame(page, "right")
+                        hits = self._lr_index_cached(page, "r").query(frame.to_hquery(q))
                         out.extend(h.payload for h in hits)
                         pid = page.get_header("right")
 
@@ -255,8 +297,7 @@ class TwoLevelBinaryIndex:
                 items = page.items
                 with tagged("leaf"):
                     for i in group:
-                        q = queries[i]
-                        out[i].extend(s for s in items if vs_intersects(s, q))
+                        out[i].extend(page_query_hits(page, queries[i], items))
                 return
             c = page.get_header("x")
             on_line: List[int] = []
@@ -274,16 +315,16 @@ class TwoLevelBinaryIndex:
                 with self.pager.operation():
                     self._report_on_line_node(page, queries[i], out[i])
             if lefts:
-                l_index = self._lr_index(page, "l")
-                frame = VerticalBaseFrame(c, "left")
+                l_index = self._lr_index_cached(page, "l")
+                frame = self._frame(page, "left")
                 with tagged("PST"):
                     for i in lefts:
                         with self.pager.operation():
                             hits = l_index.query(frame.to_hquery(queries[i]))
                         out[i].extend(h.payload for h in hits)
             if rights:
-                r_index = self._lr_index(page, "r")
-                frame = VerticalBaseFrame(c, "right")
+                r_index = self._lr_index_cached(page, "r")
+                frame = self._frame(page, "right")
                 with tagged("PST"):
                     for i in rights:
                         with self.pager.operation():
@@ -299,13 +340,13 @@ class TwoLevelBinaryIndex:
         tagged = self.pager.device.tagged
         seen: Dict = {}
         with tagged("C"):
-            c_index = self._c_index(page)
+            c_index = self._c_index_cached(page)
             for _lo, _hi, s in c_index.overlap(q.ylo, q.yhi):
                 seen[s.label] = s
         h0 = HQuery(0, q.ylo, q.yhi)
         with tagged("PST"):
             for side in ("l", "r"):
-                for hit in self._lr_index(page, side).query(h0):
+                for hit in self._lr_index_cached(page, side).query(h0):
                     seen[hit.payload.label] = hit.payload  # crossers occur twice
         out.extend(seen.values())
 

@@ -41,7 +41,8 @@ import bisect
 from fractions import Fraction
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ...geometry.filtered import ball, compare_interp
+from ...geometry import kernels as _kernels
+from ...geometry.filtered import STATS, ball, compare_interp
 from ...iosim import DanglingPageError, Pager
 from ...storage.bplus import BPlusTree
 from ...storage.chain import PageChain
@@ -113,6 +114,51 @@ def _cmp_key_y(key: Tuple, x, bound, xb=None, bb=None) -> int:
     if y < bound:
         return -1
     return 0
+
+
+class _QuerySignCache:
+    """Per-query memo of whole-leaf vectorized key-sign tables.
+
+    ``sign(leaf, idx, key, which)`` is a drop-in for
+    ``_cmp_key_y(key, x0, bound, xb, bb)`` on row ``idx`` of ``leaf``
+    (``which`` selects the lo/hi bound): the first consult of a
+    (leaf, bound) pair computes one sign table for the whole page via
+    :func:`repro.geometry.kernels.gkey_sign_table`; later consults —
+    boundary refinement and the reporting scan revisit the same rows —
+    index into it.  Telemetry is charged per *consult*, exactly as the
+    scalar code charges per call: a row resolved through the
+    interpolation kernel counts one fast hit per consult, a clamped row
+    counts nothing, and an unresolved row falls through to the scalar
+    comparison (which counts itself).  With vectorization off every
+    table is ``None`` and every consult is the scalar call, so both
+    modes make identical filter-telemetry contributions.
+    """
+
+    __slots__ = ("x0", "xb", "_bounds", "_bballs", "_tables")
+
+    def __init__(self, x0, ylo, yhi, qballs: Tuple):
+        self.x0 = x0
+        self.xb = qballs[0]
+        self._bounds = (ylo, yhi)
+        self._bballs = (qballs[1], qballs[2])
+        self._tables: Dict[Tuple[int, int], Optional[Tuple]] = {}
+
+    def sign(self, leaf, idx: int, key: Tuple, which: int) -> int:
+        memo_key = (leaf.page_id, which)
+        table = self._tables.get(memo_key, False)
+        if table is False:
+            table = _kernels.gkey_sign_table(
+                leaf, leaf.items, self.x0, self._bounds[which], self.xb,
+                self._bballs[which])
+            self._tables[memo_key] = table
+        if table is not None:
+            signs, resolved, interp = table
+            if idx < signs.shape[0] and resolved[idx]:
+                if interp[idx]:
+                    STATS.fast_hits += 1
+                return int(signs[idx])
+        return _cmp_key_y(key, self.x0, self._bounds[which], self.xb,
+                          self._bballs[which])
 
 
 class _GNode:
@@ -239,6 +285,37 @@ class GTree:
         chain = PageChain(self.pager, self.directory_pid)
         return [_GNode(*t) for t in chain]
 
+    def _read_nodes_cached(self) -> List[_GNode]:
+        """:meth:`_read_nodes` with the decode memoised on the head page.
+
+        The directory chain is still fetched page by page (identical I/O
+        charges); only the tuple->:class:`_GNode` decode is reused.  Any
+        directory rewrite goes through ``chain.replace``/``append``,
+        which invalidate ``head.views`` via ``put_items``/``set_header``.
+        Update paths must use the uncached read — they mutate the
+        returned nodes in place before writing them back.
+        """
+        head = self.pager.fetch(self.directory_pid)
+        views = head.views
+        if views is None:
+            views = head.views = {}
+        cached = views.get("gnodes")
+        if cached is not None:
+            pid = head.get_header("next")
+            while pid is not None:  # same fetch walk as the uncached read
+                pid = self.pager.fetch(pid).get_header("next")
+            return cached
+        nodes: List[_GNode] = []
+        page = head
+        while True:
+            nodes.extend(_GNode(*t) for t in page.items)
+            pid = page.get_header("next")
+            if pid is None:
+                break
+            page = self.pager.fetch(pid)
+        views["gnodes"] = nodes
+        return nodes
+
     def _write_nodes(self, nodes: List[_GNode]) -> None:
         chain = PageChain(self.pager, self.directory_pid)
         head = self.pager.fetch(self.directory_pid)
@@ -253,7 +330,8 @@ class GTree:
     # ------------------------------------------------------------------
     # query
     # ------------------------------------------------------------------
-    def query(self, x0, ylo, yhi, use_bridges: bool = True) -> List[LongFragment]:
+    def query(self, x0, ylo, yhi, use_bridges: bool = True,
+              qballs: Optional[Tuple] = None) -> List[LongFragment]:
         """Long fragments at ``x0`` with ordinate in ``[ylo, yhi]``.
 
         ``x0`` must lie within the inner-slab range ``[s_1, s_b]``.  When
@@ -263,10 +341,11 @@ class GTree:
         cascading (every level pays a fresh B+-tree search) — the Lemma 4
         baseline for the E6 ablation.
         """
-        nodes = self._read_nodes()
+        nodes = self._read_nodes_cached()
         if not nodes:
             return []
-        return self.query_cached(nodes, x0, ylo, yhi, use_bridges=use_bridges)
+        return self.query_cached(nodes, x0, ylo, yhi, use_bridges=use_bridges,
+                                 qballs=qballs)
 
     def read_directory(self) -> List[_GNode]:
         """Decode the G-node directory once for reuse across a batch group.
@@ -275,29 +354,38 @@ class GTree:
         reaches the owning first-level node; batched execution reads it a
         single time per group and feeds it to :meth:`query_cached`.
         """
-        return self._read_nodes()
+        return self._read_nodes_cached()
 
     def query_cached(
-        self, nodes: List[_GNode], x0, ylo, yhi, use_bridges: bool = True
+        self, nodes: List[_GNode], x0, ylo, yhi, use_bridges: bool = True,
+        qballs: Optional[Tuple] = None,
     ) -> List[LongFragment]:
-        """:meth:`query` against an already-decoded directory."""
+        """:meth:`query` against an already-decoded directory.
+
+        ``qballs`` lets the caller hand in the query's cached
+        ``(ball(x0), ball(ylo), ball(yhi))`` — one G-tree is consulted
+        per node on the first-level search path, and the balls are
+        identical at every level.
+        """
         if not nodes:
             return []
         slabs = self._inner_slabs_of(x0)
         if not slabs:
             return []
-        # Query balls for the filtered comparisons, built once per query.
-        qballs = (
-            ball(x0),
-            ball(ylo) if ylo is not None else None,
-            ball(yhi) if yhi is not None else None,
-        )
+        if qballs is None:
+            # Query balls for the filtered comparisons, built once per query.
+            qballs = (
+                ball(x0),
+                ball(ylo) if ylo is not None else None,
+                ball(yhi) if yhi is not None else None,
+            )
         results: List[LongFragment] = []
         seen = self._seen_scratch
         seen.clear()
+        cache = _QuerySignCache(x0, ylo, yhi, qballs)
         for k in slabs:
             self._query_path(nodes, k, x0, ylo, yhi, use_bridges, qballs,
-                             results, seen)
+                             results, seen, cache)
         return results
 
     def query_group(
@@ -309,7 +397,7 @@ class GTree:
         reporting scans) remain individual — only the directory decode is
         amortized, mirroring the shared-descent argument at this level.
         """
-        nodes = self._read_nodes()
+        nodes = self._read_nodes_cached()
         return [
             self.query_cached(nodes, x0, ylo, yhi, use_bridges=use_bridges)
             for x0, ylo, yhi in windows
@@ -318,6 +406,7 @@ class GTree:
     def _query_path(
         self, nodes, k: int, x0, ylo, yhi, use_bridges: bool, qballs: Tuple,
         results: List[LongFragment], seen: set,
+        cache: _QuerySignCache,
     ) -> None:
         idx: Optional[int] = 0
         hint: Optional[Position] = None
@@ -336,7 +425,7 @@ class GTree:
                 tree = BPlusTree(self.pager, node.root_pid)
                 hint = self._scan_node(
                     tree, x0, ylo, yhi, hint if use_bridges else None, son_slot,
-                    results, seen, qballs,
+                    results, seen, qballs, cache,
                 )
             idx = next_idx
 
@@ -363,32 +452,31 @@ class GTree:
     def _scan_node(
         self, tree: BPlusTree, x0, ylo, yhi, hint: Optional[Position],
         son_slot: Optional[int], results: List[LongFragment], seen: set,
-        qballs: Tuple,
+        qballs: Tuple, cache: _QuerySignCache,
     ) -> Optional[Position]:
         """Report this node's hits; return the bridge hint for the next son."""
-        start = self._boundary_position(tree, x0, ylo, hint, qballs)
+        start = self._boundary_position(tree, x0, ylo, hint, qballs, cache)
         # The reporting scan is the output-charged part of the G search:
         # every page it touches holds ~B reported fragments (phase
         # "scan", the ``t`` term of Theorem 2).
         with trace.span("scan"):
             return self._scan_entries(
                 tree, start, x0, ylo, yhi, son_slot, results, seen, None,
-                qballs
+                cache
             )
 
     def _scan_entries(
         self, tree: BPlusTree, start: Position, x0, ylo, yhi,
         son_slot: Optional[int], results: List[LongFragment], seen: set,
-        last_entry_before: Optional[GEntry], qballs: Tuple,
+        last_entry_before: Optional[GEntry], cache: _QuerySignCache,
     ) -> Optional[Position]:
-        xb, lob, hib = qballs
         next_hint: Optional[Position] = None
-        for leaf_pid, idx, key, entry in self._iter_positions_from(tree, start):
+        for leaf_pid, idx, key, entry, leaf in self._iter_positions_from(tree, start):
             real = not entry.frag.augmented
-            if ylo is not None and _cmp_key_y(key, x0, ylo, xb, lob) < 0:
+            if ylo is not None and cache.sign(leaf, idx, key, 0) < 0:
                 last_entry_before = entry
                 continue  # only augmented stragglers can appear here
-            if yhi is not None and real and _cmp_key_y(key, x0, yhi, xb, hib) > 0:
+            if yhi is not None and real and cache.sign(leaf, idx, key, 1) > 0:
                 if next_hint is None and son_slot is not None:
                     next_hint = entry.bridges.get(son_slot)
                 break
@@ -409,7 +497,8 @@ class GTree:
         return next_hint
 
     def _boundary_position(
-        self, tree: BPlusTree, x0, ylo, hint: Optional[Position], qballs: Tuple
+        self, tree: BPlusTree, x0, ylo, hint: Optional[Position],
+        qballs: Tuple, cache: _QuerySignCache,
     ) -> Position:
         """Position of the first *real* entry with ``y_at(x0) >= ylo``.
 
@@ -424,23 +513,29 @@ class GTree:
                 head = self._head_leaf(tree)
             return (head, 0)
         xb, lob = qballs[0], qballs[1]
+        # ``locate_first`` evaluates the predicate on B+-tree routing
+        # keys, which have no leaf row to index a sign table by — that
+        # descent stays scalar; leaf rows go through the cache.
         pred = lambda key: _cmp_key_y(key, x0, ylo, xb, lob) >= 0  # noqa: E731
+        row_pred = lambda leaf, idx, key: cache.sign(leaf, idx, key, 0) >= 0  # noqa: E731
         if hint is not None:
             with trace.span("cascade-hop"):
-                refined = self._exact_boundary(tree, hint, pred,
+                refined = self._exact_boundary(tree, hint, row_pred,
                                                page_budget=MAX_HINT_PAGES)
             if refined is not None:
                 return refined
         with trace.span("search"):
-            boundary = self._exact_boundary(tree, tree.locate_first(pred), pred)
+            boundary = self._exact_boundary(tree, tree.locate_first(pred),
+                                            row_pred)
         assert boundary is not None  # no page budget: never gives up
         return boundary
 
     def _exact_boundary(
-        self, tree, start: Position, pred, page_budget: Optional[int] = None
+        self, tree, start: Position, row_pred,
+        page_budget: Optional[int] = None
     ) -> Optional[Position]:
         """From ``start``, the position of the first real entry satisfying
-        the monotone predicate.
+        the monotone predicate (``row_pred(leaf, idx, key)``).
 
         Real fragments are monotone in ``y_at(x0)`` along the list order, so:
         if the first real entry at/after ``start`` fails the predicate, walk
@@ -468,22 +563,23 @@ class GTree:
             return True
 
         first_real: Optional[Tuple[Position, bool]] = None
-        for pid, i, key, entry in self._iter_positions_from(tree, start):
+        for pid, i, key, entry, leaf in self._iter_positions_from(tree, start):
             if not charge(pid):
                 return None
             if entry.frag.augmented:
                 continue
-            first_real = ((pid, i), pred(key))
+            first_real = ((pid, i), row_pred(leaf, i, key))
             break
 
         if first_real is not None and not first_real[1]:
             # Walk forward to the first satisfying real entry.
-            for pid, i, key, entry in self._iter_positions_from(tree, first_real[0]):
+            for pid, i, key, entry, leaf in self._iter_positions_from(
+                    tree, first_real[0]):
                 if not charge(pid):
                     return None
                 if entry.frag.augmented:
                     continue
-                if pred(key):
+                if row_pred(leaf, i, key):
                     return (pid, i)
             return self._end_position(tree)
 
@@ -494,12 +590,12 @@ class GTree:
         back_start = self._position_before(start)
         pages[0] = 0
         last_leaf[0] = None
-        for pid, i, key, entry in self._iter_positions_back(tree, back_start):
+        for pid, i, key, entry, leaf in self._iter_positions_back(tree, back_start):
             if not charge(pid):
                 return None
             if entry.frag.augmented:
                 continue
-            if pred(key):
+            if row_pred(leaf, i, key):
                 best = (pid, i)
             else:
                 break
@@ -531,7 +627,10 @@ class GTree:
 
     def _iter_positions_from(
         self, tree: BPlusTree, start: Optional[Position]
-    ) -> Iterator[Tuple[int, int, Tuple, GEntry]]:
+    ) -> Iterator[Tuple[int, int, Tuple, GEntry, object]]:
+        """Yield ``(leaf_pid, index, key, entry, leaf_page)`` forward from
+        ``start`` — the leaf page rides along so consumers can reach its
+        columnar sign tables without a second fetch."""
         if start is None:
             return
         pid, idx = start
@@ -542,13 +641,13 @@ class GTree:
                 return
             for i in range(max(idx, 0), len(leaf.items)):
                 key, entry = leaf.items[i]
-                yield (pid, i, key, entry)
+                yield (pid, i, key, entry, leaf)
             pid = leaf.get_header("next")
             idx = 0
 
     def _iter_positions_back(
         self, tree: BPlusTree, start: Optional[Position]
-    ) -> Iterator[Tuple[int, int, Tuple, GEntry]]:
+    ) -> Iterator[Tuple[int, int, Tuple, GEntry, object]]:
         if start is None:
             return
         pid, idx = start
@@ -560,7 +659,7 @@ class GTree:
             idx = min(idx, len(leaf.items) - 1)
             for i in range(idx, -1, -1):
                 key, entry = leaf.items[i]
-                yield (pid, i, key, entry)
+                yield (pid, i, key, entry, leaf)
             pid = leaf.get_header("prev")
             idx = 10**9
 

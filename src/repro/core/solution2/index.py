@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...geometry import Segment, VerticalBaseFrame, VerticalQuery, vs_intersects
+from ...geometry.kernels import page_query_hits
 from ...iosim import Pager
 from ...storage.chain import PageChain
 from ...storage.disjoint import DisjointIntervalIndex
@@ -42,11 +43,12 @@ LEAF_PAGES = 2
 class _NodeView:
     """Decoded record chain of one internal node."""
 
-    __slots__ = ("pid", "boundaries", "children", "c_roots",
+    __slots__ = ("pid", "head", "boundaries", "children", "c_roots",
                  "l_metas", "r_metas", "g_pid")
 
     def __init__(self, pid: int, records: List[Tuple]):
         self.pid = pid
+        self.head = None
         self.boundaries: List = []
         self.children: List[int] = []
         self.c_roots: List[int] = []
@@ -195,8 +197,53 @@ class TwoLevelIntervalIndex:
     # node access
     # ------------------------------------------------------------------
     def _read_view(self, pid: int) -> _NodeView:
-        chain = PageChain(self.pager, pid)
-        return _NodeView(pid, chain.to_list())
+        # Same fetch sequence as ``PageChain.to_list`` (head first, then
+        # the tail pages), but keeps the head :class:`Page` so decoded
+        # second-level attachments can be cached on it (``page.views``).
+        records: List[Tuple] = []
+        page = self.pager.fetch(pid)
+        head = page
+        while True:
+            records.extend(page.items)
+            nxt = page.get_header("next")
+            if nxt is None:
+                break
+            page = self.pager.fetch(nxt)
+        view = _NodeView(pid, records)
+        view.head = head
+        return view
+
+    def _read_view_cached(self, pid: int) -> _NodeView:
+        """:meth:`_read_view` with the decode memoised on the head page.
+
+        The chain is still fetched page by page (identical I/O charges);
+        only the record->view decode is reused.  Node rewrites go through
+        ``chain.replace`` — ``put_items`` on the head — which drops
+        ``head.views``.  Update paths must use the uncached read: they
+        mutate the returned view's lists in place.
+        """
+        head = self.pager.fetch(pid)
+        views = head.views
+        if views is None:
+            views = head.views = {}
+        cached = views.get("nodeview")
+        if cached is not None:
+            nxt = head.get_header("next")
+            while nxt is not None:  # same fetch walk as the uncached read
+                nxt = self.pager.fetch(nxt).get_header("next")
+            return cached
+        records: List[Tuple] = []
+        page = head
+        while True:
+            records.extend(page.items)
+            nxt = page.get_header("next")
+            if nxt is None:
+                break
+            page = self.pager.fetch(nxt)
+        view = _NodeView(pid, records)
+        view.head = head
+        views["nodeview"] = view
+        return view
 
     def _node_kind(self, pid: int) -> str:
         return self.pager.fetch(pid).get_header("kind")
@@ -209,6 +256,46 @@ class TwoLevelIntervalIndex:
 
     def _r_index(self, view: _NodeView, i: int) -> LineBasedIndex:
         return LineBasedIndex.attach(self.pager, view.r_metas[i - 1])
+
+    # Read-only paths additionally memoise attached second-level
+    # structures on the node's head page (``page.views``) with the
+    # metadata in the key: attachment is a pure function of (pager,
+    # metadata), and a node update rewrites the record chain through
+    # ``put_items``, which drops ``head.views`` — a cached attachment
+    # can never outlive the records it decodes.  Update paths must NOT
+    # use these (they mutate the attached object in memory; a crash
+    # rolls pages back but could not un-mutate a cached view).
+    def _views(self, view: _NodeView) -> Dict:
+        head = view.head
+        views = head.views
+        if views is None:
+            views = head.views = {}
+        return views
+
+    def _c_index_cached(self, view: _NodeView, i: int) -> DisjointIntervalIndex:
+        views = self._views(view)
+        key = ("c", view.c_roots[i - 1], self.pager)
+        index = views.get(key)
+        if index is None:
+            index = views[key] = self._c_index(view, i)
+        return index
+
+    def _lr_index_cached(self, view: _NodeView, meta: Tuple) -> LineBasedIndex:
+        views = self._views(view)
+        key = (meta, self.pager)
+        index = views.get(key)
+        if index is None:
+            index = views[key] = LineBasedIndex.attach(self.pager, meta)
+        return index
+
+    def _frame(self, view: _NodeView, c, side: str) -> VerticalBaseFrame:
+        views = self._views(view)
+        key = ("frame", c, side)
+        frame = views.get(key)
+        if frame is None:
+            frame = VerticalBaseFrame(c, side)
+            views[key] = frame
+        return frame
 
     def _g_tree(self, view: _NodeView) -> Optional[GTree]:
         if view.g_pid is None:
@@ -239,18 +326,19 @@ class TwoLevelIntervalIndex:
                     kind = self._node_kind(pid)
                 if kind == "leaf":
                     with tagged("leaf"):
-                        for s in PageChain(self.pager, pid):
-                            if vs_intersects(s, q):
+                        for page in PageChain(self.pager, pid).iter_pages():
+                            for s in page_query_hits(page, q):
                                 out[s.label] = s
                     break
                 with tagged("first-level"):
-                    view = self._read_view(pid)
+                    view = self._read_view_cached(pid)
                 g = self._g_tree(view)
                 i = boundary_index(view.boundaries, q.x)
                 if g is not None:
                     with tagged("G"):
                         for frag in g.query(q.x, q.ylo, q.yhi,
-                                            use_bridges=use_bridges):
+                                            use_bridges=use_bridges,
+                                            qballs=q.balls()):
                             out[frag.payload.label] = frag.payload
                 if i is not None:
                     self._report_on_boundary(view, i, q, out)
@@ -258,14 +346,14 @@ class TwoLevelIntervalIndex:
                 k = slab_of(view.boundaries, q.x)
                 with tagged("short-PST"):
                     if k >= 1:
-                        frame = VerticalBaseFrame(view.boundaries[k - 1], "right")
-                        for hit in self._r_index(view, k).query(frame.to_hquery(q)):
+                        frame = self._frame(view, view.boundaries[k - 1], "right")
+                        r_index = self._lr_index_cached(view, view.r_metas[k - 1])
+                        for hit in r_index.query(frame.to_hquery(q)):
                             out[hit.payload.label] = hit.payload
                     if k < len(view.boundaries):
-                        frame = VerticalBaseFrame(view.boundaries[k], "left")
-                        for hit in self._l_index(view, k + 1).query(
-                            frame.to_hquery(q)
-                        ):
+                        frame = self._frame(view, view.boundaries[k], "left")
+                        l_index = self._lr_index_cached(view, view.l_metas[k])
+                        for hit in l_index.query(frame.to_hquery(q)):
                             out[hit.payload.label] = hit.payload
                 pid = view.children[k]
         return list(out.values())
@@ -314,10 +402,10 @@ class TwoLevelIntervalIndex:
                 is_leaf = head.get_header("kind") == "leaf"
                 if is_leaf:
                     with tagged("leaf"):
-                        items = list(PageChain(self.pager, pid))
+                        leaf_pages = list(PageChain(self.pager, pid).iter_pages())
                 else:
                     with tagged("first-level"):
-                        view = self._read_view(pid)
+                        view = self._read_view_cached(pid)
                     g = self._g_tree(view)
                     gnodes: List = []
                     if g is not None:
@@ -327,8 +415,8 @@ class TwoLevelIntervalIndex:
                 for i in group:
                     q = queries[i]
                     out = outs[i]
-                    for s in items:
-                        if vs_intersects(s, q):
+                    for page in leaf_pages:
+                        for s in page_query_hits(page, q):
                             out[s.label] = s
                 return
             boundaries = view.boundaries
@@ -340,7 +428,8 @@ class TwoLevelIntervalIndex:
                     if g is not None:
                         with tagged("G"):
                             for frag in g.query_cached(
-                                gnodes, q.x, q.ylo, q.yhi, use_bridges=use_bridges
+                                gnodes, q.x, q.ylo, q.yhi,
+                                use_bridges=use_bridges, qballs=q.balls()
                             ):
                                 out[frag.payload.label] = frag.payload
                     bi = boundary_index(boundaries, q.x)
@@ -350,16 +439,16 @@ class TwoLevelIntervalIndex:
                     k = slab_of(boundaries, q.x)
                     with tagged("short-PST"):
                         if k >= 1:
-                            frame = VerticalBaseFrame(boundaries[k - 1], "right")
-                            for hit in self._r_index(view, k).query(
-                                frame.to_hquery(q)
-                            ):
+                            frame = self._frame(view, boundaries[k - 1], "right")
+                            r_index = self._lr_index_cached(
+                                view, view.r_metas[k - 1]
+                            )
+                            for hit in r_index.query(frame.to_hquery(q)):
                                 out[hit.payload.label] = hit.payload
                         if k < len(boundaries):
-                            frame = VerticalBaseFrame(boundaries[k], "left")
-                            for hit in self._l_index(view, k + 1).query(
-                                frame.to_hquery(q)
-                            ):
+                            frame = self._frame(view, boundaries[k], "left")
+                            l_index = self._lr_index_cached(view, view.l_metas[k])
+                            for hit in l_index.query(frame.to_hquery(q)):
                                 out[hit.payload.label] = hit.payload
                 per_slab.setdefault(k, []).append(i)
             for k in sorted(per_slab):
@@ -373,13 +462,14 @@ class TwoLevelIntervalIndex:
         can reach a boundary."""
         tagged = self.pager.device.tagged
         with tagged("C"):
-            for _lo, _hi, s in self._c_index(view, i).overlap(q.ylo, q.yhi):
+            c_index = self._c_index_cached(view, i)
+            for _lo, _hi, s in c_index.overlap(q.ylo, q.yhi):
                 out[s.label] = s
-        h0 = VerticalBaseFrame(view.boundaries[i - 1], "left").to_hquery(q)
+        h0 = self._frame(view, view.boundaries[i - 1], "left").to_hquery(q)
         with tagged("short-PST"):
-            for hit in self._l_index(view, i).query(h0):
+            for hit in self._lr_index_cached(view, view.l_metas[i - 1]).query(h0):
                 out[hit.payload.label] = hit.payload
-            for hit in self._r_index(view, i).query(h0):
+            for hit in self._lr_index_cached(view, view.r_metas[i - 1]).query(h0):
                 out[hit.payload.label] = hit.payload
 
     # ------------------------------------------------------------------

@@ -170,6 +170,20 @@ class HQuery:
     def segment(cls, h: Coordinate, ulo: Coordinate, uhi: Coordinate) -> "HQuery":
         return cls(h, ulo=ulo, uhi=uhi)
 
+    @classmethod
+    def _trusted(cls, h: Coordinate, ulo: Optional[Coordinate],
+                 uhi: Optional[Coordinate]) -> "HQuery":
+        """Construct without validation for callers whose inputs already
+        satisfy the invariants (coordinates checked, ``h >= 0``,
+        ``ulo <= uhi``) — frame transforms build one HQuery per node
+        visit, making ``__init__``'s re-validation a hot-path tax."""
+        self = object.__new__(cls)
+        self.h = h
+        self.ulo = ulo
+        self.uhi = uhi
+        self._balls = None
+        return self
+
     def covers_u(self, u: Coordinate) -> bool:
         if self.ulo is not None and u < self.ulo:
             return False

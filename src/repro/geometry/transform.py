@@ -20,6 +20,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
+from .filtered import ball
 from .linebased import HQuery, LineBasedSegment
 from .point import Coordinate, Point, check_coordinate
 from .query import VerticalQuery
@@ -129,4 +130,12 @@ class VerticalBaseFrame:
         h = self.height_of(q.x)
         if h < 0:
             raise ValueError(f"query x={q.x} is on the wrong side of x={self.c}")
-        return HQuery(h, ulo=q.ylo, uhi=q.yhi)
+        # The query's coordinates are already checked and ordered and h
+        # was just range-checked, so skip HQuery.__init__'s validation.
+        hq = HQuery._trusted(h, q.ylo, q.yhi)
+        # The u-bounds are the query's y-bounds verbatim, so their filter
+        # balls can be shared across every node visit; only ball(h)
+        # depends on this frame.
+        qb = q.balls()
+        hq._balls = (ball(h), qb[1], qb[2])
+        return hq

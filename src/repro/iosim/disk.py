@@ -12,13 +12,50 @@ in blocks).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Dict, List
 
 from ..telemetry import trace as _trace
 from .errors import DanglingPageError, DoubleFreeError
 from .page import Page
 from .stats import IOStats
+
+
+class _TagScope:
+    """``with device.tagged(tag):`` — attribution scope as a slotted
+    class (the generator-based form taxed every node visit on the hot
+    query paths).  Opens a telemetry span of the same name when a trace
+    is active, exactly like the old ``@contextmanager`` body."""
+
+    __slots__ = ("_device", "_tag", "_span_cm")
+
+    def __init__(self, device: "BlockDevice", tag: str):
+        self._device = device
+        self._tag = tag
+        self._span_cm = None
+
+    def __enter__(self) -> None:
+        self._device._tags.append(self._tag)
+        ctx = _trace._ACTIVE
+        if ctx is not None:
+            span_cm = ctx.span(self._tag)
+            try:
+                span_cm.__enter__()
+            except BaseException:
+                self._device._tags.pop()
+                raise
+            self._span_cm = span_cm
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span_cm = self._span_cm
+        if span_cm is not None:
+            self._span_cm = None
+            try:
+                span_cm.__exit__(exc_type, exc, tb)
+            finally:
+                self._device._tags.pop()
+        else:
+            self._device._tags.pop()
+        return False
 
 
 class BlockDevice:
@@ -52,24 +89,14 @@ class BlockDevice:
     # ------------------------------------------------------------------
     # attribution
     # ------------------------------------------------------------------
-    @contextmanager
-    def tagged(self, tag: str):
+    def tagged(self, tag: str) -> _TagScope:
         """Attribute I/O inside the scope to ``tag`` (innermost tag wins).
 
         When a telemetry trace is active the scope also opens a span of
         the same name, so every tagged call-site doubles as a trace
         phase without further instrumentation.
         """
-        self._tags.append(tag)
-        ctx = _trace._ACTIVE
-        try:
-            if ctx is None:
-                yield
-            else:
-                with ctx.span(tag):
-                    yield
-        finally:
-            self._tags.pop()
+        return _TagScope(self, tag)
 
     def _charge_tag(self, bucket: Dict[str, int]) -> None:
         if self._tags:

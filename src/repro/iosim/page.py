@@ -34,13 +34,22 @@ class Page:
         Maximum number of payload items (the paper's ``B``).
     """
 
-    __slots__ = ("page_id", "capacity", "items", "header")
+    __slots__ = ("page_id", "capacity", "items", "header", "cols", "views")
 
     def __init__(self, page_id: int, capacity: int):
         self.page_id = page_id
         self.capacity = capacity
         self.items: List[Any] = []
         self.header: Dict[str, Any] = {}
+        #: Lazily-built columnar mirror of ``items`` (``(kind, columns)``,
+        #: see :mod:`repro.geometry.kernels`).  Pure cache: never
+        #: serialized, never fingerprinted, dropped on any payload write.
+        self.cols = None
+        #: Cache of decoded per-page structures (attached second-level
+        #: indexes, node views, frames) keyed by the owner.  Same
+        #: contract as ``cols``, but additionally dropped on header
+        #: writes — the cached objects decode routing words.
+        self.views = None
 
     # ------------------------------------------------------------------
     # payload
@@ -51,12 +60,16 @@ class Page:
         if len(new_items) > self.capacity:
             raise PageOverflowError(self.page_id, len(new_items), self.capacity)
         self.items = new_items
+        self.cols = None
+        self.views = None
 
     def append_item(self, item: Any) -> None:
         """Append one item, enforcing the capacity bound."""
         if len(self.items) + 1 > self.capacity:
             raise PageOverflowError(self.page_id, len(self.items) + 1, self.capacity)
         self.items.append(item)
+        self.cols = None
+        self.views = None
 
     @property
     def free_slots(self) -> int:
@@ -71,6 +84,7 @@ class Page:
     def set_header(self, key: str, value: Any) -> None:
         """Store an O(1) routing word in the page header."""
         self.header[key] = value
+        self.views = None
         if len(self.header) > HEADER_SLOTS:
             raise PageOverflowError(self.page_id, len(self.header), HEADER_SLOTS)
 

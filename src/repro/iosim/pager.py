@@ -15,12 +15,61 @@ conservative default.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..telemetry import trace as _trace
 from .disk import BlockDevice
 from .page import Page
+
+
+class _OperationScope:
+    """Reusable ``with pager.operation():`` guard.
+
+    A plain slotted class rather than ``@contextmanager``: the scope is
+    entered once per logical operation on the hottest paths, and the
+    generator machinery (one ``next`` per enter/exit plus a throwaway
+    generator object) measurably taxes query throughput.  All state
+    lives on the pager, so one shared instance serves nested scopes.
+    """
+
+    __slots__ = ("_pager",)
+
+    def __init__(self, pager: "Pager"):
+        self._pager = pager
+
+    def __enter__(self) -> None:
+        pager = self._pager
+        pager._depth += 1
+        if pager._depth == 1:
+            pager._pinned = {}
+            pager._dirty = set()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        pager = self._pager
+        pager._depth -= 1
+        if pager._depth == 0:
+            pager._pinned = None
+            pager._dirty = None
+        return False
+
+
+class _PinScope:
+    """``with pager.pinning(pid):`` — holds one buffer-pool pin."""
+
+    __slots__ = ("_pager", "_page_id", "_took")
+
+    def __init__(self, pager: "Pager", page_id: int):
+        self._pager = pager
+        self._page_id = page_id
+        self._took = False
+
+    def __enter__(self) -> None:
+        self._took = self._pager.pin(self._page_id)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._took:
+            self._pager.unpin(self._page_id)
+        return False
 
 
 class Pager:
@@ -31,24 +80,14 @@ class Pager:
         self._pinned: Optional[Dict[int, Page]] = None
         self._dirty: Optional[Set[int]] = None
         self._depth = 0
+        self._op_scope = _OperationScope(self)
 
     # ------------------------------------------------------------------
     # operation scope
     # ------------------------------------------------------------------
-    @contextmanager
-    def operation(self) -> Iterator[None]:
+    def operation(self) -> _OperationScope:
         """Scope one logical operation; nested scopes join the outermost."""
-        self._depth += 1
-        if self._depth == 1:
-            self._pinned = {}
-            self._dirty = set()
-        try:
-            yield
-        finally:
-            self._depth -= 1
-            if self._depth == 0:
-                self._pinned = None
-                self._dirty = None
+        return self._op_scope
 
     @property
     def in_operation(self) -> bool:
@@ -73,6 +112,12 @@ class Pager:
 
     def write(self, page: Page) -> None:
         """Write a page; within an operation each page is flushed once."""
+        # Any write invalidates the page's columnar cache — several
+        # callers mutate ``page.items`` in place (B+-tree inserts, R-tree
+        # entry updates) before flushing, so the cache can't be trusted
+        # past this point.
+        page.cols = None
+        page.views = None
         if self._dirty is not None:
             if page.page_id in self._dirty:
                 page.validate()
@@ -124,15 +169,9 @@ class Pager:
         if unpin is not None:
             unpin(page_id)
 
-    @contextmanager
-    def pinning(self, page_id: int) -> Iterator[None]:
+    def pinning(self, page_id: int) -> _PinScope:
         """Hold a buffer-pool pin on ``page_id`` for the scope."""
-        took = self.pin(page_id)
-        try:
-            yield
-        finally:
-            if took:
-                self.unpin(page_id)
+        return _PinScope(self, page_id)
 
     def prefetch(self, page_ids) -> int:
         """Warm the buffer pool with ``page_ids``; 0 on a bare device."""

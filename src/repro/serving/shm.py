@@ -280,6 +280,12 @@ class AttachedArena:
             raise
 
     def close(self) -> None:
+        """Detach (idempotent-ish): live zero-copy column views over the
+        arena keep the mapping pinned, so a refusing ``release`` is
+        tolerated — the mapping falls away when the last view dies."""
         self.view.release()
-        self._buf.release()
-        self._shm.close()
+        try:
+            self._buf.release()
+            self._shm.close()
+        except BufferError:
+            pass

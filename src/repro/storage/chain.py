@@ -61,6 +61,15 @@ class PageChain:
             yield from page.items
             pid = page.get_header("next")
 
+    def iter_pages(self) -> Iterator[Any]:
+        """Yield the chain's pages in order — the same fetch sequence as
+        ``__iter__`` — so scan kernels can work a page at a time."""
+        pid: Optional[int] = self.head_pid
+        while pid is not None:
+            page = self.pager.fetch(pid)
+            yield page
+            pid = page.get_header("next")
+
     def count(self) -> int:
         """Item count, read from the head page (1 I/O)."""
         return self.pager.fetch(self.head_pid).get_header("count")

@@ -88,7 +88,9 @@ def test_attached_arena_is_zero_copy(single_snap):
         some_id = next(iter(attached.view.page_ids))
         page = device.read(some_id)
         assert page.items is not None
-        # Decoded pages are copies; they don't block the detach.
+        # v2 pages may carry zero-copy column views over the segment;
+        # drop them (as a worker's exit hook does) and detach cleanly.
+        del page, device
         attached.close()
     finally:
         arenas.unlink()

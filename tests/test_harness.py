@@ -76,7 +76,7 @@ def test_write_perf_json(tmp_path):
     assert written == path
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == 6
     assert data["generated_by"] == "E15"
     assert data["commit"]
     stored = data["experiments"]["E15"]
@@ -106,7 +106,7 @@ def test_write_perf_json_migrates_legacy_schema(tmp_path):
     write_perf_json("E16", {"n": 4096}, path=path)
     with open(path) as fh:
         data = json.load(fh)
-    assert data["schema_version"] == 5
+    assert data["schema_version"] == 6
     # Migrated legacy payloads keep their shape (no stamps injected).
     assert data["experiments"]["E15"] == {"n": 512, "engines": {"scan": {}}}
     assert strip_stamps(data["experiments"]["E16"]) == {"n": 4096}
